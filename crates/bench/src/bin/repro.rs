@@ -1,0 +1,277 @@
+//! `repro` — regenerates every table and figure of
+//! *Coherence Controller Architectures for SMP-Based CC-NUMA
+//! Multiprocessors* (ISCA 1997).
+//!
+//! ```text
+//! repro [--quick | --paper] [--out DIR] <target>...
+//!
+//! targets: table1 table2 table3 table4 table5 table6 table7
+//!          fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//!          ablations summary validate all
+//! ```
+//!
+//! The default scale runs the full 16×4 machine with scaled-down data sets
+//! (minutes); `--paper` uses the paper's Table 5 sizes (hours); `--quick`
+//! runs a 4×2 machine with tiny data sets (seconds; for smoke-testing the
+//! harness, not for numbers). With `--out DIR`, each target's output is
+//! also written to `DIR/<target>.txt`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ccn_bench::{options_from_flags, scale_name, TARGETS};
+use ccn_workloads::suite::SuiteApp;
+use ccnuma::experiments::{self, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = options_from_flags(&args);
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("can create the output directory");
+    }
+    let mut skip_next = false;
+    let mut targets: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(|a| a.as_str())
+        .collect();
+    if targets.is_empty() || targets.contains(&"all") {
+        // "all" covers the paper's tables and figures; the ablation,
+        // summary and validate extras run only when asked for by name.
+        targets = TARGETS[..TARGETS.len() - 4].to_vec();
+    }
+    for t in &targets {
+        if !TARGETS.contains(t) {
+            eprintln!("unknown target '{t}'; known targets: {TARGETS:?}");
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "# ISCA'97 coherence-controller reproduction — {} on a {}x{} machine\n",
+        scale_name(&opts),
+        opts.nodes,
+        opts.procs_per_node
+    );
+    let mut failed = false;
+    for target in targets {
+        let start = Instant::now();
+        let output = render_target(target, opts, &mut failed);
+        print!("{output}");
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{target}.txt");
+            std::fs::write(&path, &output).expect("can write the target output");
+        }
+        println!("[{target} took {:.1?}]\n", start.elapsed());
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn render_target(target: &str, opts: Options, failed: &mut bool) -> String {
+    let mut out = String::new();
+    match target {
+        "table1" => render(&mut out, experiments::table1().render()),
+        "table2" => render(&mut out, experiments::table2().render()),
+        "table3" => render(&mut out, experiments::table3().render()),
+        "table4" => render(&mut out, experiments::table4().render()),
+        "table5" => render(&mut out, experiments::table5().render()),
+        "table6" => render(&mut out, experiments::table6(opts).render()),
+        "table7" => render(&mut out, experiments::table7(opts).render()),
+        "fig6" => render_figure(&mut out, experiments::fig6(opts)),
+        "fig7" => render_figure(&mut out, experiments::fig7(opts)),
+        "fig8" => render_figure(&mut out, experiments::fig8(opts)),
+        "fig9" => render_figure(&mut out, experiments::fig9(opts)),
+        "fig10" => {
+            // The paper shows the sweep for the full suite; the four apps
+            // spanning the communication range keep the default run short.
+            let apps = [
+                SuiteApp::Lu,
+                SuiteApp::FftBase,
+                SuiteApp::Radix,
+                SuiteApp::OceanBase,
+            ];
+            for app in apps {
+                render_figure(&mut out, experiments::fig10(opts, app));
+            }
+        }
+        "fig11" => render(&mut out, experiments::scatter(opts).render_fig11()),
+        "fig12" => render(&mut out, experiments::scatter(opts).render_fig12()),
+        "summary" => {
+            // Full per-run diagnostics for the headline comparison.
+            use ccnuma::experiments::{run_one, ConfigMods};
+            use ccnuma::Architecture;
+            for arch in [Architecture::Hwc, Architecture::Ppc] {
+                let report = run_one(SuiteApp::OceanBase, arch, opts, ConfigMods::default());
+                render(&mut out, report.render_summary());
+            }
+        }
+        "ablations" => {
+            use ccnuma::ablations;
+            render(
+                &mut out,
+                ablations::engine_scaling(SuiteApp::OceanBase, opts).render(),
+            );
+            render(
+                &mut out,
+                ablations::engine_scaling(SuiteApp::Radix, opts).render(),
+            );
+            render(
+                &mut out,
+                ablations::accelerated_pp(SuiteApp::OceanBase, opts).render(),
+            );
+            render(
+                &mut out,
+                ablations::accelerated_pp(SuiteApp::Radix, opts).render(),
+            );
+            render(
+                &mut out,
+                ablations::split_balance(SuiteApp::OceanBase, opts).render(),
+            );
+            render(&mut out, ablations::placement_policies(opts).render());
+            render(
+                &mut out,
+                ablations::direct_data_path(SuiteApp::OceanBase, opts).render(),
+            );
+            render(
+                &mut out,
+                ablations::directory_cache(SuiteApp::OceanBase, opts).render(),
+            );
+            render(
+                &mut out,
+                ablations::replacement_hints(SuiteApp::FftBase, opts).render(),
+            );
+            render(&mut out, ablations::flash_conditions(opts).render());
+        }
+        "validate" => {
+            let (report, ok) = validate(opts);
+            render(&mut out, report);
+            if !ok {
+                *failed = true;
+            }
+        }
+        other => unreachable!("validated target {other}"),
+    }
+    out
+}
+
+fn render(out: &mut String, s: String) {
+    let _ = writeln!(out, "{s}");
+}
+
+fn render_figure(out: &mut String, fig: ccnuma::experiments::Figure) {
+    render(out, fig.render());
+    render(out, fig.render_chart());
+}
+
+/// PASS/FAIL checks of the paper's quantitative anchors at the chosen
+/// scale — a production-grade version of the integration tests.
+fn validate(opts: Options) -> (String, bool) {
+    use ccnuma::experiments::{run_one, ConfigMods};
+    use ccnuma::{penalty, probe, Architecture, SystemConfig};
+    let mut out = String::new();
+    let mut failures = 0;
+    let mut check = |out: &mut String, name: &str, ok: bool, detail: String| {
+        let _ = writeln!(
+            out,
+            "[{}] {name}: {detail}",
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    let hwc_lat = probe::read_miss_breakdown(&SystemConfig::base(), false).total();
+    check(
+        &mut out,
+        "table3 HWC read-miss latency = 142",
+        hwc_lat == 142,
+        format!("{hwc_lat} cycles"),
+    );
+    let ppc_lat = probe::read_miss_breakdown(
+        &SystemConfig::base().with_architecture(Architecture::Ppc),
+        false,
+    )
+    .total();
+    check(
+        &mut out,
+        "table3 PPC read-miss latency near 212",
+        (200..=216).contains(&ppc_lat),
+        format!("{ppc_lat} cycles"),
+    );
+
+    let lo_hwc = run_one(SuiteApp::Lu, Architecture::Hwc, opts, ConfigMods::default());
+    let lo_ppc = run_one(SuiteApp::Lu, Architecture::Ppc, opts, ConfigMods::default());
+    let hi_hwc = run_one(
+        SuiteApp::OceanBase,
+        Architecture::Hwc,
+        opts,
+        ConfigMods::default(),
+    );
+    let hi_ppc = run_one(
+        SuiteApp::OceanBase,
+        Architecture::Ppc,
+        opts,
+        ConfigMods::default(),
+    );
+    let lo_pen = penalty(lo_hwc.exec_cycles, lo_ppc.exec_cycles);
+    let hi_pen = penalty(hi_hwc.exec_cycles, hi_ppc.exec_cycles);
+    check(
+        &mut out,
+        "Ocean penalty exceeds LU penalty",
+        hi_pen > lo_pen,
+        format!("Ocean {:.0}% vs LU {:.0}%", hi_pen * 100.0, lo_pen * 100.0),
+    );
+    check(
+        &mut out,
+        "Ocean RCCPI exceeds LU RCCPI",
+        hi_hwc.rccpi() > lo_hwc.rccpi(),
+        format!(
+            "{:.2} vs {:.2} (x1000)",
+            hi_hwc.rccpi() * 1000.0,
+            lo_hwc.rccpi() * 1000.0
+        ),
+    );
+    let occ_ratio = hi_ppc.cc_occupancy as f64 / hi_hwc.cc_occupancy as f64;
+    check(
+        &mut out,
+        "PPC/HWC occupancy ratio near 2.5",
+        (1.8..=3.6).contains(&occ_ratio),
+        format!("{occ_ratio:.2}"),
+    );
+    let two = run_one(
+        SuiteApp::OceanBase,
+        Architecture::TwoPpc,
+        opts,
+        ConfigMods::default(),
+    );
+    check(
+        &mut out,
+        "second engine speeds up Ocean/PPC",
+        two.exec_cycles < hi_ppc.exec_cycles,
+        format!("{} vs {}", two.exec_cycles, hi_ppc.exec_cycles),
+    );
+
+    let ok = failures == 0;
+    if ok {
+        let _ = writeln!(out, "\nall anchors hold");
+    } else {
+        let _ = writeln!(out, "\n{failures} anchor(s) FAILED");
+    }
+    (out, ok)
+}

@@ -1,0 +1,89 @@
+//! Benchmark harness for the ISCA '97 reproduction.
+//!
+//! This crate contains:
+//!
+//! * the `repro` binary — regenerates every table and figure of the paper
+//!   (`cargo run --release -p ccn-bench --bin repro -- all`);
+//! * Criterion benches (`cargo bench`) measuring the simulator itself and
+//!   timing reduced-scale versions of each experiment.
+//!
+//! The library portion holds the small amount of shared CLI plumbing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ccn_workloads::suite::Scale;
+use ccnuma::experiments::Options;
+
+/// Experiment selectors accepted by the `repro` binary.
+pub const TARGETS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+    "summary",
+    "validate",
+    "all",
+];
+
+/// Parses the CLI scale flags into experiment options.
+///
+/// `--quick` selects a tiny machine and data sets (seconds), `--paper` the
+/// paper's Table 5 sizes (hours); the default is the scaled reproduction
+/// setup (minutes).
+pub fn options_from_flags(args: &[String]) -> Options {
+    if args.iter().any(|a| a == "--quick") {
+        Options::quick()
+    } else if args.iter().any(|a| a == "--paper") {
+        Options::paper()
+    } else {
+        Options::repro()
+    }
+}
+
+/// Human-readable description of the scale in use.
+pub fn scale_name(opts: &Options) -> &'static str {
+    match opts.scale {
+        Scale::Paper => "paper data sets (Table 5)",
+        Scale::Scaled => "scaled data sets (default)",
+        Scale::Tiny => "tiny data sets (--quick)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        assert_eq!(options_from_flags(&s(&["--quick"])).nodes, 4);
+        assert_eq!(options_from_flags(&s(&["--paper"])).nodes, 16);
+        assert_eq!(options_from_flags(&s(&[])).nodes, 16);
+        assert_eq!(
+            scale_name(&options_from_flags(&s(&["--quick"]))),
+            "tiny data sets (--quick)"
+        );
+    }
+
+    #[test]
+    fn targets_cover_all_tables_and_figures() {
+        for t in ["table1", "table7", "fig6", "fig12", "all"] {
+            assert!(TARGETS.contains(&t));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Engine-count and workload-split policies.
+//!
+//! The paper evaluates one engine (HWC/PPC) and two engines split by
+//! address locality (2HWC/2PPC, the S3.mp policy where only the local
+//! protocol engine touches the directory). Its conclusions call out two
+//! extensions which are implemented here as additional policies:
+//! *"using more protocol engines for different regions of memory"* and
+//! more balanced splits (*"alternative distribution policies … might lead
+//! to a more balanced distribution of protocol workloads on the protocol
+//! engines, but would also require allowing multiple protocol engines to
+//! access the directory"*).
+
+use crate::dispatch::EngineRole;
+
+/// How protocol work is distributed over a controller's engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnginePolicy {
+    /// One engine handles everything (the paper's HWC / PPC).
+    Single,
+    /// Two engines: the local protocol engine (LPE) serves local-home
+    /// addresses and is the only engine that accesses the directory; the
+    /// remote protocol engine (RPE) serves remote addresses (the paper's
+    /// 2HWC / 2PPC, following S3.mp).
+    LocalRemote,
+    /// `pairs` LPEs plus `pairs` RPEs; within each bank, requests
+    /// interleave by line address ("more protocol engines for different
+    /// regions of memory"). Each LPE owns a directory slice, so directory
+    /// accesses still never cross engines.
+    LocalRemotePairs(u8),
+    /// `engines` identical engines, requests interleaved by line address
+    /// regardless of locality. Perfectly balanced, but every engine must
+    /// reach the directory — the paper's noted hardware-cost downside,
+    /// which this model charges as an extra directory arbitration delay
+    /// (see the machine's latency configuration).
+    Interleaved(u8),
+}
+
+impl EnginePolicy {
+    /// Number of engines the policy uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameterized policy was constructed with zero engines.
+    pub fn engines(self) -> usize {
+        match self {
+            EnginePolicy::Single => 1,
+            EnginePolicy::LocalRemote => 2,
+            EnginePolicy::LocalRemotePairs(pairs) => {
+                assert!(pairs > 0, "need at least one engine pair");
+                2 * pairs as usize
+            }
+            EnginePolicy::Interleaved(engines) => {
+                assert!(engines > 0, "need at least one engine");
+                engines as usize
+            }
+        }
+    }
+
+    /// The engine index serving a request for `line` with locality `role`.
+    pub fn engine_for(self, role: EngineRole, line: u64) -> usize {
+        match self {
+            EnginePolicy::Single => 0,
+            EnginePolicy::LocalRemote => match role {
+                EngineRole::Local => 0,
+                EngineRole::Remote => 1,
+            },
+            EnginePolicy::LocalRemotePairs(pairs) => {
+                let pairs = pairs as usize;
+                let slice = (line % pairs as u64) as usize;
+                match role {
+                    EngineRole::Local => slice,
+                    EngineRole::Remote => pairs + slice,
+                }
+            }
+            EnginePolicy::Interleaved(engines) => (line % engines as u64) as usize,
+        }
+    }
+
+    /// The role label reported for engine `idx` (Table 7's LPE/RPE
+    /// columns; interleaved engines are plain "PE"s).
+    pub fn role_label(self, idx: usize) -> &'static str {
+        match self {
+            EnginePolicy::Single => "PE",
+            EnginePolicy::LocalRemote => {
+                if idx == 0 {
+                    "LPE"
+                } else {
+                    "RPE"
+                }
+            }
+            EnginePolicy::LocalRemotePairs(pairs) => {
+                if idx < pairs as usize {
+                    "LPE"
+                } else {
+                    "RPE"
+                }
+            }
+            EnginePolicy::Interleaved(_) => "PE",
+        }
+    }
+
+    /// Whether the policy lets more than one engine access the directory
+    /// (the hardware-cost caveat from the paper's Section 3.4).
+    pub fn shares_directory(self) -> bool {
+        matches!(self, EnginePolicy::Interleaved(n) if n > 1)
+    }
+
+    /// Short display name ("1", "2", "2x2", "4i", …).
+    pub fn name(self) -> String {
+        match self {
+            EnginePolicy::Single => "1".to_string(),
+            EnginePolicy::LocalRemote => "2".to_string(),
+            EnginePolicy::LocalRemotePairs(p) => format!("2x{p}"),
+            EnginePolicy::Interleaved(n) => format!("{n}i"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_counts() {
+        assert_eq!(EnginePolicy::Single.engines(), 1);
+        assert_eq!(EnginePolicy::LocalRemote.engines(), 2);
+        assert_eq!(EnginePolicy::LocalRemotePairs(2).engines(), 4);
+        assert_eq!(EnginePolicy::Interleaved(3).engines(), 3);
+    }
+
+    #[test]
+    fn local_remote_routing() {
+        let p = EnginePolicy::LocalRemote;
+        assert_eq!(p.engine_for(EngineRole::Local, 1234), 0);
+        assert_eq!(p.engine_for(EngineRole::Remote, 1234), 1);
+    }
+
+    #[test]
+    fn pairs_interleave_within_banks() {
+        let p = EnginePolicy::LocalRemotePairs(2);
+        assert_eq!(p.engine_for(EngineRole::Local, 10), 0);
+        assert_eq!(p.engine_for(EngineRole::Local, 11), 1);
+        assert_eq!(p.engine_for(EngineRole::Remote, 10), 2);
+        assert_eq!(p.engine_for(EngineRole::Remote, 11), 3);
+        assert_eq!(p.role_label(1), "LPE");
+        assert_eq!(p.role_label(2), "RPE");
+    }
+
+    #[test]
+    fn interleaved_ignores_locality() {
+        let p = EnginePolicy::Interleaved(4);
+        for line in 0..16u64 {
+            assert_eq!(
+                p.engine_for(EngineRole::Local, line),
+                p.engine_for(EngineRole::Remote, line)
+            );
+        }
+        assert!(p.shares_directory());
+        assert!(!EnginePolicy::LocalRemote.shares_directory());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(EnginePolicy::Single.name(), "1");
+        assert_eq!(EnginePolicy::LocalRemotePairs(2).name(), "2x2");
+        assert_eq!(EnginePolicy::Interleaved(4).name(), "4i");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine")]
+    fn zero_engines_panics() {
+        let _ = EnginePolicy::Interleaved(0).engines();
+    }
+}

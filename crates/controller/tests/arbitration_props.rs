@@ -1,0 +1,110 @@
+//! Property tests for the dispatch controller's arbitration: priority,
+//! starvation bounds, work conservation, and routing.
+
+use ccn_controller::{CoherenceController, EnginePolicy, EngineRole};
+use ccn_protocol::MsgClass;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    class: u8,
+    line: u64,
+}
+
+fn arrivals() -> impl Strategy<Value = Vec<Arrival>> {
+    prop::collection::vec(
+        (0u8..3, 0u64..16).prop_map(|(class, line)| Arrival { class, line }),
+        1..120,
+    )
+}
+
+fn class_of(code: u8) -> MsgClass {
+    match code {
+        0 => MsgClass::NetResponse,
+        1 => MsgClass::NetRequest,
+        _ => MsgClass::BusRequest,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Every enqueued request is eventually dispatched exactly once
+    /// (work conservation), regardless of class mix.
+    #[test]
+    fn all_requests_dispatch_exactly_once(arrs in arrivals()) {
+        let mut cc: CoherenceController<usize> = CoherenceController::new(EnginePolicy::Single);
+        for (i, a) in arrs.iter().enumerate() {
+            cc.enqueue(EngineRole::Remote, a.line, class_of(a.class), 0, i);
+        }
+        let mut out = Vec::new();
+        while let Some((i, _)) = cc.dispatch(0, 1_000) {
+            out.push(i);
+            prop_assert!(out.len() <= arrs.len(), "duplicate dispatch");
+        }
+        out.sort_unstable();
+        prop_assert_eq!(out, (0..arrs.len()).collect::<Vec<_>>());
+    }
+
+    /// A bus request is never bypassed by more than 4 network-side
+    /// requests plus however many responses arrive (the anti-livelock
+    /// bound from Section 2.2: responses always win, further *requests*
+    /// do not after 4 bypasses).
+    #[test]
+    fn bus_starvation_is_bounded(net_requests in 5usize..40) {
+        let mut cc: CoherenceController<&'static str> =
+            CoherenceController::new(EnginePolicy::Single);
+        cc.enqueue(EngineRole::Remote, 0, MsgClass::BusRequest, 0, "bus");
+        for _ in 0..net_requests {
+            cc.enqueue(EngineRole::Remote, 0, MsgClass::NetRequest, 0, "net");
+        }
+        let mut bypasses = 0;
+        loop {
+            let (req, _) = cc.dispatch(0, 10).expect("work remains");
+            if req == "bus" {
+                break;
+            }
+            bypasses += 1;
+        }
+        prop_assert!(bypasses <= 4, "bus request bypassed {bypasses} times");
+    }
+
+    /// Routing is deterministic and respects the policy: the same
+    /// (role, line) always lands on the same engine, and every engine
+    /// index is within range.
+    #[test]
+    fn routing_is_stable_and_in_range(
+        lines in prop::collection::vec(0u64..1024, 1..60),
+        policy_code in 0u8..4,
+    ) {
+        let policy = match policy_code {
+            0 => EnginePolicy::Single,
+            1 => EnginePolicy::LocalRemote,
+            2 => EnginePolicy::Interleaved(4),
+            _ => EnginePolicy::LocalRemotePairs(2),
+        };
+        for &line in &lines {
+            for role in [EngineRole::Local, EngineRole::Remote] {
+                let a = policy.engine_for(role, line);
+                let b = policy.engine_for(role, line);
+                prop_assert_eq!(a, b);
+                prop_assert!(a < policy.engines());
+            }
+        }
+    }
+
+    /// Under the local/remote split, local requests only ever reach the
+    /// LPE-labelled engines and remote requests only the RPE-labelled
+    /// ones.
+    #[test]
+    fn split_respects_roles(lines in prop::collection::vec(0u64..1024, 1..60)) {
+        for policy in [EnginePolicy::LocalRemote, EnginePolicy::LocalRemotePairs(2)] {
+            for &line in &lines {
+                let l = policy.engine_for(EngineRole::Local, line);
+                let r = policy.engine_for(EngineRole::Remote, line);
+                prop_assert_eq!(policy.role_label(l), "LPE");
+                prop_assert_eq!(policy.role_label(r), "RPE");
+            }
+        }
+    }
+}

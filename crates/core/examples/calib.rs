@@ -1,0 +1,23 @@
+//! Calibration sweep: prints the Table 6 row for every suite
+//! application at the repro scale. Used while tuning the workload models
+//! against the paper's statistics; kept as a development tool.
+
+use ccnuma::experiments::{run_one, table6_row, ConfigMods, Options};
+use ccnuma::Architecture;
+
+fn main() {
+    let opts = Options::repro();
+    for app in ccnuma::experiments::table6_apps() {
+        let t0 = std::time::Instant::now();
+        let hwc = run_one(app, Architecture::Hwc, opts, ConfigMods::default());
+        let ppc = run_one(app, Architecture::Ppc, opts, ConfigMods::default());
+        let row = table6_row(&hwc, &ppc);
+        println!(
+            "{:<12} penalty={:>6.1}% rccpi={:>6.2} occ_ratio={:.2} util_hwc={:>5.1}% util_ppc={:>5.1}% q_hwc={:>5.0}ns q_ppc={:>6.0}ns rate_hwc={:.2} rate_ppc={:.2} exec_hwc={} ({:?})",
+            row.app, row.pp_penalty*100.0, row.rccpi_x1000, row.occupancy_ratio,
+            row.hwc_utilization*100.0, row.ppc_utilization*100.0,
+            row.hwc_queue_ns, row.ppc_queue_ns, row.hwc_rate, row.ppc_rate,
+            hwc.exec_cycles, t0.elapsed()
+        );
+    }
+}

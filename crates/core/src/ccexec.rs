@@ -1,0 +1,660 @@
+//! Coherence-controller handler execution.
+//!
+//! This module contains the `Machine` methods that run protocol handlers:
+//! choose the handler spec from the request and directory state, execute
+//! its steps for timing (`steps::run_steps`), perform the state changes,
+//! and emit the outgoing messages at the step-accurate send times.
+
+use ccn_controller::EngineRole;
+use ccn_mem::{LineAddr, NodeId};
+use ccn_protocol::directory::{
+    DirAction, DirOutcome, DirRequest, DirRequestKind, WritebackOutcome,
+};
+use ccn_protocol::handlers::{Fanout, HandlerKind, HandlerSpec, Step};
+use ccn_protocol::subop::SubOp;
+use ccn_protocol::{Msg, MsgClass, MsgKind, NodeBitmap};
+use ccn_sim::Cycle;
+
+use crate::machine::{Event, Machine};
+use crate::steps::{run_steps, send_msg, CcRequest, StepRun};
+
+impl Machine {
+    pub(crate) fn execute_handler(&mut self, n: usize, engine: usize, req: CcRequest, now: Cycle) {
+        let end = match req {
+            CcRequest::Bus { kind, line } => {
+                if self.home_index(line) == n {
+                    self.handle_home_request(n, kind, line, NodeId(n as u16), now)
+                } else {
+                    self.handle_bus_remote(n, kind, line, now)
+                }
+            }
+            CcRequest::Replay {
+                kind,
+                line,
+                requester,
+            } => self.handle_home_request(n, kind, line, requester, now),
+            CcRequest::Net(msg) => self.handle_net(n, msg, now),
+            CcRequest::Writeback { line, payload } => {
+                let spec = HandlerSpec::build(HandlerKind::BusWritebackRemote, Fanout::NONE);
+                let run = self.run_spec(n, &spec, line, now);
+                let home = self.map.home_of(line);
+                let mut msg = self.msg(n, home, MsgKind::WritebackReq, line, NodeId(n as u16));
+                msg.payload = payload;
+                self.send(run.sends[0], msg);
+                run.end
+            }
+        };
+        self.nodes[n].cc.complete_handler(engine, now, end);
+        if self.nodes[n].cc.has_work(engine) {
+            self.queue.schedule(
+                end,
+                Event::CcWork {
+                    node: n as u16,
+                    engine: engine as u8,
+                },
+            );
+        }
+    }
+
+    fn home_index(&self, line: LineAddr) -> usize {
+        self.map.home_of(line).index()
+    }
+
+    fn run_spec(&mut self, n: usize, spec: &HandlerSpec, line: LineAddr, start: Cycle) -> StepRun {
+        *self.handler_counts.entry(spec.kind).or_insert(0) += 1;
+        let run = run_steps(&mut self.nodes[n], &self.cfg, spec, line, start);
+        self.record_trace(start, n, spec.kind.paper_label(), line, run.end - start);
+        run
+    }
+
+    fn send(&mut self, time: Cycle, msg: Msg) {
+        send_msg(
+            &mut self.net,
+            &mut self.queue,
+            self.cfg.line_bytes,
+            time,
+            msg,
+        );
+    }
+
+    fn msg(&self, n: usize, to: NodeId, kind: MsgKind, line: LineAddr, requester: NodeId) -> Msg {
+        Msg {
+            kind,
+            line,
+            from: NodeId(n as u16),
+            to,
+            requester,
+            acks_pending: 0,
+            payload: 0,
+        }
+    }
+
+    /// The cheap occupancy of a request that only probed the directory
+    /// (line busy / await-writeback): dispatch + request read + directory
+    /// read.
+    fn probe_spec(kind: HandlerKind) -> HandlerSpec {
+        HandlerSpec {
+            kind,
+            steps: vec![
+                Step::Op(SubOp::Dispatch),
+                Step::Op(SubOp::ReadReg),
+                Step::DirRead,
+                Step::Op(SubOp::Condition),
+            ],
+        }
+    }
+
+    /// After a directory transaction completes, replay one buffered
+    /// request if the line is idle.
+    fn drain_pending(&mut self, n: usize, line: LineAddr, at: Cycle) {
+        if let Some(req) = self.nodes[n].dir.pop_pending_if_idle(line) {
+            let class = if req.requester.index() == n {
+                MsgClass::BusRequest
+            } else {
+                MsgClass::NetRequest
+            };
+            self.enqueue_cc(
+                n,
+                EngineRole::Local,
+                class,
+                at,
+                CcRequest::Replay {
+                    kind: req.kind,
+                    line,
+                    requester: req.requester,
+                },
+            );
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Requester-side bus handlers (remote addresses)
+    // ---------------------------------------------------------------
+
+    fn handle_bus_remote(
+        &mut self,
+        n: usize,
+        kind: DirRequestKind,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
+        let (handler, msg_kind) = match kind {
+            DirRequestKind::Read => (HandlerKind::BusReadRemote, MsgKind::ReadReq),
+            DirRequestKind::ReadExcl => (HandlerKind::BusReadExclRemote, MsgKind::ReadExclReq),
+            DirRequestKind::Upgrade => (HandlerKind::BusUpgradeRemote, MsgKind::UpgradeReq),
+        };
+        let spec = HandlerSpec::build(handler, Fanout::NONE);
+        let run = self.run_spec(n, &spec, line, now);
+        let home = self.map.home_of(line);
+        let msg = self.msg(n, home, msg_kind, line, NodeId(n as u16));
+        self.send(run.sends[0], msg);
+        run.end
+    }
+
+    // ---------------------------------------------------------------
+    // Home-side request handling (bus-local, network, and replays)
+    // ---------------------------------------------------------------
+
+    fn handle_home_request(
+        &mut self,
+        n: usize,
+        kind: DirRequestKind,
+        line: LineAddr,
+        requester: NodeId,
+        now: Cycle,
+    ) -> Cycle {
+        let outcome = self.nodes[n]
+            .dir
+            .request(line, DirRequest { kind, requester });
+        match outcome {
+            DirOutcome::Busy => {
+                let spec = Self::probe_spec(HandlerKind::HomeReadDirtyRemote);
+                self.run_spec(n, &spec, line, now).end
+            }
+            DirOutcome::Act(DirAction::AwaitWriteback) => {
+                let spec = Self::probe_spec(HandlerKind::HomeReadDirtyRemote);
+                self.run_spec(n, &spec, line, now).end
+            }
+            DirOutcome::Act(DirAction::Forward { owner }) => {
+                let local_req = requester.index() == n;
+                let (handler, fwd_kind) = match kind {
+                    DirRequestKind::Read if local_req => {
+                        (HandlerKind::BusReadLocalDirtyRemote, MsgKind::ReadFwd)
+                    }
+                    DirRequestKind::Read => (HandlerKind::HomeReadDirtyRemote, MsgKind::ReadFwd),
+                    _ if local_req => (
+                        HandlerKind::BusReadExclLocalDirtyRemote,
+                        MsgKind::ReadExclFwd,
+                    ),
+                    _ => (HandlerKind::HomeReadExclDirtyRemote, MsgKind::ReadExclFwd),
+                };
+                let spec = HandlerSpec::build(handler, Fanout::NONE);
+                let run = self.run_spec(n, &spec, line, now);
+                let msg = self.msg(n, owner, fwd_kind, line, requester);
+                self.send(run.sends[0], msg);
+                run.end
+            }
+            DirOutcome::Act(DirAction::Supply {
+                exclusive,
+                invalidate,
+            }) => self.home_supply(n, kind, line, requester, exclusive, invalidate, false, now),
+            DirOutcome::Act(DirAction::GrantUpgrade { invalidate }) => {
+                self.home_supply(n, kind, line, requester, true, invalidate, true, now)
+            }
+        }
+    }
+
+    /// Supplies a line (or upgrade permission) from the home: invalidation
+    /// fan-out, local-copy handling, memory access, response.
+    #[allow(clippy::too_many_arguments)]
+    fn home_supply(
+        &mut self,
+        n: usize,
+        kind: DirRequestKind,
+        line: LineAddr,
+        requester: NodeId,
+        exclusive: bool,
+        invalidate: NodeBitmap,
+        grant_only: bool,
+        now: Cycle,
+    ) -> Cycle {
+        let local_req = requester.index() == n;
+        let except = if local_req {
+            self.nodes[n]
+                .mshr
+                .get(&line)
+                .map(|m| self.procs[m.initiator].slot)
+        } else {
+            None
+        };
+        let pres = self.nodes[n]
+            .presence
+            .get(&line)
+            .copied()
+            .unwrap_or_default();
+        let has_other_local = match except {
+            Some(slot) => pres.other_than(slot),
+            None => pres.any(),
+        };
+        let remote_invs = invalidate.count();
+        let local_inv = exclusive && has_other_local;
+
+        // Local-copy side effects and the supplied payload.
+        let payload = if exclusive {
+            if let Some(dirty) = self.invalidate_local_copies(n, line, except) {
+                self.memory.insert(line, dirty);
+            }
+            *self.memory.get(&line).unwrap_or(&0)
+        } else {
+            if pres.owner.is_some() {
+                if let Some(dirty) = self.downgrade_local_owner(n, line) {
+                    self.memory.insert(line, dirty);
+                }
+            }
+            *self.memory.get(&line).unwrap_or(&0)
+        };
+
+        let fan = Fanout {
+            remote_invs,
+            local_inv,
+        };
+        let handler = if grant_only || (local_req && kind == DirRequestKind::Upgrade) {
+            HandlerKind::HomeUpgradeShared
+        } else if !exclusive {
+            HandlerKind::HomeReadClean
+        } else if remote_invs > 0 || local_inv {
+            HandlerKind::HomeReadExclShared
+        } else {
+            HandlerKind::HomeReadExclUncached
+        };
+        let spec = HandlerSpec::build(handler, fan);
+        let run = self.run_spec(n, &spec, line, now);
+
+        // Invalidation requests go out first, in step order.
+        debug_assert!(run.sends.len() as u32 >= remote_invs);
+        let mut sends = run.sends.iter().copied();
+        for sharer in invalidate.iter() {
+            let t = sends.next().expect("an inv send slot per sharer");
+            let msg = self.msg(n, sharer, MsgKind::InvReq, line, requester);
+            self.send(t, msg);
+        }
+        if local_req {
+            // Completion is local: immediately if no acks are outstanding,
+            // otherwise at the last invalidation ack.
+            if remote_invs == 0 {
+                let at = run.mem_data.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
+                self.complete_mshr(n, line, exclusive || grant_only, payload, at);
+            }
+        } else {
+            let resp_kind = if grant_only {
+                MsgKind::UpgradeAck
+            } else if exclusive {
+                MsgKind::DataExclResp
+            } else {
+                MsgKind::DataResp
+            };
+            let t = sends.next().unwrap_or(run.end);
+            let mut msg = self.msg(n, requester, resp_kind, line, requester);
+            msg.payload = payload;
+            msg.acks_pending = remote_invs as u16;
+            self.send(t, msg);
+        }
+        // Non-busy supplies may have left buffered work runnable.
+        self.drain_pending(n, line, run.end);
+        run.end
+    }
+
+    // ---------------------------------------------------------------
+    // Network message handlers
+    // ---------------------------------------------------------------
+
+    fn handle_net(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        match msg.kind {
+            MsgKind::ReadReq => {
+                self.handle_home_request(n, DirRequestKind::Read, msg.line, msg.requester, now)
+            }
+            MsgKind::ReadExclReq => {
+                self.handle_home_request(n, DirRequestKind::ReadExcl, msg.line, msg.requester, now)
+            }
+            MsgKind::UpgradeReq => {
+                self.handle_home_request(n, DirRequestKind::Upgrade, msg.line, msg.requester, now)
+            }
+            MsgKind::WritebackReq => self.handle_writeback(n, msg, now),
+            MsgKind::ReadFwd | MsgKind::ReadExclFwd => self.handle_forward(n, msg, now),
+            MsgKind::InvReq => self.handle_inv_req(n, msg, now),
+            MsgKind::InvAck => self.handle_inv_ack(n, msg, now),
+            MsgKind::DataResp => self.handle_data_resp(n, msg, now),
+            MsgKind::DataExclResp => self.handle_data_excl_resp(n, msg, now),
+            MsgKind::UpgradeAck => self.handle_upgrade_ack(n, msg, now),
+            MsgKind::InvDone => self.handle_inv_done(n, msg, now),
+            MsgKind::SharingWriteback => self.handle_sharing_writeback(n, msg, now),
+            MsgKind::OwnershipAck => self.handle_ownership_ack(n, msg, now),
+            MsgKind::FwdMiss => self.handle_fwd_miss(n, msg, now),
+            MsgKind::ReplacementHint => {
+                let spec = HandlerSpec::build(HandlerKind::HomeReplacementHint, Fanout::NONE);
+                let run = self.run_spec(n, &spec, msg.line, now);
+                self.nodes[n].dir.remove_sharer_hint(msg.line, msg.from);
+                run.end
+            }
+        }
+    }
+
+    fn handle_writeback(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        let spec = HandlerSpec::build(HandlerKind::HomeWritebackEviction, Fanout::NONE);
+        let run = self.run_spec(n, &spec, msg.line, now);
+        self.memory.insert(msg.line, msg.payload);
+        match self.nodes[n].dir.writeback(msg.line, msg.from) {
+            WritebackOutcome::Applied | WritebackOutcome::RacedWithForward => {}
+            WritebackOutcome::ReleasesWaiter { request } => {
+                let class = if request.requester.index() == n {
+                    MsgClass::BusRequest
+                } else {
+                    MsgClass::NetRequest
+                };
+                self.enqueue_cc(
+                    n,
+                    EngineRole::Local,
+                    class,
+                    run.end,
+                    CcRequest::Replay {
+                        kind: request.kind,
+                        line: msg.line,
+                        requester: request.requester,
+                    },
+                );
+            }
+        }
+        self.drain_pending(n, msg.line, run.end);
+        run.end
+    }
+
+    /// A forwarded request arrives at the (believed) dirty owner.
+    fn handle_forward(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        let line = msg.line;
+        let pres = self.nodes[n]
+            .presence
+            .get(&line)
+            .copied()
+            .unwrap_or_default();
+        if !pres.any() {
+            // Our write-back is in flight; tell the home.
+            let spec = HandlerSpec::build(HandlerKind::OwnerFwdMissReply, Fanout::NONE);
+            let run = self.run_spec(n, &spec, line, now);
+            let home = self.map.home_of(line);
+            let reply = self.msg(n, home, MsgKind::FwdMiss, line, msg.requester);
+            self.send(run.sends[0], reply);
+            return run.end;
+        }
+        let exclusive = msg.kind == MsgKind::ReadExclFwd;
+        let home_requester = msg.requester == msg.from;
+        let payload = if exclusive {
+            self.invalidate_local_copies(n, line, None)
+                .expect("forwarded owner must hold the line dirty")
+        } else {
+            self.downgrade_local_owner(n, line)
+                .expect("forwarded owner must hold the line dirty")
+        };
+        let handler = match (exclusive, home_requester) {
+            (false, true) => HandlerKind::OwnerReadFwdHomeRequester,
+            (false, false) => HandlerKind::OwnerReadFwdRemoteRequester,
+            (true, true) => HandlerKind::OwnerReadExclFwdHomeRequester,
+            (true, false) => HandlerKind::OwnerReadExclFwdRemoteRequester,
+        };
+        let spec = HandlerSpec::build(handler, Fanout::NONE);
+        let run = self.run_spec(n, &spec, line, now);
+        let data_kind = if exclusive {
+            MsgKind::DataExclResp
+        } else {
+            MsgKind::DataResp
+        };
+        let mut data = self.msg(n, msg.requester, data_kind, line, msg.requester);
+        data.payload = payload;
+        self.send(run.sends[0], data);
+        if !home_requester {
+            let second_kind = if exclusive {
+                MsgKind::OwnershipAck
+            } else {
+                MsgKind::SharingWriteback
+            };
+            let home = self.map.home_of(line);
+            let mut second = self.msg(n, home, second_kind, line, msg.requester);
+            second.payload = payload;
+            self.send(run.sends[1], second);
+        }
+        run.end
+    }
+
+    fn handle_inv_req(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        let spec = HandlerSpec::build(HandlerKind::InvReqAtSharer, Fanout::NONE);
+        let run = self.run_spec(n, &spec, msg.line, now);
+        if !self.nodes[n].presence.contains_key(&msg.line) {
+            // A stale directory bit: the copy was silently dropped.
+            self.useless_invalidations += 1;
+        }
+        self.invalidate_local_copies(n, msg.line, None);
+        let home = self.map.home_of(msg.line);
+        let ack = self.msg(n, home, MsgKind::InvAck, msg.line, msg.requester);
+        self.send(run.sends[0], ack);
+        run.end
+    }
+
+    fn handle_inv_ack(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        match self.nodes[n].dir.inv_ack(msg.line) {
+            None => {
+                let spec = HandlerSpec::build(HandlerKind::HomeInvAckMore, Fanout::NONE);
+                self.run_spec(n, &spec, msg.line, now).end
+            }
+            Some(done) => {
+                if done.requester.index() == n {
+                    let spec = HandlerSpec::build(HandlerKind::HomeInvAckLastLocal, Fanout::NONE);
+                    let run = self.run_spec(n, &spec, msg.line, now);
+                    let payload = *self.memory.get(&msg.line).unwrap_or(&0);
+                    self.complete_mshr(
+                        n,
+                        msg.line,
+                        true,
+                        payload,
+                        run.end + self.cfg.lat.fill_overhead,
+                    );
+                    self.drain_pending(n, msg.line, run.end);
+                    run.end
+                } else {
+                    let spec = HandlerSpec::build(HandlerKind::HomeInvAckLastRemote, Fanout::NONE);
+                    let run = self.run_spec(n, &spec, msg.line, now);
+                    let note = self.msg(
+                        n,
+                        done.requester,
+                        MsgKind::InvDone,
+                        msg.line,
+                        done.requester,
+                    );
+                    self.send(run.sends[0], note);
+                    self.drain_pending(n, msg.line, run.end);
+                    run.end
+                }
+            }
+        }
+    }
+
+    fn handle_data_resp(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        if self.home_index(msg.line) == n {
+            // Home requested a dirty-remote line for a local processor:
+            // this response doubles as the sharing write-back.
+            let spec = HandlerSpec::build(HandlerKind::HomeDataRespOwnerRead, Fanout::NONE);
+            let run = self.run_spec(n, &spec, msg.line, now);
+            self.nodes[n].dir.sharing_writeback(msg.line, msg.from);
+            self.memory.insert(msg.line, msg.payload);
+            let at = run.deliver.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
+            self.complete_mshr(n, msg.line, false, msg.payload, at);
+            self.drain_pending(n, msg.line, run.end);
+            run.end
+        } else {
+            let spec = HandlerSpec::build(HandlerKind::ReqDataResp, Fanout::NONE);
+            let run = self.run_spec(n, &spec, msg.line, now);
+            let at = run.deliver.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
+            self.complete_mshr(n, msg.line, false, msg.payload, at);
+            run.end
+        }
+    }
+
+    fn handle_data_excl_resp(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        if self.home_index(msg.line) == n {
+            let spec = HandlerSpec::build(HandlerKind::HomeDataRespOwnerReadExcl, Fanout::NONE);
+            let run = self.run_spec(n, &spec, msg.line, now);
+            self.nodes[n].dir.ownership_ack(msg.line, msg.from);
+            let at = run.deliver.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
+            self.complete_mshr(n, msg.line, true, msg.payload, at);
+            self.drain_pending(n, msg.line, run.end);
+            return run.end;
+        }
+        let initiator_slot = self.nodes[n]
+            .mshr
+            .get(&msg.line)
+            .map(|m| self.procs[m.initiator].slot);
+        let pres = self.nodes[n]
+            .presence
+            .get(&msg.line)
+            .copied()
+            .unwrap_or_default();
+        let local_inv = match initiator_slot {
+            Some(slot) => pres.other_than(slot),
+            None => pres.any(),
+        };
+        let spec = HandlerSpec::build(
+            HandlerKind::ReqDataExclResp,
+            Fanout {
+                remote_invs: 0,
+                local_inv,
+            },
+        );
+        let run = self.run_spec(n, &spec, msg.line, now);
+        if local_inv {
+            self.invalidate_local_copies(n, msg.line, initiator_slot);
+        }
+        let at = run.deliver.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
+        self.note_exclusive_grant(n, msg.line, msg.payload, at, msg.acks_pending > 0)
+            .expect("DataExclResp without an MSHR");
+        run.end
+    }
+
+    fn handle_upgrade_ack(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        let initiator_slot = self.nodes[n]
+            .mshr
+            .get(&msg.line)
+            .map(|m| self.procs[m.initiator].slot);
+        let pres = self.nodes[n]
+            .presence
+            .get(&msg.line)
+            .copied()
+            .unwrap_or_default();
+        let local_inv = match initiator_slot {
+            Some(slot) => pres.other_than(slot),
+            None => pres.any(),
+        };
+        let spec = HandlerSpec::build(
+            HandlerKind::ReqUpgradeAck,
+            Fanout {
+                remote_invs: 0,
+                local_inv,
+            },
+        );
+        let run = self.run_spec(n, &spec, msg.line, now);
+        if local_inv {
+            self.invalidate_local_copies(n, msg.line, initiator_slot);
+        }
+        // Permission grant: the payload stays whatever the cache holds.
+        let payload = initiator_slot
+            .and_then(|_| {
+                let m = &self.nodes[n].mshr[&msg.line];
+                self.procs[m.initiator].l2.payload_of(msg.line)
+            })
+            .unwrap_or(0);
+        self.note_exclusive_grant(n, msg.line, payload, run.end + 2, msg.acks_pending > 0)
+            .expect("UpgradeAck without an MSHR");
+        run.end
+    }
+
+    /// Records an exclusive grant in the MSHR; completes the transaction
+    /// if no invalidation-done notice is (still) outstanding.
+    fn note_exclusive_grant(
+        &mut self,
+        n: usize,
+        line: LineAddr,
+        payload: u64,
+        at: Cycle,
+        needs_inv_done: bool,
+    ) -> Result<(), ()> {
+        {
+            let mshr = self.nodes[n].mshr.get_mut(&line).ok_or(())?;
+            mshr.has_data = true;
+            mshr.payload = payload;
+            mshr.data_time = at;
+            mshr.exclusive = true;
+            mshr.needs_inv_done = needs_inv_done;
+            if needs_inv_done && !mshr.inv_done_received {
+                // Wait for the InvDone notice (it may arrive on a
+                // different source path than the data).
+                return Ok(());
+            }
+        }
+        self.complete_mshr(n, line, true, payload, at);
+        Ok(())
+    }
+
+    fn handle_inv_done(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        let spec = HandlerSpec::build(HandlerKind::ReqInvDone, Fanout::NONE);
+        let run = self.run_spec(n, &spec, msg.line, now);
+        let ready = {
+            let mshr = self.nodes[n]
+                .mshr
+                .get_mut(&msg.line)
+                .expect("InvDone without an MSHR");
+            mshr.inv_done_received = true;
+            mshr.has_data.then_some((mshr.payload, mshr.data_time))
+        };
+        if let Some((payload, data_time)) = ready {
+            self.complete_mshr(n, msg.line, true, payload, data_time.max(run.end));
+        }
+        run.end
+    }
+
+    fn handle_sharing_writeback(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        let spec = HandlerSpec::build(HandlerKind::HomeSharingWriteback, Fanout::NONE);
+        let run = self.run_spec(n, &spec, msg.line, now);
+        self.nodes[n].dir.sharing_writeback(msg.line, msg.from);
+        self.memory.insert(msg.line, msg.payload);
+        self.drain_pending(n, msg.line, run.end);
+        run.end
+    }
+
+    fn handle_ownership_ack(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        let spec = HandlerSpec::build(HandlerKind::HomeOwnershipAck, Fanout::NONE);
+        let run = self.run_spec(n, &spec, msg.line, now);
+        self.nodes[n].dir.ownership_ack(msg.line, msg.from);
+        self.drain_pending(n, msg.line, run.end);
+        run.end
+    }
+
+    fn handle_fwd_miss(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        let request = self.nodes[n].dir.fwd_miss(msg.line, msg.from);
+        let spec = HandlerSpec::build(HandlerKind::HomeFwdMiss, Fanout::NONE);
+        let run = self.run_spec(n, &spec, msg.line, now);
+        let payload = *self.memory.get(&msg.line).unwrap_or(&0);
+        let exclusive = request.kind != DirRequestKind::Read;
+        if request.requester.index() == n {
+            let at = run.mem_data.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
+            self.complete_mshr(n, msg.line, exclusive, payload, at);
+        } else {
+            let kind = if exclusive {
+                MsgKind::DataExclResp
+            } else {
+                MsgKind::DataResp
+            };
+            let mut resp = self.msg(n, request.requester, kind, msg.line, request.requester);
+            resp.payload = payload;
+            self.send(run.sends[0], resp);
+        }
+        self.drain_pending(n, msg.line, run.end);
+        run.end
+    }
+}

@@ -1,0 +1,1257 @@
+//! The CC-NUMA machine model: processors, caches, buses, controllers,
+//! directory protocol and network, driven by one event loop.
+//!
+//! See DESIGN.md §4 for the modeling approach: processors are in-order and
+//! blocking; cache hits run in a fast path; misses, synchronization,
+//! protocol handlers and message deliveries are discrete events; bandwidth
+//! resources are FIFO reservation servers.
+
+use std::collections::HashMap;
+
+use ccn_mem::{
+    AccessKind, AddressMap, LineAddr, LineState, NodeId, PageMap, ProcId, SetAssocCache,
+};
+use ccn_net::Network;
+use ccn_protocol::directory::{DirRequestKind, DirState};
+use ccn_protocol::{Msg, MsgClass};
+use ccn_sim::{Cycle, EventQueue};
+use ccn_workloads::{Application, MachineShape, Op, SegmentProgram};
+
+use ccn_controller::EngineRole;
+
+use crate::config::{ConfigError, PlacementPolicy, SystemConfig};
+use crate::report::{EngineReport, NodeReport, SimReport};
+use crate::steps::{new_node, CcRequest, NodeState};
+use crate::sync::{BarrierOutcome, LockOutcome, SyncState};
+
+/// One recorded protocol-handler execution (see [`Machine::enable_trace`]).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Dispatch time in CPU cycles.
+    pub time: Cycle,
+    /// Executing node.
+    pub node: usize,
+    /// Handler label (Table 4 row name).
+    pub handler: &'static str,
+    /// The cache line concerned.
+    pub line: LineAddr,
+    /// Handler occupancy in cycles.
+    pub occupancy: Cycle,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+pub(crate) enum Event {
+    /// Resume (or retry the blocked operation of) a processor.
+    ProcResume(u32),
+    /// A protocol engine should attempt a dispatch.
+    CcWork { node: u16, engine: u8 },
+    /// A network message reaches its destination controller.
+    MsgArrive(Msg),
+}
+
+/// Which local processors cache a line (the machine-side view that backs
+/// both bus snooping and the bus-side duplicate directory).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Presence {
+    /// Bitmask of local processor slots holding any copy.
+    pub sharers: u64,
+    /// Local slot holding the line Modified/Exclusive, if any.
+    pub owner: Option<u8>,
+}
+
+impl Presence {
+    pub(crate) fn any(&self) -> bool {
+        self.sharers != 0
+    }
+    pub(crate) fn add(&mut self, slot: u8) {
+        self.sharers |= 1 << slot;
+    }
+    pub(crate) fn remove(&mut self, slot: u8) {
+        self.sharers &= !(1 << slot);
+        if self.owner == Some(slot) {
+            self.owner = None;
+        }
+    }
+    pub(crate) fn other_than(&self, slot: u8) -> bool {
+        self.sharers & !(1 << slot) != 0
+    }
+}
+
+/// An outstanding node-level transaction (one per line per node).
+#[derive(Debug)]
+pub(crate) struct Mshr {
+    pub kind: DirRequestKind,
+    /// Global index of the processor that started the transaction.
+    pub initiator: usize,
+    /// Other blocked processors waiting on the same line.
+    pub waiters: Vec<usize>,
+    /// Data (or upgrade permission) has arrived.
+    pub has_data: bool,
+    /// The grant said invalidation acks are being collected at the home
+    /// (completion additionally requires the `InvDone` notice).
+    pub needs_inv_done: bool,
+    /// The `InvDone` notice has arrived.
+    pub inv_done_received: bool,
+    /// Payload carried by the data response.
+    pub payload: u64,
+    /// When the data became available.
+    pub data_time: Cycle,
+    /// Whether the grant is exclusive.
+    pub exclusive: bool,
+}
+
+impl Mshr {
+    fn new(kind: DirRequestKind, initiator: usize) -> Self {
+        Mshr {
+            kind,
+            initiator,
+            waiters: Vec::new(),
+            has_data: false,
+            needs_inv_done: false,
+            inv_done_received: false,
+            payload: 0,
+            data_time: 0,
+            exclusive: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Runnable,
+    Blocked,
+    Done,
+}
+
+#[derive(Debug)]
+pub(crate) struct Proc {
+    pub(crate) node: usize,
+    pub(crate) slot: u8,
+    program: SegmentProgram,
+    pub(crate) l1: SetAssocCache,
+    pub(crate) l2: SetAssocCache,
+    pending: Option<Op>,
+    state: ProcState,
+    local_time: Cycle,
+    instructions: u64,
+    references: u64,
+    instr_snapshot: u64,
+    refs_snapshot: u64,
+    passed_marker: bool,
+    finish_time: Cycle,
+}
+
+/// The assembled CC-NUMA machine.
+///
+/// # Example
+///
+/// ```
+/// use ccnuma::{Machine, SystemConfig};
+/// use ccn_workloads::micro::PrivateCompute;
+///
+/// let cfg = SystemConfig::small();
+/// let mut machine = Machine::new(cfg, &PrivateCompute::default()).unwrap();
+/// let report = machine.run();
+/// assert!(report.exec_cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) map: AddressMap,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) procs: Vec<Proc>,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) net: Network,
+    pub(crate) sync: SyncState,
+    /// Next write version per line (global write serial numbers).
+    pub(crate) versions: HashMap<LineAddr, u64>,
+    /// Payload (version) currently stored in home memory.
+    pub(crate) memory: HashMap<LineAddr, u64>,
+    marker_count: usize,
+    measure_start: Cycle,
+    done_count: usize,
+    workload_name: String,
+    /// Pages already assigned under the first-touch policy.
+    touched_pages: std::collections::HashSet<u64>,
+    /// End-to-end latency of every completed L2 miss (block to fill),
+    /// in cycles.
+    miss_latency: ccn_sim::stats::Accumulator,
+    /// Optional protocol trace: `(capacity, events)`.
+    trace: Option<(usize, Vec<TraceEvent>)>,
+    /// Invalidation requests that found no local copy (stale directory
+    /// bits from silent clean drops).
+    pub(crate) useless_invalidations: u64,
+    /// Handlers executed, by kind (measured phase).
+    pub(crate) handler_counts: HashMap<ccn_protocol::HandlerKind, u64>,
+}
+
+impl Machine {
+    /// Builds a machine running `app` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application builds a number of programs different
+    /// from the machine's processor count (a workload bug).
+    pub fn new(cfg: SystemConfig, app: &dyn Application) -> Result<Machine, ConfigError> {
+        cfg.validate()?;
+        let shape = MachineShape {
+            nodes: cfg.nodes,
+            procs_per_node: cfg.procs_per_node,
+            page_bytes: cfg.page_bytes,
+            line_bytes: cfg.line_bytes,
+        };
+        let build = app.build(&shape);
+        assert_eq!(
+            build.programs.len(),
+            cfg.nprocs(),
+            "application built {} programs for {} processors",
+            build.programs.len(),
+            cfg.nprocs()
+        );
+        let mut pages = PageMap::round_robin(cfg.nodes as u16);
+        for &(page, node) in &build.placements {
+            pages.place(page, NodeId(node));
+        }
+        let map = AddressMap::new(cfg.line_bytes, cfg.page_bytes, pages);
+        let mut queue = EventQueue::new();
+        let procs: Vec<Proc> = build
+            .programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, segments)| {
+                queue.schedule(0, Event::ProcResume(i as u32));
+                Proc {
+                    node: i / cfg.procs_per_node,
+                    slot: (i % cfg.procs_per_node) as u8,
+                    program: SegmentProgram::new(segments),
+                    l1: SetAssocCache::new(cfg.l1_geometry()),
+                    l2: SetAssocCache::new(cfg.l2_geometry()),
+                    pending: None,
+                    state: ProcState::Runnable,
+                    local_time: 0,
+                    instructions: 0,
+                    references: 0,
+                    instr_snapshot: 0,
+                    refs_snapshot: 0,
+                    passed_marker: false,
+                    finish_time: 0,
+                }
+            })
+            .collect();
+        let nodes = (0..cfg.nodes)
+            .map(|n| new_node(&cfg, NodeId(n as u16)))
+            .collect();
+        let net = Network::new(cfg.nodes, cfg.net);
+        let sync = SyncState::new(
+            cfg.nprocs(),
+            cfg.lat.barrier,
+            cfg.lat.lock_acquire,
+            cfg.lat.lock_handoff,
+        );
+        Ok(Machine {
+            cfg,
+            map,
+            queue,
+            procs,
+            nodes,
+            net,
+            sync,
+            versions: HashMap::new(),
+            memory: HashMap::new(),
+            marker_count: 0,
+            measure_start: 0,
+            done_count: 0,
+            workload_name: app.name(),
+            touched_pages: std::collections::HashSet::new(),
+            miss_latency: ccn_sim::stats::Accumulator::new(),
+            trace: None,
+            useless_invalidations: 0,
+            handler_counts: HashMap::new(),
+        })
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks (events drain while processors
+    /// are still blocked) — always a simulator or workload bug.
+    pub fn run(&mut self) -> SimReport {
+        self.run_with_event_limit(u64::MAX)
+    }
+
+    /// Like [`run`](Machine::run), but panics with diagnostics after
+    /// `max_events` events — a watchdog for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock or when the event budget is exhausted.
+    pub fn run_with_event_limit(&mut self, max_events: u64) -> SimReport {
+        let mut events = 0u64;
+        while let Some((t, ev)) = self.queue.pop() {
+            events += 1;
+            if events > max_events {
+                panic!(
+                    "event budget exhausted at cycle {t}: queue={} done={}/{} event={ev:?} \
+                     mshrs={:?}",
+                    self.queue.len(),
+                    self.done_count,
+                    self.procs.len(),
+                    self.nodes.iter().map(|n| n.mshr.len()).collect::<Vec<_>>(),
+                );
+            }
+            match ev {
+                Event::ProcResume(p) => self.run_proc(p as usize, t),
+                Event::CcWork { node, engine } => self.cc_work(node as usize, engine as usize, t),
+                Event::MsgArrive(msg) => self.msg_arrive(msg, t),
+            }
+        }
+        if self.done_count != self.procs.len() {
+            let stuck: Vec<usize> = self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.state != ProcState::Done)
+                .map(|(i, _)| i)
+                .collect();
+            panic!(
+                "simulation drained with {} processors not done (stuck: {stuck:?}; \
+                 sync blocked: {})",
+                stuck.len(),
+                self.sync.anyone_blocked()
+            );
+        }
+        self.build_report()
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Records the first `capacity` protocol-handler executions for
+    /// post-mortem inspection (protocol debugging, tutorials). Call before
+    /// [`run`](Machine::run).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some((capacity, Vec::new()));
+    }
+
+    /// The recorded protocol trace (empty unless
+    /// [`enable_trace`](Machine::enable_trace) was called).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace
+            .as_ref()
+            .map(|(_, t)| t.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub(crate) fn record_trace(
+        &mut self,
+        time: Cycle,
+        node: usize,
+        handler: &'static str,
+        line: LineAddr,
+        occupancy: Cycle,
+    ) {
+        if let Some((cap, events)) = &mut self.trace {
+            if events.len() < *cap {
+                events.push(TraceEvent {
+                    time,
+                    node,
+                    handler,
+                    line,
+                    occupancy,
+                });
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Processor execution
+    // ---------------------------------------------------------------
+
+    fn run_proc(&mut self, p: usize, now: Cycle) {
+        if self.procs[p].state == ProcState::Done {
+            return;
+        }
+        self.procs[p].state = ProcState::Runnable;
+        let mut t = now.max(self.procs[p].local_time);
+        // Direct-execution lookahead bound: a processor runs at most this
+        // far ahead of the event clock inside one event, so the coherence
+        // state it observes is never more than ~one miss latency stale.
+        // (Unbounded lookahead would let a long compute phase reorder
+        // against concurrent writes.)
+        let horizon = t + 200;
+        loop {
+            if t >= horizon {
+                self.procs[p].local_time = t;
+                self.queue.schedule(t, Event::ProcResume(p as u32));
+                return;
+            }
+            // An op taken from `pending` is a *retry* of a blocked access:
+            // its instruction was already counted when first issued.
+            let (op, is_retry) = match self.procs[p].pending.take() {
+                Some(op) => (op, true),
+                None => match self.procs[p].program.next_op() {
+                    Some(op) => (op, false),
+                    None => {
+                        let proc = &mut self.procs[p];
+                        proc.state = ProcState::Done;
+                        proc.finish_time = t;
+                        proc.local_time = t;
+                        self.done_count += 1;
+                        return;
+                    }
+                },
+            };
+            match op {
+                Op::Compute(c) => {
+                    t += c as Cycle;
+                    self.procs[p].instructions += c as u64;
+                }
+                Op::Read(addr) => {
+                    if !is_retry {
+                        self.procs[p].instructions += 1;
+                        self.procs[p].references += 1;
+                    }
+                    let line = self.map.line_of(addr);
+                    let proc = &mut self.procs[p];
+                    if proc.l1.access(line, AccessKind::Read).readable() {
+                        t += self.cfg.lat.l1_hit;
+                        continue;
+                    }
+                    let l2_state = proc.l2.access(line, AccessKind::Read);
+                    if l2_state.readable() {
+                        t += self.cfg.lat.l2_hit;
+                        let payload = proc.l2.payload_of(line).unwrap_or(0);
+                        let _ = proc.l1.fill(line, LineState::Shared, payload);
+                        continue;
+                    }
+                    t += self.cfg.lat.l2_miss_detect;
+                    self.procs[p].local_time = t;
+                    self.procs[p].pending = Some(op);
+                    self.procs[p].state = ProcState::Blocked;
+                    self.initiate_miss(p, line, false, l2_state, t);
+                    return;
+                }
+                Op::Write(addr) => {
+                    if !is_retry {
+                        self.procs[p].instructions += 1;
+                        self.procs[p].references += 1;
+                    }
+                    let line = self.map.line_of(addr);
+                    let l2_state = self.procs[p].l2.access(line, AccessKind::Write);
+                    if l2_state.writable() {
+                        // Promote E->M silently and stamp a new version.
+                        self.commit_write(p, line);
+                        t += self.cfg.lat.l1_hit;
+                        continue;
+                    }
+                    t += self.cfg.lat.l2_miss_detect;
+                    self.procs[p].local_time = t;
+                    self.procs[p].pending = Some(op);
+                    self.procs[p].state = ProcState::Blocked;
+                    self.initiate_miss(p, line, true, l2_state, t);
+                    return;
+                }
+                Op::Barrier(id) => match self.sync.barrier_arrive(id, ProcId(p as u32), t) {
+                    BarrierOutcome::Wait => {
+                        self.procs[p].local_time = t;
+                        self.procs[p].state = ProcState::Blocked;
+                        return;
+                    }
+                    BarrierOutcome::Release { waiters, at } => {
+                        for w in waiters {
+                            self.queue.schedule(at.max(now), Event::ProcResume(w.0));
+                        }
+                        t = at.max(t);
+                    }
+                },
+                Op::Lock(id) => match self.sync.lock(id, ProcId(p as u32), t) {
+                    LockOutcome::Acquired { at } => t = at,
+                    LockOutcome::Queued => {
+                        self.procs[p].local_time = t;
+                        self.procs[p].state = ProcState::Blocked;
+                        return;
+                    }
+                },
+                Op::Unlock(id) => {
+                    t += 1;
+                    if let Some((next, at)) = self.sync.unlock(id, t) {
+                        self.queue.schedule(at.max(now), Event::ProcResume(next.0));
+                    }
+                }
+                Op::StartMeasurement => {
+                    if !self.procs[p].passed_marker {
+                        self.procs[p].passed_marker = true;
+                        self.marker_count += 1;
+                        if self.marker_count == self.procs.len() {
+                            self.start_measurement(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stamps a completed store: bumps the line's global version and
+    /// updates the writing processor's cached payload.
+    fn commit_write(&mut self, p: usize, line: LineAddr) {
+        let version = self.versions.entry(line).or_insert(0);
+        *version += 1;
+        let v = *version;
+        let proc = &mut self.procs[p];
+        if proc.l2.state_of(line) == LineState::Exclusive {
+            proc.l2.set_state(line, LineState::Modified);
+        }
+        proc.l2.set_payload(line, v);
+    }
+
+    /// Resets all statistics at the start of the measured phase.
+    fn start_measurement(&mut self, t: Cycle) {
+        self.measure_start = t;
+        for proc in &mut self.procs {
+            proc.instr_snapshot = proc.instructions;
+            proc.refs_snapshot = proc.references;
+            proc.l1.reset_stats();
+            proc.l2.reset_stats();
+        }
+        for node in &mut self.nodes {
+            node.cc.reset_stats();
+            node.bus.reset_stats();
+            node.memory.reset_stats();
+            node.dircache.reset_stats();
+            node.dir_dram.reset_stats();
+        }
+        self.net.reset_stats();
+        self.sync.reset_stats();
+        self.useless_invalidations = 0;
+        self.handler_counts.clear();
+        self.miss_latency = ccn_sim::stats::Accumulator::new();
+    }
+
+    // ---------------------------------------------------------------
+    // Miss path
+    // ---------------------------------------------------------------
+
+    fn initiate_miss(
+        &mut self,
+        p: usize,
+        line: LineAddr,
+        write: bool,
+        l2_state: LineState,
+        t: Cycle,
+    ) {
+        let n = self.procs[p].node;
+        if self.cfg.placement == PlacementPolicy::FirstTouch {
+            // The first access to a page anywhere in the machine homes it
+            // on the toucher's node (explicit hints take precedence).
+            let page = self.map.page_of_line(line);
+            if self.touched_pages.insert(page) && !self.map.pages().is_placed(page) {
+                self.map.pages_mut().place(page, NodeId(n as u16));
+            }
+        }
+        if let Some(mshr) = self.nodes[n].mshr.get_mut(&line) {
+            mshr.waiters.push(p);
+            return;
+        }
+        let strobe = self.nodes[n].bus.address_phase(t);
+        let snoop = self.nodes[n].bus.snoop_done(strobe);
+        let home = self.map.home_of(line);
+        let local_home = home.index() == n;
+        let pres = self.nodes[n]
+            .presence
+            .get(&line)
+            .copied()
+            .unwrap_or_default();
+        let slot = self.procs[p].slot;
+        let kind = if !write {
+            DirRequestKind::Read
+        } else if l2_state == LineState::Shared {
+            DirRequestKind::Upgrade
+        } else {
+            DirRequestKind::ReadExcl
+        };
+        // 1) Intra-node service from another local cache. Fill timing
+        // follows the granted data-bus slot, so big SMP nodes feel their
+        // shared-bus bandwidth.
+        if let Some(owner_slot) = pres.owner {
+            debug_assert_ne!(owner_slot, slot, "a proc cannot miss a line it owns");
+            let owner_proc = self.proc_index(n, owner_slot);
+            let owner_state = self.procs[owner_proc].l2.state_of(line);
+            let payload = self.procs[owner_proc].l2.payload_of(line).unwrap_or(0);
+            let xfer = self.nodes[n]
+                .bus
+                .data_transfer(snoop + self.cfg.lat.cache_to_cache, self.cfg.line_bytes);
+            let c2c_fill = xfer.critical + self.cfg.lat.fill_overhead;
+            if !write && local_home {
+                // MESI downgrade: memory captures the dirty data.
+                if owner_state == LineState::Modified {
+                    self.memory.insert(line, payload);
+                }
+                self.procs[owner_proc].l2.set_state(line, LineState::Shared);
+                self.nodes[n].presence.entry(line).or_default().owner = None;
+                self.fill_proc(p, line, LineState::Shared, payload, c2c_fill);
+            } else {
+                // Ownership migrates between local caches (remote lines
+                // keep node-level dirtiness; local writes take the line).
+                self.invalidate_proc_copy(owner_proc, line);
+                self.fill_proc(p, line, LineState::Modified, payload, c2c_fill);
+            }
+            return;
+        }
+        if !write && pres.any() {
+            // Shared intervention from a local S copy (no engine, no net).
+            let donor_slot = (0..self.cfg.procs_per_node as u8)
+                .find(|s| pres.sharers & (1 << s) != 0)
+                .expect("presence bitmask non-empty");
+            let donor = self.proc_index(n, donor_slot);
+            let payload = self.procs[donor].l2.payload_of(line).unwrap_or(0);
+            let xfer = self.nodes[n]
+                .bus
+                .data_transfer(snoop + self.cfg.lat.cache_to_cache, self.cfg.line_bytes);
+            self.fill_proc(
+                p,
+                line,
+                LineState::Shared,
+                payload,
+                xfer.critical + self.cfg.lat.fill_overhead,
+            );
+            return;
+        }
+        if local_home {
+            let busy = self.nodes[n].dir.is_busy(line);
+            let dir_state = self.nodes[n].dir.state_of(line);
+            if !write && !busy && !matches!(dir_state, DirState::Dirty(_)) {
+                // Memory supplies; the duplicate directory answers on the
+                // bus without occupying a protocol engine.
+                let bank = self.nodes[n]
+                    .memory
+                    .access(line, strobe + self.cfg.bus.address_slot_cycles);
+                let first = bank + self.cfg.lat.mem_access;
+                let xfer = self.nodes[n].bus.data_transfer(first, self.cfg.line_bytes);
+                let fill_at = xfer.critical + self.cfg.lat.fill_overhead;
+                let exclusive = dir_state == DirState::Uncached && !pres.any();
+                let payload = *self.memory.get(&line).unwrap_or(&0);
+                let state = if exclusive {
+                    LineState::Exclusive
+                } else {
+                    LineState::Shared
+                };
+                self.fill_proc(p, line, state, payload, fill_at);
+                return;
+            }
+            if write && !busy && dir_state == DirState::Uncached {
+                // No remote copies: the bus transaction invalidates local
+                // S copies and memory (or the upgrade) supplies.
+                self.invalidate_local_copies(n, line, Some(slot));
+                if kind == DirRequestKind::Upgrade {
+                    let payload = self.procs[p].l2.payload_of(line).unwrap_or(0);
+                    self.fill_proc(p, line, LineState::Exclusive, payload, snoop + 2);
+                } else {
+                    let bank = self.nodes[n]
+                        .memory
+                        .access(line, strobe + self.cfg.bus.address_slot_cycles);
+                    let first = bank + self.cfg.lat.mem_access;
+                    let xfer = self.nodes[n].bus.data_transfer(first, self.cfg.line_bytes);
+                    let payload = *self.memory.get(&line).unwrap_or(&0);
+                    self.fill_proc(
+                        p,
+                        line,
+                        LineState::Exclusive,
+                        payload,
+                        xfer.critical + self.cfg.lat.fill_overhead,
+                    );
+                }
+                return;
+            }
+        }
+
+        // 2) The coherence controller takes over.
+        if kind == DirRequestKind::Upgrade {
+            self.procs[p].l2.pin(line);
+        }
+        self.nodes[n].mshr.insert(line, Mshr::new(kind, p));
+        let role = if local_home {
+            EngineRole::Local
+        } else {
+            EngineRole::Remote
+        };
+        let latched = snoop + self.cfg.lat.cc_request_latch;
+        self.enqueue_cc(
+            n,
+            role,
+            MsgClass::BusRequest,
+            latched,
+            CcRequest::Bus { kind, line },
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // Shared infrastructure used by the miss path and the handlers
+    // (the handler bodies themselves live in ccexec.rs)
+    // ---------------------------------------------------------------
+
+    pub(crate) fn proc_index(&self, node: usize, slot: u8) -> usize {
+        node * self.cfg.procs_per_node + slot as usize
+    }
+
+    pub(crate) fn enqueue_cc(
+        &mut self,
+        n: usize,
+        role: EngineRole,
+        class: MsgClass,
+        time: Cycle,
+        req: CcRequest,
+    ) {
+        let line = match &req {
+            CcRequest::Bus { line, .. }
+            | CcRequest::Replay { line, .. }
+            | CcRequest::Writeback { line, .. } => *line,
+            CcRequest::Net(msg) => msg.line,
+        };
+        let engine = self.nodes[n].cc.engine_for(role, line.0);
+        let idle = self.nodes[n].cc.enqueue(role, line.0, class, time, req);
+        // Wake the engine now if idle, or when it frees up otherwise: the
+        // in-flight handler was scheduled before this request arrived and
+        // cannot know about it.
+        let wake = if idle {
+            time
+        } else {
+            self.nodes[n].cc.busy_until(engine).max(time)
+        };
+        self.queue.schedule(
+            wake.max(self.queue.now()),
+            Event::CcWork {
+                node: n as u16,
+                engine: engine as u8,
+            },
+        );
+    }
+
+    fn cc_work(&mut self, n: usize, engine: usize, now: Cycle) {
+        match self.nodes[n].cc.dispatch(engine, now) {
+            Some((req, _class)) => self.execute_handler(n, engine, req, now),
+            None => {
+                // Engine busy (or spurious). Re-arm at the release time if
+                // work is pending.
+                let busy_until = self.nodes[n].cc.busy_until(engine);
+                if busy_until > now && self.nodes[n].cc.has_work(engine) {
+                    self.queue.schedule(
+                        busy_until,
+                        Event::CcWork {
+                            node: n as u16,
+                            engine: engine as u8,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn msg_arrive(&mut self, msg: Msg, _now: Cycle) {
+        let n = msg.to.index();
+        let local_home = self.map.home_of(msg.line).index() == n;
+        let role = if local_home {
+            EngineRole::Local
+        } else {
+            EngineRole::Remote
+        };
+        // The message is already at the NI; it enters the dispatch queue
+        // immediately.
+        let time = self.queue.now();
+        self.enqueue_cc(n, role, msg.kind.class(), time, CcRequest::Net(msg));
+    }
+
+    /// Installs a line in a processor's L2 (or upgrades its state),
+    /// updates presence, handles the eviction, and wakes the processor.
+    pub(crate) fn fill_proc(
+        &mut self,
+        p: usize,
+        line: LineAddr,
+        state: LineState,
+        payload: u64,
+        at: Cycle,
+    ) {
+        let n = self.procs[p].node;
+        let slot = self.procs[p].slot;
+        if at > self.procs[p].local_time {
+            self.miss_latency
+                .record((at - self.procs[p].local_time) as f64);
+        }
+        self.procs[p].l2.unpin(line);
+        let eviction = if self.procs[p].l2.state_of(line) != LineState::Invalid {
+            // Upgrade-style completion: permission only.
+            self.procs[p].l2.set_state(line, state);
+            None
+        } else {
+            self.procs[p].l2.fill(line, state, payload)
+        };
+        if let Some(ev) = eviction {
+            self.handle_eviction(p, ev.line, ev.state, ev.payload, at);
+        }
+        let entry = self.nodes[n].presence.entry(line).or_default();
+        entry.add(slot);
+        if state.writable() {
+            entry.owner = Some(slot);
+        }
+        // Complete the blocked access atomically with the fill, as the
+        // hardware does. Without this, another local processor could
+        // migrate the line away between the fill and the retry — a
+        // zero-progress livelock.
+        let consumed = match self.procs[p].pending {
+            Some(Op::Read(a)) if self.map.line_of(a) == line && state.readable() => true,
+            Some(Op::Write(a)) if self.map.line_of(a) == line && state.writable() => {
+                self.commit_write(p, line);
+                true
+            }
+            _ => false,
+        };
+        if consumed {
+            self.procs[p].pending = None;
+        }
+        self.queue
+            .schedule(at.max(self.queue.now()), Event::ProcResume(p as u32));
+    }
+
+    /// Removes one processor's copy (L1 + L2 + presence + pin).
+    pub(crate) fn invalidate_proc_copy(&mut self, p: usize, line: LineAddr) -> Option<u64> {
+        let n = self.procs[p].node;
+        let slot = self.procs[p].slot;
+        self.procs[p].l1.invalidate(line);
+        self.procs[p].l2.unpin(line);
+        let out = self.procs[p]
+            .l2
+            .invalidate(line)
+            .map(|(_, payload)| payload);
+        if let Some(entry) = self.nodes[n].presence.get_mut(&line) {
+            entry.remove(slot);
+            if !entry.any() {
+                self.nodes[n].presence.remove(&line);
+            }
+        }
+        out
+    }
+
+    /// Invalidates every local copy of `line` on node `n` except the one
+    /// held by `except`; returns the payload of a Modified copy if one was
+    /// destroyed.
+    pub(crate) fn invalidate_local_copies(
+        &mut self,
+        n: usize,
+        line: LineAddr,
+        except: Option<u8>,
+    ) -> Option<u64> {
+        let pres = match self.nodes[n].presence.get(&line) {
+            Some(p) => *p,
+            None => return None,
+        };
+        let mut dirty_payload = None;
+        for slot in 0..self.cfg.procs_per_node as u8 {
+            if pres.sharers & (1 << slot) == 0 || except == Some(slot) {
+                continue;
+            }
+            let p = self.proc_index(n, slot);
+            let was_dirty = self.procs[p].l2.state_of(line) == LineState::Modified;
+            if let Some(payload) = self.invalidate_proc_copy(p, line) {
+                if was_dirty {
+                    dirty_payload = Some(payload);
+                }
+            }
+        }
+        dirty_payload
+    }
+
+    /// Downgrades the local Modified owner of `line` to Shared and returns
+    /// its payload (the caller updates memory).
+    pub(crate) fn downgrade_local_owner(&mut self, n: usize, line: LineAddr) -> Option<u64> {
+        let owner_slot = self.nodes[n].presence.get(&line)?.owner?;
+        let p = self.proc_index(n, owner_slot);
+        let payload = self.procs[p].l2.payload_of(line)?;
+        self.procs[p].l2.set_state(line, LineState::Shared);
+        self.nodes[n]
+            .presence
+            .get_mut(&line)
+            .expect("presence")
+            .owner = None;
+        Some(payload)
+    }
+
+    /// Handles an L2 eviction: presence bookkeeping plus the dirty
+    /// write-back (bus transaction for local lines, direct-data-path
+    /// network write-back for remote lines).
+    pub(crate) fn handle_eviction(
+        &mut self,
+        p: usize,
+        line: LineAddr,
+        state: LineState,
+        payload: u64,
+        t: Cycle,
+    ) {
+        let n = self.procs[p].node;
+        let slot = self.procs[p].slot;
+        self.procs[p].l1.invalidate(line);
+        if let Some(entry) = self.nodes[n].presence.get_mut(&line) {
+            entry.remove(slot);
+            if !entry.any() {
+                self.nodes[n].presence.remove(&line);
+            }
+        }
+        if state != LineState::Modified {
+            // Clean copies drop silently unless the hint extension is on
+            // and this was the node's last copy of a remote line.
+            let home = self.map.home_of(line);
+            if self.cfg.replacement_hints
+                && home.index() != n
+                && !self.nodes[n].presence.contains_key(&line)
+            {
+                let msg = Msg {
+                    kind: ccn_protocol::MsgKind::ReplacementHint,
+                    line,
+                    from: NodeId(n as u16),
+                    to: home,
+                    requester: NodeId(n as u16),
+                    acks_pending: 0,
+                    payload: 0,
+                };
+                crate::steps::send_msg(&mut self.net, &mut self.queue, self.cfg.line_bytes, t, msg);
+            }
+            return;
+        }
+        let home = self.map.home_of(line);
+        let strobe = self.nodes[n].bus.address_phase(t);
+        let xfer = self.nodes[n].bus.data_transfer(
+            strobe + self.cfg.bus.address_slot_cycles,
+            self.cfg.line_bytes,
+        );
+        if home.index() == n {
+            // Local write-back: memory captures the data on the bus.
+            self.memory.insert(line, payload);
+            self.nodes[n]
+                .memory
+                .access(line, strobe + self.cfg.bus.address_slot_cycles);
+        } else if self.cfg.direct_data_path {
+            // Direct data path: bus interface forwards straight to the
+            // network interface without a protocol-engine dispatch.
+            let msg = Msg {
+                kind: ccn_protocol::MsgKind::WritebackReq,
+                line,
+                from: NodeId(n as u16),
+                to: home,
+                requester: NodeId(n as u16),
+                acks_pending: 0,
+                payload,
+            };
+            crate::steps::send_msg(
+                &mut self.net,
+                &mut self.queue,
+                self.cfg.line_bytes,
+                xfer.end,
+                msg,
+            );
+        } else {
+            // Ablation: no direct path — the write-back competes for a
+            // protocol engine like any other bus-side request.
+            self.enqueue_cc(
+                n,
+                EngineRole::Remote,
+                MsgClass::BusRequest,
+                xfer.end,
+                CcRequest::Writeback { line, payload },
+            );
+        }
+    }
+
+    /// Completes the node-level transaction on `line`: fills the
+    /// initiator's cache, wakes all waiters.
+    pub(crate) fn complete_mshr(
+        &mut self,
+        n: usize,
+        line: LineAddr,
+        exclusive: bool,
+        payload: u64,
+        at: Cycle,
+    ) {
+        let mshr = self.nodes[n]
+            .mshr
+            .remove(&line)
+            .unwrap_or_else(|| panic!("response for {line} without an MSHR on node {n}"));
+        debug_assert!(
+            mshr.kind == DirRequestKind::Read || exclusive,
+            "a write transaction must complete with an exclusive grant"
+        );
+        let local_home = self.map.home_of(line).index() == n;
+        let state = if !exclusive {
+            LineState::Shared
+        } else if local_home {
+            LineState::Exclusive
+        } else {
+            LineState::Modified
+        };
+        self.fill_proc(mshr.initiator, line, state, payload, at);
+        for w in mshr.waiters {
+            self.queue
+                .schedule(at.max(self.queue.now()), Event::ProcResume(w as u32));
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Reporting and invariants
+    // ---------------------------------------------------------------
+
+    fn build_report(&self) -> SimReport {
+        let end = self.procs.iter().map(|p| p.finish_time).max().unwrap_or(0);
+        let exec_cycles = end.saturating_sub(self.measure_start);
+        let instructions: u64 = self
+            .procs
+            .iter()
+            .map(|p| p.instructions - p.instr_snapshot)
+            .sum();
+        let references: u64 = self
+            .procs
+            .iter()
+            .map(|p| p.references - p.refs_snapshot)
+            .sum();
+        let l2_misses: u64 = self
+            .procs
+            .iter()
+            .map(|p| p.l2.stats().read_misses + p.l2.stats().write_misses)
+            .sum();
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut cc_arrivals = 0;
+        let mut cc_handled = 0;
+        let mut cc_occupancy = 0;
+        let mut delay_sum = 0.0;
+        let mut delay_n = 0u64;
+        for node in &self.nodes {
+            let stats = node.cc.stats();
+            cc_arrivals += stats.arrivals;
+            cc_handled += stats.handled;
+            cc_occupancy += stats.occupancy;
+            delay_sum += stats.queue_delay.sum();
+            delay_n += stats.queue_delay.count();
+            let engines = (0..node.cc.engines())
+                .map(|e| {
+                    let es = node.cc.engine_stats(e);
+                    let role = node.cc.policy().role_label(e);
+                    EngineReport {
+                        role,
+                        arrivals: es.arrivals,
+                        handled: es.handled,
+                        occupancy: es.occupancy,
+                        queue_delay_ns: ccn_sim::cycles_to_ns(1) * es.queue_delay.mean(),
+                        class_arrivals: es.class_arrivals,
+                    }
+                })
+                .collect();
+            nodes.push(NodeReport {
+                arrivals: stats.arrivals,
+                handled: stats.handled,
+                occupancy: stats.occupancy,
+                queue_delay_ns: ccn_sim::cycles_to_ns(1) * stats.queue_delay.mean(),
+                engines,
+            });
+        }
+        let queue_delay_ns = if delay_n == 0 {
+            0.0
+        } else {
+            ccn_sim::cycles_to_ns(1) * delay_sum / delay_n as f64
+        };
+        let engines_label = match self.cfg.engines {
+            ccn_controller::EnginePolicy::Single => String::new(),
+            ccn_controller::EnginePolicy::LocalRemote => "2".to_string(),
+            other => format!("{}e-", other.name()),
+        };
+        SimReport {
+            architecture: format!("{engines_label}{}", self.cfg.engine.name()),
+            workload: self.workload_name.clone(),
+            exec_cycles,
+            instructions,
+            cc_arrivals,
+            cc_handled,
+            cc_occupancy,
+            queue_delay_ns,
+            nodes,
+            l2_misses,
+            references,
+            messages: self.net.messages(),
+            barriers: self.sync.barrier_episodes(),
+            locks: self.sync.lock_stats(),
+            handler_counts: {
+                let mut counts: Vec<(String, u64)> = self
+                    .handler_counts
+                    .iter()
+                    .map(|(k, &v)| (k.paper_label().to_string(), v))
+                    .collect();
+                counts.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+                counts
+            },
+            miss_latency_ns: (
+                ccn_sim::cycles_to_ns(1) * self.miss_latency.mean(),
+                ccn_sim::cycles_to_ns(1) * self.miss_latency.max().unwrap_or(0.0),
+            ),
+            useless_invalidations: self.useless_invalidations,
+            arrival_cv: {
+                let mut inter = ccn_sim::stats::Accumulator::new();
+                for node in &self.nodes {
+                    for e in 0..node.cc.engines() {
+                        inter.merge(&node.cc.engine_stats(e).interarrival);
+                    }
+                }
+                inter.cv()
+            },
+            dir_cache_hit_ratio: {
+                let (hits, total) = self.nodes.iter().fold((0u64, 0u64), |(h, t), n| {
+                    (
+                        h + n.dircache.hits(),
+                        t + n.dircache.hits() + n.dircache.misses(),
+                    )
+                });
+                if total == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total as f64
+                }
+            },
+        }
+    }
+
+    /// Checks protocol invariants after a completed run: no transient
+    /// state anywhere, a single writable copy per line, directory states
+    /// consistent with cache contents, and data values coherent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_quiescent(&self) -> Result<(), String> {
+        for (n, node) in self.nodes.iter().enumerate() {
+            if !node.mshr.is_empty() {
+                return Err(format!(
+                    "node {n} has outstanding MSHRs: {:?}",
+                    node.mshr.keys()
+                ));
+            }
+            for (line, _state, busy) in node.dir.iter_states() {
+                if busy {
+                    return Err(format!("directory entry {line} on node {n} still busy"));
+                }
+            }
+        }
+        // Gather global copies per line.
+        let mut copies: HashMap<LineAddr, Vec<(usize, LineState, u64)>> = HashMap::new();
+        for (i, proc) in self.procs.iter().enumerate() {
+            for (line, state, payload) in proc.l2.iter_resident() {
+                copies.entry(line).or_default().push((i, state, payload));
+            }
+        }
+        for (line, holders) in &copies {
+            let writable: Vec<_> = holders.iter().filter(|(_, s, _)| s.writable()).collect();
+            if writable.len() > 1 {
+                return Err(format!(
+                    "line {line} has {} writable copies",
+                    writable.len()
+                ));
+            }
+            if !writable.is_empty() && holders.len() > 1 {
+                return Err(format!("line {line} mixes writable and shared copies"));
+            }
+            let home = self.map.home_of(*line);
+            let latest = self.versions.get(line).copied().unwrap_or(0);
+            let dir_state = self.nodes[home.index()].dir.state_of(*line);
+            for &(p, state, payload) in holders {
+                let holder_node = self.procs[p].node;
+                if holder_node != home.index() {
+                    // Remote copies must be tracked by the directory.
+                    let tracked = match dir_state {
+                        DirState::Dirty(owner) => owner.index() == holder_node,
+                        DirState::Shared(bm) => bm.contains(NodeId(holder_node as u16)),
+                        DirState::Uncached => false,
+                    };
+                    if !tracked {
+                        return Err(format!(
+                            "line {line}: node {holder_node} holds {state:?} but directory says {dir_state:?}"
+                        ));
+                    }
+                }
+                if state == LineState::Modified && payload != latest {
+                    return Err(format!(
+                        "line {line}: dirty copy has version {payload}, latest is {latest}"
+                    ));
+                }
+            }
+            // If nobody holds the line dirty, memory must have the latest
+            // version.
+            if writable.is_empty() && latest > 0 {
+                let mem = self.memory.get(line).copied().unwrap_or(0);
+                if mem != latest {
+                    return Err(format!(
+                        "line {line}: memory has version {mem}, latest write was {latest}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presence_bitmask_semantics() {
+        let mut p = Presence::default();
+        assert!(!p.any());
+        p.add(3);
+        p.add(5);
+        assert!(p.any());
+        assert!(p.other_than(3));
+        assert!(!p.other_than(3) || p.sharers & !(1 << 3) != 0);
+        p.owner = Some(5);
+        p.remove(5);
+        assert_eq!(p.owner, None);
+        assert!(p.any());
+        p.remove(3);
+        assert!(!p.any());
+    }
+
+    #[test]
+    fn presence_other_than_excludes_only_the_slot() {
+        let mut p = Presence::default();
+        p.add(2);
+        assert!(!p.other_than(2));
+        assert!(p.other_than(1));
+    }
+
+    #[test]
+    fn mshr_initial_state() {
+        let m = Mshr::new(DirRequestKind::Upgrade, 7);
+        assert_eq!(m.initiator, 7);
+        assert!(!m.has_data && !m.needs_inv_done && !m.inv_done_received);
+        assert!(m.waiters.is_empty());
+    }
+
+    #[test]
+    fn version_stamps_are_monotonic_per_line() {
+        use ccn_workloads::micro::PrivateCompute;
+        let mut machine = Machine::new(
+            crate::SystemConfig::small(),
+            &PrivateCompute {
+                bytes_per_proc: 4096,
+                sweeps: 3,
+            },
+        )
+        .unwrap();
+        machine.run();
+        // Every line's version counter must equal at least the number of
+        // sweeps that wrote it (3 RW sweeps + 0 init writes... the init
+        // writes count too: versions strictly positive for written lines).
+        assert!(machine.versions.values().all(|&v| v > 0));
+        machine.check_quiescent().unwrap();
+    }
+}

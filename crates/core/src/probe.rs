@@ -1,0 +1,346 @@
+//! Table 3: no-contention latency breakdown of a remote read miss.
+//!
+//! The paper's Table 3 decomposes the latency of a read miss from a remote
+//! node to a line that is clean at its home: HWC totals 142 compute cycles,
+//! PPC 212 (+49 %). This module computes the same breakdown analytically
+//! from the configuration (mirroring the machine's timing path step for
+//! step) and provides a measured counterpart that runs an actual two-node
+//! machine; the integration tests assert they agree.
+
+use ccn_protocol::handlers::{Fanout, HandlerKind, HandlerSpec, Step};
+use ccn_protocol::msg::HEADER_BYTES;
+use ccn_protocol::subop::{OccupancyTable, SubOp};
+use ccn_sim::{Cycle, CPU_CYCLES_PER_BUS_CYCLE};
+use ccn_workloads::segment::{Access, Segment};
+use ccn_workloads::{AppBuild, Application, MachineShape};
+
+use crate::config::SystemConfig;
+use crate::machine::Machine;
+
+/// One row of the latency breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakdownRow {
+    /// Step description.
+    pub step: &'static str,
+    /// Contribution in CPU cycles (5 ns).
+    pub cycles: Cycle,
+}
+
+/// The Table 3 breakdown for one engine kind.
+#[derive(Debug, Clone)]
+pub struct LatencyBreakdown {
+    /// Rows in path order.
+    pub rows: Vec<BreakdownRow>,
+}
+
+impl LatencyBreakdown {
+    /// Total no-contention latency.
+    pub fn total(&self) -> Cycle {
+        self.rows.iter().map(|r| r.cycles).sum()
+    }
+}
+
+/// Latency of a handler's step prefix up to (and including) the `nth`
+/// `SendMsg` step, assuming no contention — the time until the response
+/// leaves the engine.
+fn latency_to_send(
+    spec: &HandlerSpec,
+    engine: ccn_protocol::EngineKind,
+    cfg: &SystemConfig,
+    nth: usize,
+) -> Cycle {
+    let table = OccupancyTable::for_engine(engine);
+    let mut t = 0;
+    let mut seen = 0;
+    for step in &spec.steps {
+        match *step {
+            Step::Op(op) => t += table.cost(op),
+            Step::Extra { hwc, ppc } => t += engine.extra_cost(hwc, ppc),
+            Step::DirRead => t += table.cost(SubOp::DirCacheRead),
+            Step::DirUpdate => t += table.cost(SubOp::DirWrite),
+            Step::MemRead => t += cfg.bus.address_slot_cycles + cfg.lat.mem_access + 4,
+            Step::MemWrite => t += 8,
+            Step::BusInv => t += cfg.bus.address_slot_cycles + cfg.bus.snoop_cycles,
+            Step::BusIntervention { .. } => t += cfg.bus.snoop_cycles + cfg.lat.cache_to_cache + 4,
+            Step::BusDeliver => {
+                t += cfg.bus.address_slot_cycles + CPU_CYCLES_PER_BUS_CYCLE;
+                // The critical beat, not the engine-release time, is what
+                // the latency path sees.
+                return t;
+            }
+            Step::SendMsg => {
+                t += table.cost(SubOp::SendMsgHeader);
+                seen += 1;
+                if seen > nth {
+                    return t;
+                }
+            }
+            Step::SendData => t += table.cost(SubOp::StartDataTransfer),
+        }
+    }
+    t
+}
+
+/// No-contention network transit time for a `bytes`-byte message.
+fn net_transit(cfg: &SystemConfig, bytes: u64) -> Cycle {
+    let ser = bytes.div_ceil(cfg.net.bytes_per_cycle).max(1);
+    2 * cfg.net.ni_overhead + 2 * ser + cfg.net.latency_cycles
+}
+
+/// Computes the Table 3 breakdown for the engine selected in `cfg`.
+///
+/// Set `cold_directory` to include the directory-DRAM penalty of a
+/// first-touch directory read (the steady-state table assumes a
+/// directory-cache hit, as the paper does).
+pub fn read_miss_breakdown(cfg: &SystemConfig, cold_directory: bool) -> LatencyBreakdown {
+    let engine = cfg.engine;
+    let req_spec = HandlerSpec::build(HandlerKind::BusReadRemote, Fanout::NONE);
+    let home_spec = HandlerSpec::build(HandlerKind::HomeReadClean, Fanout::NONE);
+    let deliver_spec = HandlerSpec::build(HandlerKind::ReqDataResp, Fanout::NONE);
+    let mut rows = vec![
+        BreakdownRow {
+            step: "detect L2 miss",
+            cycles: cfg.lat.l2_miss_detect,
+        },
+        BreakdownRow {
+            step: "bus arbitration, address and snoop",
+            cycles: cfg.bus.snoop_cycles + cfg.lat.cc_request_latch,
+        },
+        BreakdownRow {
+            step: "requesting controller: dispatch and send request",
+            cycles: latency_to_send(&req_spec, engine, cfg, 0),
+        },
+        BreakdownRow {
+            step: "network: request message",
+            cycles: net_transit(cfg, HEADER_BYTES),
+        },
+        BreakdownRow {
+            step: "home controller: dispatch, directory, memory, respond",
+            cycles: latency_to_send(&home_spec, engine, cfg, 0),
+        },
+        BreakdownRow {
+            step: "network: data response",
+            cycles: net_transit(cfg, HEADER_BYTES + cfg.line_bytes),
+        },
+        BreakdownRow {
+            step: "requesting controller: dispatch and deliver on bus",
+            cycles: latency_to_send(&deliver_spec, engine, cfg, usize::MAX),
+        },
+        BreakdownRow {
+            step: "L2 fill and processor restart",
+            cycles: cfg.lat.fill_overhead,
+        },
+    ];
+    if cold_directory {
+        rows.insert(
+            5,
+            BreakdownRow {
+                step: "directory cache miss (cold): directory DRAM",
+                cycles: cfg.lat.dir_dram_latency,
+            },
+        );
+    }
+    LatencyBreakdown { rows }
+}
+
+/// Analytic no-contention latency of a write miss to a line that is
+/// shared by `sharers` remote nodes: the requester's store retires only
+/// after the data arrives *and* the home has collected every invalidation
+/// ack and sent the completion notice (the paper's protocol collects acks
+/// at the home).
+pub fn write_miss_breakdown(cfg: &SystemConfig, sharers: u32) -> LatencyBreakdown {
+    use ccn_protocol::handlers::Fanout;
+    let engine = cfg.engine;
+    let req_spec = HandlerSpec::build(HandlerKind::BusReadExclRemote, Fanout::NONE);
+    let home_spec = HandlerSpec::build(
+        HandlerKind::HomeReadExclShared,
+        Fanout {
+            remote_invs: sharers,
+            local_inv: false,
+        },
+    );
+    let sharer_spec = HandlerSpec::build(HandlerKind::InvReqAtSharer, Fanout::NONE);
+    let last_ack_spec = HandlerSpec::build(HandlerKind::HomeInvAckLastRemote, Fanout::NONE);
+    let done_spec = HandlerSpec::build(HandlerKind::ReqInvDone, Fanout::NONE);
+    // The critical path runs through the LAST invalidation: home sends the
+    // k-th inv (k = sharers), the sharer invalidates and acks, the home
+    // sends InvDone, the requester retires. The data response overlaps.
+    let rows = vec![
+        BreakdownRow {
+            step: "detect L2 miss",
+            cycles: cfg.lat.l2_miss_detect,
+        },
+        BreakdownRow {
+            step: "bus arbitration, address and snoop",
+            cycles: cfg.bus.snoop_cycles + cfg.lat.cc_request_latch,
+        },
+        BreakdownRow {
+            step: "requesting controller: dispatch and send request",
+            cycles: latency_to_send(&req_spec, engine, cfg, 0),
+        },
+        BreakdownRow {
+            step: "network: read-exclusive request",
+            cycles: net_transit(cfg, HEADER_BYTES),
+        },
+        BreakdownRow {
+            step: "home controller: directory, send last invalidation",
+            cycles: latency_to_send(&home_spec, engine, cfg, sharers.saturating_sub(1) as usize),
+        },
+        BreakdownRow {
+            step: "network: invalidation request",
+            cycles: net_transit(cfg, HEADER_BYTES),
+        },
+        BreakdownRow {
+            step: "sharer controller: invalidate and acknowledge",
+            cycles: latency_to_send(&sharer_spec, engine, cfg, 0),
+        },
+        BreakdownRow {
+            step: "network: invalidation ack",
+            cycles: net_transit(cfg, HEADER_BYTES),
+        },
+        BreakdownRow {
+            step: "home controller: last ack, send completion",
+            cycles: latency_to_send(&last_ack_spec, engine, cfg, 0),
+        },
+        BreakdownRow {
+            step: "network: invalidation-done notice",
+            cycles: net_transit(cfg, HEADER_BYTES),
+        },
+        BreakdownRow {
+            step: "requesting controller: completion notice",
+            cycles: latency_to_send(&done_spec, engine, cfg, usize::MAX),
+        },
+        BreakdownRow {
+            step: "store retirement",
+            cycles: cfg.lat.fill_overhead,
+        },
+    ];
+    LatencyBreakdown { rows }
+}
+
+/// A two-node pointer-probe application: one processor on node 1 performs a
+/// single read of a line homed (and clean) at node 0.
+#[derive(Debug, Clone, Copy)]
+struct ReadMissProbe;
+
+impl Application for ReadMissProbe {
+    fn name(&self) -> String {
+        "read-miss-probe".to_string()
+    }
+
+    fn build(&self, shape: &MachineShape) -> AppBuild {
+        assert_eq!(shape.nodes, 2, "the probe wants exactly two nodes");
+        assert_eq!(shape.procs_per_node, 1, "one processor per node");
+        // One page homed on node 0 by round-robin (page index 2).
+        let addr = 2 * shape.page_bytes;
+        let programs = vec![
+            // Node 0: nothing to do.
+            vec![Segment::Barrier(0), Segment::StartMeasurement],
+            // Node 1: the probe read.
+            vec![
+                Segment::Barrier(0),
+                Segment::StartMeasurement,
+                Segment::Touch {
+                    addr,
+                    access: Access::Read,
+                },
+            ],
+        ];
+        AppBuild {
+            programs,
+            placements: Vec::new(),
+        }
+    }
+}
+
+/// Measures the end-to-end remote read-miss latency on a real two-node
+/// machine (cold directory cache: add the DRAM penalty when comparing
+/// against [`read_miss_breakdown`]).
+pub fn measured_read_miss(cfg: &SystemConfig) -> Cycle {
+    let probe_cfg = SystemConfig {
+        nodes: 2,
+        procs_per_node: 1,
+        ..cfg.clone()
+    };
+    let mut machine = Machine::new(probe_cfg, &ReadMissProbe).expect("probe config is valid");
+    let report = machine.run();
+    report.exec_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Architecture;
+
+    #[test]
+    fn totals_match_paper_anchors() {
+        // Paper Table 3: HWC 142, PPC 212 (+49%). Accept ±8%.
+        let hwc = read_miss_breakdown(&SystemConfig::base(), false).total();
+        let ppc = read_miss_breakdown(
+            &SystemConfig::base().with_architecture(Architecture::Ppc),
+            false,
+        )
+        .total();
+        assert!(
+            (131..=153).contains(&hwc),
+            "HWC read-miss latency {hwc} too far from 142"
+        );
+        assert!(
+            (195..=229).contains(&ppc),
+            "PPC read-miss latency {ppc} too far from 212"
+        );
+        let increase = (ppc as f64 - hwc as f64) / hwc as f64;
+        assert!(
+            (0.40..=0.60).contains(&increase),
+            "relative increase {increase:.2} should be near the paper's 49%"
+        );
+    }
+
+    #[test]
+    fn measured_agrees_with_analytic() {
+        for arch in [Architecture::Hwc, Architecture::Ppc] {
+            let cfg = SystemConfig::base().with_architecture(arch);
+            let analytic = read_miss_breakdown(&cfg, true).total();
+            let measured = measured_read_miss(&cfg);
+            let diff = measured.abs_diff(analytic);
+            assert!(
+                diff <= 6,
+                "{}: measured {measured} vs analytic {analytic}",
+                arch.name()
+            );
+        }
+    }
+
+    #[test]
+    fn write_miss_costs_more_with_sharers_and_on_ppc() {
+        let hwc = SystemConfig::base();
+        let ppc = SystemConfig::base().with_architecture(Architecture::Ppc);
+        let one = write_miss_breakdown(&hwc, 1).total();
+        let read = read_miss_breakdown(&hwc, false).total();
+        assert!(
+            one > read,
+            "an invalidating write ({one}) costs more than a clean read ({read})"
+        );
+        // More sharers only stretch the home handler's send fan-out.
+        let four = write_miss_breakdown(&hwc, 4).total();
+        assert!(four > one);
+        let ppc_one = write_miss_breakdown(&ppc, 1).total();
+        assert!(ppc_one > one, "PPC write path must be slower");
+        // Five controller visits on the critical path: the PP surcharge
+        // compounds (paper Section 3: occupancy hits writes hardest).
+        assert!(
+            ppc_one - one > 70,
+            "expected a large PP surcharge, got {}",
+            ppc_one - one
+        );
+    }
+
+    #[test]
+    fn cold_directory_adds_dram_row() {
+        let cfg = SystemConfig::base();
+        let warm = read_miss_breakdown(&cfg, false);
+        let cold = read_miss_breakdown(&cfg, true);
+        assert_eq!(cold.rows.len(), warm.rows.len() + 1);
+        assert_eq!(cold.total() - warm.total(), cfg.lat.dir_dram_latency);
+    }
+}

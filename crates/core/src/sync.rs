@@ -1,0 +1,236 @@
+//! Barrier and lock runtime.
+//!
+//! Synchronization is simulated with fixed-latency primitives rather than
+//! through the coherence protocol (DESIGN.md §3, substitution 3): barriers
+//! release all arrivals after a fixed overhead; locks grant in FIFO order
+//! with an acquisition cost when free and a hand-off cost when contended.
+
+use std::collections::{HashMap, VecDeque};
+
+use ccn_mem::ProcId;
+use ccn_sim::Cycle;
+
+/// Outcome of a processor arriving at a barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BarrierOutcome {
+    /// Not everyone is here yet; the processor blocks.
+    Wait,
+    /// This arrival completes the barrier: release everyone (including the
+    /// caller) at the given time.
+    Release {
+        /// Processors to wake (excluding the caller).
+        waiters: Vec<ProcId>,
+        /// The cycle all participants resume.
+        at: Cycle,
+    },
+}
+
+/// Outcome of a lock acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock was free: the caller holds it and resumes at `at`.
+    Acquired {
+        /// Resume time (acquisition cost applied).
+        at: Cycle,
+    },
+    /// The lock is held: the caller blocks until hand-off.
+    Queued,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: usize,
+    waiters: Vec<ProcId>,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    held: bool,
+    queue: VecDeque<ProcId>,
+}
+
+/// The machine's synchronization state.
+#[derive(Debug)]
+pub struct SyncState {
+    nprocs: usize,
+    barrier_cost: Cycle,
+    lock_cost: Cycle,
+    handoff_cost: Cycle,
+    barriers: HashMap<u32, BarrierState>,
+    locks: HashMap<u32, LockState>,
+    barrier_episodes: u64,
+    lock_acquisitions: u64,
+    lock_contended: u64,
+}
+
+impl SyncState {
+    /// Creates the runtime for `nprocs` participating processors.
+    pub fn new(nprocs: usize, barrier_cost: Cycle, lock_cost: Cycle, handoff_cost: Cycle) -> Self {
+        SyncState {
+            nprocs,
+            barrier_cost,
+            lock_cost,
+            handoff_cost,
+            barriers: HashMap::new(),
+            locks: HashMap::new(),
+            barrier_episodes: 0,
+            lock_acquisitions: 0,
+            lock_contended: 0,
+        }
+    }
+
+    /// Processor `proc` arrives at barrier `id` at time `now`.
+    pub fn barrier_arrive(&mut self, id: u32, proc: ProcId, now: Cycle) -> BarrierOutcome {
+        let state = self.barriers.entry(id).or_default();
+        state.arrived += 1;
+        if state.arrived == self.nprocs {
+            self.barrier_episodes += 1;
+            let waiters = std::mem::take(&mut state.waiters);
+            self.barriers.remove(&id);
+            BarrierOutcome::Release {
+                waiters,
+                at: now + self.barrier_cost,
+            }
+        } else {
+            state.waiters.push(proc);
+            BarrierOutcome::Wait
+        }
+    }
+
+    /// Processor `proc` tries to take lock `id` at time `now`.
+    pub fn lock(&mut self, id: u32, proc: ProcId, now: Cycle) -> LockOutcome {
+        let state = self.locks.entry(id).or_default();
+        self.lock_acquisitions += 1;
+        if state.held {
+            self.lock_contended += 1;
+            state.queue.push_back(proc);
+            LockOutcome::Queued
+        } else {
+            state.held = true;
+            LockOutcome::Acquired {
+                at: now + self.lock_cost,
+            }
+        }
+    }
+
+    /// Processor releases lock `id` at time `now`; returns the next holder
+    /// (already granted) and its resume time, if anyone was queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock was not held (an unlock without a lock is a
+    /// workload bug worth failing loudly on).
+    pub fn unlock(&mut self, id: u32, now: Cycle) -> Option<(ProcId, Cycle)> {
+        let state = self
+            .locks
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unlock of never-locked lock {id}"));
+        assert!(state.held, "unlock of free lock {id}");
+        if let Some(next) = state.queue.pop_front() {
+            // Hand off directly; the lock stays held.
+            Some((next, now + self.handoff_cost))
+        } else {
+            state.held = false;
+            None
+        }
+    }
+
+    /// Barriers completed.
+    pub fn barrier_episodes(&self) -> u64 {
+        self.barrier_episodes
+    }
+
+    /// Total lock acquisitions and how many were contended.
+    pub fn lock_stats(&self) -> (u64, u64) {
+        (self.lock_acquisitions, self.lock_contended)
+    }
+
+    /// Resets the episode/acquisition counters (measured-phase reporting);
+    /// blocked-waiter state is untouched.
+    pub fn reset_stats(&mut self) {
+        self.barrier_episodes = 0;
+        self.lock_acquisitions = 0;
+        self.lock_contended = 0;
+    }
+
+    /// Whether any processor is still blocked on a barrier or lock
+    /// (deadlock diagnosis for the drain check).
+    pub fn anyone_blocked(&self) -> bool {
+        self.barriers.values().any(|b| !b.waiters.is_empty())
+            || self.locks.values().any(|l| !l.queue.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut s = SyncState::new(3, 100, 10, 50);
+        assert_eq!(s.barrier_arrive(0, p(0), 10), BarrierOutcome::Wait);
+        assert_eq!(s.barrier_arrive(0, p(1), 20), BarrierOutcome::Wait);
+        let BarrierOutcome::Release { waiters, at } = s.barrier_arrive(0, p(2), 30) else {
+            panic!("expected release");
+        };
+        assert_eq!(waiters, vec![p(0), p(1)]);
+        assert_eq!(at, 130);
+        assert_eq!(s.barrier_episodes(), 1);
+    }
+
+    #[test]
+    fn barrier_ids_are_independent() {
+        let mut s = SyncState::new(2, 100, 10, 50);
+        assert_eq!(s.barrier_arrive(0, p(0), 0), BarrierOutcome::Wait);
+        assert_eq!(s.barrier_arrive(1, p(1), 0), BarrierOutcome::Wait);
+        assert!(matches!(
+            s.barrier_arrive(0, p(1), 5),
+            BarrierOutcome::Release { .. }
+        ));
+    }
+
+    #[test]
+    fn lock_free_then_contended() {
+        let mut s = SyncState::new(2, 100, 10, 50);
+        assert_eq!(s.lock(7, p(0), 0), LockOutcome::Acquired { at: 10 });
+        assert_eq!(s.lock(7, p(1), 5), LockOutcome::Queued);
+        let (next, at) = s.unlock(7, 100).expect("hand-off");
+        assert_eq!(next, p(1));
+        assert_eq!(at, 150);
+        // p(1) now holds it; release with empty queue frees it.
+        assert_eq!(s.unlock(7, 200), None);
+        assert_eq!(s.lock(7, p(0), 300), LockOutcome::Acquired { at: 310 });
+        assert_eq!(s.lock_stats(), (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unlock of free lock")]
+    fn double_unlock_panics() {
+        let mut s = SyncState::new(2, 100, 10, 50);
+        s.lock(1, p(0), 0);
+        s.unlock(1, 10);
+        s.unlock(1, 20);
+    }
+
+    #[test]
+    fn stats_reset_keeps_waiters() {
+        let mut s = SyncState::new(2, 100, 10, 50);
+        s.lock(1, p(0), 0);
+        s.lock(1, p(1), 0); // queued
+        s.reset_stats();
+        assert_eq!(s.lock_stats(), (0, 0));
+        assert!(s.anyone_blocked(), "waiters must survive a stats reset");
+    }
+
+    #[test]
+    fn blocked_detection() {
+        let mut s = SyncState::new(2, 100, 10, 50);
+        assert!(!s.anyone_blocked());
+        s.barrier_arrive(0, p(0), 0);
+        assert!(s.anyone_blocked());
+    }
+}

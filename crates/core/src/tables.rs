@@ -1,0 +1,194 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+///
+/// ```
+/// let mut t = ccnuma::tables::TextTable::new(vec!["app", "penalty"]);
+/// t.row(vec!["Ocean".into(), "93%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Ocean"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "{title}");
+        }
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<w$}", h, w = widths[i] + 2);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let total: usize = widths
+            .iter()
+            .map(|w| w + 2)
+            .sum::<usize>()
+            .saturating_sub(2);
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let mut line = String::new();
+            for i in 0..ncols {
+                let _ = write!(line, "{:<w$}", row[i], w = widths[i] + 2);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// Renders grouped horizontal bars, one group per label and one bar per
+/// series — an ASCII rendition of the paper's normalized-execution-time
+/// bar figures.
+///
+/// ```
+/// let chart = ccnuma::tables::bar_chart(
+///     "Figure 6",
+///     &["Ocean".to_string()],
+///     &[("HWC".to_string(), vec![1.0]), ("PPC".to_string(), vec![1.93])],
+///     40,
+/// );
+/// assert!(chart.contains("PPC"));
+/// assert!(chart.contains("1.93"));
+/// ```
+pub fn bar_chart(
+    title: &str,
+    labels: &[String],
+    series: &[(String, Vec<f64>)],
+    width: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+    for (i, label) in labels.iter().enumerate() {
+        let _ = writeln!(out, "{label}");
+        for (name, values) in series {
+            let v = values.get(i).copied().unwrap_or(0.0);
+            let bars = ((v / max) * width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "  {name:<name_w$} |{} {v:.2}",
+                "#".repeat(bars.min(width))
+            );
+        }
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with one decimal ("93.0%").
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with `prec` decimals.
+pub fn num(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "longer"]).with_title("T");
+        t.row(vec!["xx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].starts_with("a"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_the_maximum() {
+        let chart = bar_chart(
+            "T",
+            &["a".into(), "b".into()],
+            &[("s".into(), vec![1.0, 2.0])],
+            10,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        // The 2.0 bar is the maximum: exactly `width` hashes; 1.0 half.
+        let count = |l: &str| l.matches('#').count();
+        assert_eq!(count(lines[2]), 5);
+        assert_eq!(count(lines[4]), 10);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.934), "93.4%");
+        assert_eq!(num(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end smoke tests: every micro-workload runs to completion on
+//! every architecture and leaves the protocol in a consistent state.
+
+use ccn_workloads::micro::{HotSpot, PrivateCompute, ProducerConsumer, UniformSharing};
+use ccn_workloads::Application;
+use ccnuma::{Architecture, Machine, SystemConfig};
+
+fn run_and_check(app: &dyn Application, arch: Architecture) -> ccnuma::SimReport {
+    let cfg = SystemConfig::small().with_architecture(arch);
+    let mut machine = Machine::new(cfg, app).expect("valid config");
+    let report = machine.run();
+    machine
+        .check_quiescent()
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", app.name(), arch.name()));
+    report
+}
+
+#[test]
+fn private_compute_runs_everywhere() {
+    for arch in Architecture::all() {
+        let report = run_and_check(&PrivateCompute::default(), arch);
+        assert!(report.exec_cycles > 0);
+        assert!(report.instructions > 0);
+    }
+}
+
+#[test]
+fn uniform_sharing_runs_everywhere() {
+    let app = UniformSharing {
+        touches_per_proc: 4_000,
+        ..UniformSharing::default()
+    };
+    for arch in Architecture::all() {
+        let report = run_and_check(&app, arch);
+        assert!(report.cc_arrivals > 0, "sharing must reach the controllers");
+        assert!(report.messages > 0);
+    }
+}
+
+#[test]
+fn hotspot_runs_everywhere() {
+    let app = HotSpot {
+        touches_per_proc: 1_500,
+        ..HotSpot::default()
+    };
+    for arch in Architecture::all() {
+        let report = run_and_check(&app, arch);
+        assert!(report.cc_arrivals > 0);
+    }
+}
+
+#[test]
+fn producer_consumer_runs_everywhere() {
+    let app = ProducerConsumer {
+        buffer_bytes: 8 * 1024,
+        phases: 4,
+    };
+    for arch in Architecture::all() {
+        let report = run_and_check(&app, arch);
+        assert!(report.barriers > 0);
+    }
+}
+
+#[test]
+fn ppc_is_slower_than_hwc_on_communication() {
+    let app = UniformSharing {
+        touches_per_proc: 4_000,
+        ..UniformSharing::default()
+    };
+    let hwc = run_and_check(&app, Architecture::Hwc);
+    let ppc = run_and_check(&app, Architecture::Ppc);
+    assert!(
+        ppc.exec_cycles > hwc.exec_cycles,
+        "PPC {} must exceed HWC {}",
+        ppc.exec_cycles,
+        hwc.exec_cycles
+    );
+}
+
+#[test]
+fn rccpi_is_architecture_insensitive() {
+    // Section 3.3: the difference in RCCPI between the four
+    // implementations is less than 1% for all applications. Allow 2%.
+    let app = UniformSharing {
+        touches_per_proc: 4_000,
+        ..UniformSharing::default()
+    };
+    let rccpis: Vec<f64> = Architecture::all()
+        .iter()
+        .map(|&a| run_and_check(&app, a).rccpi())
+        .collect();
+    let min = rccpis.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = rccpis.iter().cloned().fold(0.0, f64::max);
+    assert!(min > 0.0);
+    assert!(
+        (max - min) / min < 0.02,
+        "RCCPI spread too wide: {rccpis:?}"
+    );
+}
+
+#[test]
+fn deterministic_runs() {
+    let app = UniformSharing {
+        touches_per_proc: 2_000,
+        ..UniformSharing::default()
+    };
+    let a = run_and_check(&app, Architecture::Hwc);
+    let b = run_and_check(&app, Architecture::Hwc);
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+    assert_eq!(a.cc_arrivals, b.cc_arrivals);
+    assert_eq!(a.instructions, b.instructions);
+}
+
+#[test]
+fn trace_records_handler_executions() {
+    let app = UniformSharing {
+        touches_per_proc: 500,
+        ..UniformSharing::default()
+    };
+    let cfg = SystemConfig::small().with_architecture(Architecture::Hwc);
+    let mut machine = Machine::new(cfg, &app).unwrap();
+    machine.enable_trace(64);
+    machine.run();
+    let trace = machine.trace();
+    assert_eq!(trace.len(), 64, "trace must fill to its capacity");
+    for w in trace.windows(2) {
+        assert!(w[0].time <= w[1].time, "trace must be time-ordered");
+    }
+    assert!(trace.iter().all(|e| e.occupancy > 0));
+    assert!(trace.iter().any(|e| e.handler.contains("read")));
+}

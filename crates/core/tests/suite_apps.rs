@@ -1,0 +1,72 @@
+//! The eight SPLASH-2-like kernels run end-to-end on every architecture
+//! (tiny problem sizes) and leave the protocol consistent.
+
+use ccn_workloads::suite::{Scale, SuiteApp};
+use ccnuma::{Architecture, Machine, SystemConfig};
+
+fn run(app: SuiteApp, arch: Architecture) -> ccnuma::SimReport {
+    let cfg = SystemConfig::small().with_architecture(arch);
+    let instance = app.instantiate(Scale::Tiny);
+    let mut machine = Machine::new(cfg, instance.as_ref()).expect("valid config");
+    let report = machine.run_with_event_limit(200_000_000);
+    machine
+        .check_quiescent()
+        .unwrap_or_else(|e| panic!("{app:?} on {}: {e}", arch.name()));
+    report
+}
+
+#[test]
+fn all_apps_run_on_hwc_and_ppc() {
+    let mut hwc_total = 0u64;
+    let mut ppc_total = 0u64;
+    for app in SuiteApp::base_suite() {
+        let hwc = run(app, Architecture::Hwc);
+        let ppc = run(app, Architecture::Ppc);
+        assert!(hwc.exec_cycles > 0, "{app:?}");
+        assert!(hwc.instructions > 0, "{app:?}");
+        // At tiny scale an individual lock-heavy app can flip through
+        // scheduling noise; allow 10% per app and require the aggregate
+        // to favor HWC.
+        assert!(
+            ppc.exec_cycles as f64 >= 0.9 * hwc.exec_cycles as f64,
+            "{app:?}: PPC {} implausibly beats HWC {}",
+            ppc.exec_cycles,
+            hwc.exec_cycles
+        );
+        hwc_total += hwc.exec_cycles;
+        ppc_total += ppc.exec_cycles;
+    }
+    assert!(
+        ppc_total > hwc_total,
+        "across the suite PPC ({ppc_total}) must be slower than HWC ({hwc_total})"
+    );
+}
+
+#[test]
+fn all_apps_run_on_two_engine_controllers() {
+    for app in SuiteApp::base_suite() {
+        let one = run(app, Architecture::Ppc);
+        let two = run(app, Architecture::TwoPpc);
+        // Two engines never hurt by more than scheduling noise.
+        assert!(
+            (two.exec_cycles as f64) < 1.10 * one.exec_cycles as f64,
+            "{app:?}: 2PPC {} vs PPC {}",
+            two.exec_cycles,
+            one.exec_cycles
+        );
+    }
+}
+
+#[test]
+fn communication_ordering_holds() {
+    // Ocean must communicate more per instruction than LU (the suite's
+    // extremes in the paper).
+    let ocean = run(SuiteApp::OceanBase, Architecture::Hwc);
+    let lu = run(SuiteApp::Lu, Architecture::Hwc);
+    assert!(
+        ocean.rccpi() > lu.rccpi(),
+        "ocean rccpi {} must exceed lu rccpi {}",
+        ocean.rccpi(),
+        lu.rccpi()
+    );
+}

@@ -1,0 +1,25 @@
+//! Cache and memory models for the CC-NUMA simulator.
+//!
+//! This crate provides the storage-hierarchy substrate of the ISCA '97
+//! reproduction:
+//!
+//! * [`addr`] — physical address layout, node/processor identifiers, page
+//!   placement (round-robin by default, explicit per-region hints for the
+//!   paper's optimized FFT), and the home-node lookup used by the directory.
+//! * [`cache`] — a set-associative LRU cache with MESI line states, used for
+//!   both the 16 KB L1 and the 1 MB 4-way L2 of every compute processor.
+//! * [`memory`] — interleaved memory-bank timing (each bank is a FIFO
+//!   reservation server) behind the node's memory controller.
+//!
+//! All sizes are in bytes and all times in 5 ns CPU cycles (see `ccn_sim`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod cache;
+pub mod memory;
+
+pub use addr::{AddressMap, LineAddr, NodeId, PageMap, ProcId};
+pub use cache::{AccessKind, CacheGeometry, CacheStats, Eviction, LineState, SetAssocCache};
+pub use memory::MemoryBanks;

@@ -1,0 +1,173 @@
+//! Model-based property tests: `SetAssocCache` against a naive reference
+//! implementation (per-set vectors with explicit LRU ordering).
+
+use std::collections::HashMap;
+
+use ccn_mem::{AccessKind, CacheGeometry, Eviction, LineAddr, LineState, SetAssocCache};
+use proptest::prelude::*;
+
+/// A deliberately slow but obviously correct reference cache.
+struct RefCache {
+    sets: u64,
+    ways: usize,
+    /// Per set: (line, state, payload), most-recently-used last.
+    contents: HashMap<u64, Vec<(u64, LineState, u64)>>,
+}
+
+impl RefCache {
+    fn new(geometry: CacheGeometry) -> Self {
+        RefCache {
+            sets: geometry.sets(),
+            ways: geometry.ways as usize,
+            contents: HashMap::new(),
+        }
+    }
+
+    fn set_of(&self, line: u64) -> u64 {
+        line % self.sets
+    }
+
+    fn state_of(&self, line: u64) -> LineState {
+        self.contents
+            .get(&self.set_of(line))
+            .and_then(|s| s.iter().find(|(l, _, _)| *l == line))
+            .map(|(_, st, _)| *st)
+            .unwrap_or(LineState::Invalid)
+    }
+
+    fn access(&mut self, line: u64, kind: AccessKind) -> LineState {
+        let set = self.set_of(line);
+        let entries = self.contents.entry(set).or_default();
+        if let Some(pos) = entries.iter().position(|(l, _, _)| *l == line) {
+            let state = entries[pos].1;
+            let hit = match kind {
+                AccessKind::Read => state.readable(),
+                AccessKind::Write => state.writable(),
+            };
+            if hit {
+                let e = entries.remove(pos);
+                entries.push(e); // MRU
+            }
+            state
+        } else {
+            LineState::Invalid
+        }
+    }
+
+    fn fill(&mut self, line: u64, state: LineState, payload: u64) -> Option<Eviction> {
+        let ways = self.ways;
+        let set = self.set_of(line);
+        let entries = self.contents.entry(set).or_default();
+        assert!(entries.iter().all(|(l, _, _)| *l != line));
+        let evicted = if entries.len() == ways {
+            let (l, st, pl) = entries.remove(0); // LRU first
+            Some(Eviction {
+                line: LineAddr(l),
+                state: st,
+                payload: pl,
+            })
+        } else {
+            None
+        };
+        entries.push((line, state, payload));
+        evicted
+    }
+
+    fn invalidate(&mut self, line: u64) -> Option<(LineState, u64)> {
+        let set = self.set_of(line);
+        let entries = self.contents.get_mut(&set)?;
+        let pos = entries.iter().position(|(l, _, _)| *l == line)?;
+        let (_, st, pl) = entries.remove(pos);
+        Some((st, pl))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Access(u64, bool),
+    Fill(u64, u8, u64),
+    Invalidate(u64),
+    SetState(u64, u8),
+}
+
+fn op_strategy(lines: u64) -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0..lines, any::<bool>()).prop_map(|(l, w)| CacheOp::Access(l, w)),
+        (0..lines, 0u8..3, any::<u64>()).prop_map(|(l, s, p)| CacheOp::Fill(l, s, p)),
+        (0..lines).prop_map(CacheOp::Invalidate),
+        (0..lines, 0u8..3).prop_map(|(l, s)| CacheOp::SetState(l, s)),
+    ]
+}
+
+fn state_from(code: u8) -> LineState {
+    match code {
+        0 => LineState::Shared,
+        1 => LineState::Exclusive,
+        _ => LineState::Modified,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cache_matches_reference_model(ops in prop::collection::vec(op_strategy(64), 1..300)) {
+        let geometry = CacheGeometry { size_bytes: 1024, line_bytes: 64, ways: 2 };
+        let mut cache = SetAssocCache::new(geometry);
+        let mut model = RefCache::new(geometry);
+        for op in ops {
+            match op {
+                CacheOp::Access(l, write) => {
+                    let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                    prop_assert_eq!(cache.access(LineAddr(l), kind), model.access(l, kind));
+                }
+                CacheOp::Fill(l, s, p) => {
+                    if cache.state_of(LineAddr(l)) != LineState::Invalid {
+                        continue; // fills pair with misses
+                    }
+                    let state = state_from(s);
+                    let got = cache.fill(LineAddr(l), state, p);
+                    let want = model.fill(l, state, p);
+                    prop_assert_eq!(got, want, "evictions must match");
+                }
+                CacheOp::Invalidate(l) => {
+                    prop_assert_eq!(cache.invalidate(LineAddr(l)), model.invalidate(l));
+                }
+                CacheOp::SetState(l, s) => {
+                    if cache.state_of(LineAddr(l)) != LineState::Invalid {
+                        let state = state_from(s);
+                        cache.set_state(LineAddr(l), state);
+                        let set = model.set_of(l);
+                        let entries = model.contents.get_mut(&set).unwrap();
+                        let pos = entries.iter().position(|(x, _, _)| *x == l).unwrap();
+                        entries[pos].1 = state;
+                    }
+                }
+            }
+            // Spot-check agreement on every line we know about.
+            for l in 0..64 {
+                prop_assert_eq!(
+                    cache.state_of(LineAddr(l)),
+                    model.state_of(l),
+                    "state divergence on line {}",
+                    l
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resident_count_never_exceeds_capacity(ops in prop::collection::vec(op_strategy(256), 1..300)) {
+        let geometry = CacheGeometry { size_bytes: 2048, line_bytes: 64, ways: 4 };
+        let mut cache = SetAssocCache::new(geometry);
+        let capacity = (geometry.size_bytes / geometry.line_bytes) as usize;
+        for op in ops {
+            if let CacheOp::Fill(l, s, p) = op {
+                if cache.state_of(LineAddr(l)) == LineState::Invalid {
+                    cache.fill(LineAddr(l), state_from(s), p);
+                }
+            }
+            prop_assert!(cache.resident_lines() <= capacity);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the network model: per-pair FIFO delivery (the
+//! directory protocol's write-back / forward-miss race depends on it),
+//! latency lower bounds, and port-bandwidth conservation.
+
+use ccn_mem::NodeId;
+use ccn_net::{NetConfig, Network};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Messages between the same (source, destination) pair are delivered
+    /// in send order even under cross traffic.
+    #[test]
+    fn per_pair_fifo(
+        sends in prop::collection::vec((0u16..4, 0u16..4, 16u64..160), 2..80),
+    ) {
+        let mut net = Network::new(4, NetConfig::default());
+        let mut last: std::collections::HashMap<(u16, u16), u64> = Default::default();
+        for (i, &(from, to, bytes)) in sends.iter().enumerate() {
+            let t = net.send(i as u64, NodeId(from), NodeId(to), bytes);
+            if let Some(&prev) = last.get(&(from, to)) {
+                prop_assert!(t > prev, "pair ({from},{to}) reordered: {t} <= {prev}");
+            }
+            last.insert((from, to), t);
+        }
+    }
+
+    /// No message arrives faster than the physics allows: two NI
+    /// overheads, two serialization steps, and the fall-through latency.
+    #[test]
+    fn latency_lower_bound(
+        from in 0u16..4,
+        to in 0u16..4,
+        bytes in 16u64..2048,
+        time in 0u64..100_000,
+    ) {
+        let cfg = NetConfig::default();
+        let mut net = Network::new(4, cfg);
+        let arrival = net.send(time, NodeId(from), NodeId(to), bytes);
+        let ser = bytes.div_ceil(cfg.bytes_per_cycle).max(1);
+        let min = time + 2 * cfg.ni_overhead + 2 * ser + cfg.latency_cycles;
+        prop_assert_eq!(arrival, min, "single message must see no contention");
+    }
+
+    /// Bytes are conserved in the statistics.
+    #[test]
+    fn byte_accounting(
+        sends in prop::collection::vec((0u16..3, 0u16..3, 16u64..300), 1..50),
+    ) {
+        let mut net = Network::new(3, NetConfig::default());
+        let mut total = 0;
+        for (i, &(from, to, bytes)) in sends.iter().enumerate() {
+            net.send(i as u64, NodeId(from), NodeId(to), bytes);
+            total += bytes;
+        }
+        prop_assert_eq!(net.bytes(), total);
+        prop_assert_eq!(net.messages(), sends.len() as u64);
+    }
+
+    /// A saturated egress port delays messages by at least their
+    /// aggregate serialization time.
+    #[test]
+    fn egress_serialization_accumulates(count in 2u64..40, bytes in 16u64..160) {
+        let cfg = NetConfig::default();
+        let mut net = Network::new(2, cfg);
+        let ser = bytes.div_ceil(cfg.bytes_per_cycle).max(1);
+        let mut last = 0;
+        for _ in 0..count {
+            last = net.send(0, NodeId(0), NodeId(1), bytes);
+        }
+        let min_last = 2 * cfg.ni_overhead + cfg.latency_cycles + (count + 1) * ser;
+        prop_assert!(last >= min_last, "{last} < {min_last}");
+    }
+}

@@ -1,0 +1,868 @@
+//! Home-node directory state machine.
+//!
+//! Each node's coherence controller owns the directory for the lines whose
+//! home is that node. The directory is full-map (one presence bit per node)
+//! and write-back/invalidation-based. Remote copies only are tracked here;
+//! copies in the home node's *own* processor caches are visible to the home
+//! controller through its bus-side snooping state and never need directory
+//! bits.
+//!
+//! Conflicting requests to a line with an outstanding transaction are
+//! buffered in a per-line pending queue and replayed when the transaction
+//! completes (the paper's protocol serializes at the home; we buffer
+//! instead of NACK-retrying — see DESIGN.md).
+
+use std::collections::{HashMap, VecDeque};
+
+use ccn_mem::{LineAddr, NodeId};
+
+/// A set of nodes, stored as a 64-bit presence bitmap (the machine tops out
+/// at 64 nodes, paper systems use 8–64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct NodeBitmap(u64);
+
+impl NodeBitmap {
+    /// The empty set.
+    pub const EMPTY: NodeBitmap = NodeBitmap(0);
+
+    /// A set containing only `node`.
+    pub fn just(node: NodeId) -> Self {
+        let mut bm = NodeBitmap::EMPTY;
+        bm.insert(node);
+        bm
+    }
+
+    /// Adds `node` to the set.
+    pub fn insert(&mut self, node: NodeId) {
+        assert!(node.0 < 64, "node id beyond bitmap capacity");
+        self.0 |= 1 << node.0;
+    }
+
+    /// Removes `node` from the set.
+    pub fn remove(&mut self, node: NodeId) {
+        self.0 &= !(1 << node.0);
+    }
+
+    /// Whether `node` is in the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.0 < 64 && self.0 & (1 << node.0) != 0
+    }
+
+    /// Number of nodes in the set.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let bits = self.0;
+        (0..64u16).filter_map(move |i| (bits & (1 << i) != 0).then_some(NodeId(i)))
+    }
+
+    /// Returns this set with `node` removed.
+    pub fn without(mut self, node: NodeId) -> Self {
+        self.remove(node);
+        self
+    }
+}
+
+/// Stable directory state of a line (remote copies only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No remote copies.
+    Uncached,
+    /// Remote nodes hold read-only copies; memory is up to date.
+    Shared(NodeBitmap),
+    /// One remote node holds the only (possibly dirty) copy.
+    Dirty(NodeId),
+}
+
+/// The kind of request presented to the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirRequestKind {
+    /// Read for a shared copy.
+    Read,
+    /// Read for an exclusive copy (data needed).
+    ReadExcl,
+    /// Exclusive permission only; requester claims to hold the line Shared.
+    Upgrade,
+}
+
+/// A request presented to the directory on behalf of `requester` (which is
+/// the home node itself for requests from the home's local bus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirRequest {
+    /// Read, read-exclusive or upgrade.
+    pub kind: DirRequestKind,
+    /// The node that wants the line.
+    pub requester: NodeId,
+}
+
+/// What the home controller must do for a request the directory accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirAction {
+    /// Supply the line from home memory. `invalidate` lists the *remote*
+    /// sharers that must be invalidated first (acks collected at home);
+    /// `exclusive` grants ownership.
+    Supply {
+        /// Grant an exclusive (writable) copy.
+        exclusive: bool,
+        /// Remote sharers to invalidate.
+        invalidate: NodeBitmap,
+    },
+    /// Grant exclusive permission without data (requester already holds the
+    /// line Shared). `invalidate` lists the other remote sharers.
+    GrantUpgrade {
+        /// Remote sharers to invalidate.
+        invalidate: NodeBitmap,
+    },
+    /// Forward the request to the dirty remote owner.
+    Forward {
+        /// Current owner.
+        owner: NodeId,
+    },
+    /// The requester *is* the recorded dirty owner: its write-back is in
+    /// flight; hold the request until the write-back arrives.
+    AwaitWriteback,
+}
+
+/// Result of presenting a request to the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirOutcome {
+    /// The request was accepted; perform the action.
+    Act(DirAction),
+    /// The line has an outstanding transaction; the request was buffered
+    /// and will be handed back by [`Directory::pop_pending_if_idle`].
+    Busy,
+}
+
+/// Completion returned when the last invalidation ack arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvComplete {
+    /// The requester waiting for the invalidations.
+    pub requester: NodeId,
+    /// The kind of the original request.
+    pub kind: DirRequestKind,
+}
+
+/// Outcome of a write-back arriving at the home.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritebackOutcome {
+    /// Normal eviction write-back: directory now Uncached.
+    Applied,
+    /// The write-back raced with a forward to the (gone) owner; memory is
+    /// updated and the directory waits for the owner's `FwdMiss`.
+    RacedWithForward,
+    /// The write-back releases an [`DirAction::AwaitWriteback`] request:
+    /// the directory is now Uncached and the caller must replay the
+    /// returned request.
+    ReleasesWaiter {
+        /// The request that was waiting for this write-back.
+        request: DirRequest,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Busy {
+    /// Waiting for invalidation acks; state already updated for requester.
+    AcksPending {
+        remaining: u16,
+        requester: NodeId,
+        kind: DirRequestKind,
+    },
+    /// Forwarded to the dirty owner; waiting for its response to arrive at
+    /// home (sharing write-back, ownership ack, or fwd-miss).
+    OwnerTransfer {
+        requester: NodeId,
+        kind: DirRequestKind,
+        owner: NodeId,
+        writeback_seen: bool,
+    },
+    /// Requester is the old owner whose write-back is in flight.
+    WritebackWait {
+        requester: NodeId,
+        kind: DirRequestKind,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    state: DirState,
+    busy: Option<Busy>,
+    pending: VecDeque<DirRequest>,
+}
+
+impl Entry {
+    fn new() -> Self {
+        Entry {
+            state: DirState::Uncached,
+            busy: None,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+/// The directory of one home node.
+///
+/// The directory is a pure state machine: it decides *what* must happen and
+/// tracks transaction state; the machine model performs the timed actions
+/// (memory reads, network sends) it prescribes.
+///
+/// # Example
+///
+/// ```
+/// use ccn_mem::{LineAddr, NodeId};
+/// use ccn_protocol::directory::*;
+///
+/// let mut dir = Directory::new(NodeId(0));
+/// let line = LineAddr(42);
+/// // A remote node reads: supplied from memory, becomes a sharer.
+/// let outcome = dir.request(line, DirRequest { kind: DirRequestKind::Read, requester: NodeId(1) });
+/// assert!(matches!(outcome, DirOutcome::Act(DirAction::Supply { exclusive: false, .. })));
+/// assert_eq!(dir.state_of(line), DirState::Shared(NodeBitmap::just(NodeId(1))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    home: NodeId,
+    entries: HashMap<LineAddr, Entry>,
+    /// Requests buffered because the line was busy (for statistics).
+    buffered: u64,
+}
+
+impl Directory {
+    /// Creates the directory for home node `home`.
+    pub fn new(home: NodeId) -> Self {
+        Directory {
+            home,
+            entries: HashMap::new(),
+            buffered: 0,
+        }
+    }
+
+    /// The home node this directory belongs to.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// Stable state of `line` (`Uncached` if never touched).
+    pub fn state_of(&self, line: LineAddr) -> DirState {
+        self.entries
+            .get(&line)
+            .map_or(DirState::Uncached, |e| e.state)
+    }
+
+    /// Whether `line` has an outstanding transaction.
+    pub fn is_busy(&self, line: LineAddr) -> bool {
+        self.entries.get(&line).is_some_and(|e| e.busy.is_some())
+    }
+
+    /// Number of requests that were buffered behind busy lines.
+    pub fn buffered_requests(&self) -> u64 {
+        self.buffered
+    }
+
+    fn entry(&mut self, line: LineAddr) -> &mut Entry {
+        self.entries.entry(line).or_insert_with(Entry::new)
+    }
+
+    /// Presents a request. See [`DirOutcome`].
+    pub fn request(&mut self, line: LineAddr, req: DirRequest) -> DirOutcome {
+        let home = self.home;
+        let entry = self.entry(line);
+        if entry.busy.is_some() {
+            entry.pending.push_back(req);
+            self.buffered += 1;
+            return DirOutcome::Busy;
+        }
+        let requester_is_home = req.requester == home;
+        match (req.kind, entry.state) {
+            (DirRequestKind::Read, DirState::Uncached) => {
+                if !requester_is_home {
+                    entry.state = DirState::Shared(NodeBitmap::just(req.requester));
+                }
+                DirOutcome::Act(DirAction::Supply {
+                    exclusive: false,
+                    invalidate: NodeBitmap::EMPTY,
+                })
+            }
+            (DirRequestKind::Read, DirState::Shared(mut bm)) => {
+                if !requester_is_home {
+                    bm.insert(req.requester);
+                    entry.state = DirState::Shared(bm);
+                }
+                DirOutcome::Act(DirAction::Supply {
+                    exclusive: false,
+                    invalidate: NodeBitmap::EMPTY,
+                })
+            }
+            (DirRequestKind::Read, DirState::Dirty(owner)) => {
+                if owner == req.requester {
+                    entry.busy = Some(Busy::WritebackWait {
+                        requester: req.requester,
+                        kind: req.kind,
+                    });
+                    DirOutcome::Act(DirAction::AwaitWriteback)
+                } else {
+                    entry.busy = Some(Busy::OwnerTransfer {
+                        requester: req.requester,
+                        kind: req.kind,
+                        owner,
+                        writeback_seen: false,
+                    });
+                    DirOutcome::Act(DirAction::Forward { owner })
+                }
+            }
+            (DirRequestKind::ReadExcl | DirRequestKind::Upgrade, DirState::Uncached) => {
+                entry.state = if requester_is_home {
+                    DirState::Uncached
+                } else {
+                    DirState::Dirty(req.requester)
+                };
+                DirOutcome::Act(DirAction::Supply {
+                    exclusive: true,
+                    invalidate: NodeBitmap::EMPTY,
+                })
+            }
+            (kind @ (DirRequestKind::ReadExcl | DirRequestKind::Upgrade), DirState::Shared(bm)) => {
+                let invalidate = bm.without(req.requester);
+                let acks = invalidate.count() as u16;
+                entry.state = if requester_is_home {
+                    DirState::Uncached
+                } else {
+                    DirState::Dirty(req.requester)
+                };
+                if acks > 0 {
+                    entry.busy = Some(Busy::AcksPending {
+                        remaining: acks,
+                        requester: req.requester,
+                        kind,
+                    });
+                }
+                if kind == DirRequestKind::Upgrade && bm.contains(req.requester) {
+                    DirOutcome::Act(DirAction::GrantUpgrade { invalidate })
+                } else {
+                    // An upgrade whose copy was since invalidated needs data.
+                    DirOutcome::Act(DirAction::Supply {
+                        exclusive: true,
+                        invalidate,
+                    })
+                }
+            }
+            (
+                kind @ (DirRequestKind::ReadExcl | DirRequestKind::Upgrade),
+                DirState::Dirty(owner),
+            ) => {
+                if owner == req.requester {
+                    entry.busy = Some(Busy::WritebackWait {
+                        requester: req.requester,
+                        kind,
+                    });
+                    DirOutcome::Act(DirAction::AwaitWriteback)
+                } else {
+                    entry.busy = Some(Busy::OwnerTransfer {
+                        requester: req.requester,
+                        kind,
+                        owner,
+                        writeback_seen: false,
+                    });
+                    DirOutcome::Act(DirAction::Forward { owner })
+                }
+            }
+        }
+    }
+
+    /// A dirty-eviction write-back from `from` arrived at home.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write-back is inconsistent with the directory state
+    /// (the protocol would have lost track of the owner).
+    pub fn writeback(&mut self, line: LineAddr, from: NodeId) -> WritebackOutcome {
+        let entry = self.entry(line);
+        match &mut entry.busy {
+            None => {
+                assert_eq!(
+                    entry.state,
+                    DirState::Dirty(from),
+                    "write-back from non-owner {from} for {line}"
+                );
+                entry.state = DirState::Uncached;
+                WritebackOutcome::Applied
+            }
+            Some(Busy::OwnerTransfer {
+                owner,
+                writeback_seen,
+                ..
+            }) => {
+                assert_eq!(*owner, from, "write-back raced from an unexpected node");
+                assert!(!*writeback_seen, "duplicate write-back");
+                *writeback_seen = true;
+                WritebackOutcome::RacedWithForward
+            }
+            Some(Busy::WritebackWait { requester, kind }) => {
+                let request = DirRequest {
+                    kind: *kind,
+                    requester: *requester,
+                };
+                entry.state = DirState::Uncached;
+                entry.busy = None;
+                WritebackOutcome::ReleasesWaiter { request }
+            }
+            Some(Busy::AcksPending { .. }) => {
+                panic!("write-back for {line} while collecting invalidation acks")
+            }
+        }
+    }
+
+    /// A sharing write-back from the forwarded owner arrived: the owner
+    /// kept a Shared copy and the requester received a Shared copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no matching forward is outstanding.
+    pub fn sharing_writeback(&mut self, line: LineAddr, from: NodeId) {
+        let home = self.home;
+        let entry = self.entry(line);
+        match entry.busy.take() {
+            Some(Busy::OwnerTransfer {
+                requester,
+                kind: DirRequestKind::Read,
+                owner,
+                ..
+            }) => {
+                assert_eq!(owner, from, "sharing write-back from unexpected node");
+                let mut bm = NodeBitmap::just(owner);
+                if requester != home {
+                    bm.insert(requester);
+                }
+                entry.state = DirState::Shared(bm);
+            }
+            other => panic!("unexpected sharing write-back for {line}: busy={other:?}"),
+        }
+    }
+
+    /// The forwarded owner acknowledged transferring ownership to the
+    /// requester of a read-exclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no matching forward is outstanding.
+    pub fn ownership_ack(&mut self, line: LineAddr, from: NodeId) {
+        let home = self.home;
+        let entry = self.entry(line);
+        match entry.busy.take() {
+            Some(Busy::OwnerTransfer {
+                requester,
+                kind: DirRequestKind::ReadExcl | DirRequestKind::Upgrade,
+                owner,
+                ..
+            }) => {
+                assert_eq!(owner, from, "ownership ack from unexpected node");
+                entry.state = if requester == home {
+                    DirState::Uncached
+                } else {
+                    DirState::Dirty(requester)
+                };
+            }
+            other => panic!("unexpected ownership ack for {line}: busy={other:?}"),
+        }
+    }
+
+    /// The forwarded owner no longer held the line (its write-back raced).
+    /// Returns the original request, which the home must now satisfy from
+    /// memory (the racing write-back has already been applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the racing write-back has not arrived — the network must
+    /// deliver same-source messages in order — or no forward is
+    /// outstanding.
+    pub fn fwd_miss(&mut self, line: LineAddr, from: NodeId) -> DirRequest {
+        let home = self.home;
+        let entry = self.entry(line);
+        match entry.busy.take() {
+            Some(Busy::OwnerTransfer {
+                requester,
+                kind,
+                owner,
+                writeback_seen,
+            }) => {
+                assert_eq!(owner, from, "fwd-miss from unexpected node");
+                assert!(
+                    writeback_seen,
+                    "fwd-miss for {line} arrived before the owner's write-back"
+                );
+                entry.state = match kind {
+                    DirRequestKind::Read if requester != home => {
+                        DirState::Shared(NodeBitmap::just(requester))
+                    }
+                    DirRequestKind::Read => DirState::Uncached,
+                    _ if requester != home => DirState::Dirty(requester),
+                    _ => DirState::Uncached,
+                };
+                DirRequest { kind, requester }
+            }
+            other => panic!("unexpected fwd-miss for {line}: busy={other:?}"),
+        }
+    }
+
+    /// An invalidation ack arrived. Returns the completion when it was the
+    /// last expected ack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no invalidation acks are expected for the line.
+    pub fn inv_ack(&mut self, line: LineAddr) -> Option<InvComplete> {
+        let entry = self.entry(line);
+        match &mut entry.busy {
+            Some(Busy::AcksPending {
+                remaining,
+                requester,
+                kind,
+            }) => {
+                assert!(*remaining > 0);
+                *remaining -= 1;
+                if *remaining == 0 {
+                    let done = InvComplete {
+                        requester: *requester,
+                        kind: *kind,
+                    };
+                    entry.busy = None;
+                    Some(done)
+                } else {
+                    None
+                }
+            }
+            other => panic!("unexpected invalidation ack for {line}: busy={other:?}"),
+        }
+    }
+
+    /// Whether invalidation acks remain outstanding for `line`.
+    pub fn acks_outstanding(&self, line: LineAddr) -> u16 {
+        match self.entries.get(&line).and_then(|e| e.busy.as_ref()) {
+            Some(Busy::AcksPending { remaining, .. }) => *remaining,
+            _ => 0,
+        }
+    }
+
+    /// Advisory removal of a sharer (replacement hint). Ignored unless the
+    /// line is idle and `node` really is a sharer — hints can race with
+    /// anything and must never affect correctness.
+    pub fn remove_sharer_hint(&mut self, line: LineAddr, node: NodeId) {
+        let Some(entry) = self.entries.get_mut(&line) else {
+            return;
+        };
+        if entry.busy.is_some() {
+            return;
+        }
+        if let DirState::Shared(mut bm) = entry.state {
+            if bm.contains(node) {
+                bm.remove(node);
+                entry.state = if bm.is_empty() {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(bm)
+                };
+            }
+        }
+    }
+
+    /// If `line` is idle and has buffered requests, removes and returns the
+    /// oldest one so the machine can replay it.
+    pub fn pop_pending_if_idle(&mut self, line: LineAddr) -> Option<DirRequest> {
+        let entry = self.entries.get_mut(&line)?;
+        if entry.busy.is_none() {
+            entry.pending.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all known lines and their stable states (for the
+    /// quiescent-consistency checks in tests).
+    pub fn iter_states(&self) -> impl Iterator<Item = (LineAddr, DirState, bool)> + '_ {
+        self.entries
+            .iter()
+            .map(|(&l, e)| (l, e.state, e.busy.is_some()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOME: NodeId = NodeId(0);
+    const R1: NodeId = NodeId(1);
+    const R2: NodeId = NodeId(2);
+    const R3: NodeId = NodeId(3);
+    const LINE: LineAddr = LineAddr(7);
+
+    fn read(r: NodeId) -> DirRequest {
+        DirRequest {
+            kind: DirRequestKind::Read,
+            requester: r,
+        }
+    }
+    fn readx(r: NodeId) -> DirRequest {
+        DirRequest {
+            kind: DirRequestKind::ReadExcl,
+            requester: r,
+        }
+    }
+    fn upg(r: NodeId) -> DirRequest {
+        DirRequest {
+            kind: DirRequestKind::Upgrade,
+            requester: r,
+        }
+    }
+
+    #[test]
+    fn bitmap_basics() {
+        let mut bm = NodeBitmap::EMPTY;
+        assert!(bm.is_empty());
+        bm.insert(NodeId(3));
+        bm.insert(NodeId(5));
+        assert!(bm.contains(NodeId(3)));
+        assert!(!bm.contains(NodeId(4)));
+        assert_eq!(bm.count(), 2);
+        assert_eq!(bm.iter().collect::<Vec<_>>(), vec![NodeId(3), NodeId(5)]);
+        assert_eq!(bm.without(NodeId(3)), NodeBitmap::just(NodeId(5)));
+    }
+
+    #[test]
+    fn read_chain_builds_sharers() {
+        let mut d = Directory::new(HOME);
+        assert!(matches!(
+            d.request(LINE, read(R1)),
+            DirOutcome::Act(DirAction::Supply {
+                exclusive: false,
+                ..
+            })
+        ));
+        d.request(LINE, read(R2));
+        let mut expect = NodeBitmap::just(R1);
+        expect.insert(R2);
+        assert_eq!(d.state_of(LINE), DirState::Shared(expect));
+    }
+
+    #[test]
+    fn home_reads_do_not_set_bits() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, read(HOME));
+        assert_eq!(d.state_of(LINE), DirState::Uncached);
+    }
+
+    #[test]
+    fn read_excl_invalidates_sharers_and_waits_for_acks() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, read(R1));
+        d.request(LINE, read(R2));
+        let outcome = d.request(LINE, readx(R3));
+        let DirOutcome::Act(DirAction::Supply {
+            exclusive,
+            invalidate,
+        }) = outcome
+        else {
+            panic!("expected supply, got {outcome:?}");
+        };
+        assert!(exclusive);
+        assert_eq!(invalidate.count(), 2);
+        assert!(d.is_busy(LINE));
+        assert_eq!(d.state_of(LINE), DirState::Dirty(R3));
+        assert_eq!(d.acks_outstanding(LINE), 2);
+        assert!(d.inv_ack(LINE).is_none());
+        let done = d.inv_ack(LINE).expect("last ack completes");
+        assert_eq!(done.requester, R3);
+        assert!(!d.is_busy(LINE));
+    }
+
+    #[test]
+    fn upgrade_grants_permission_without_data() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, read(R1));
+        d.request(LINE, read(R2));
+        let outcome = d.request(LINE, upg(R1));
+        assert!(matches!(
+            outcome,
+            DirOutcome::Act(DirAction::GrantUpgrade { invalidate }) if invalidate == NodeBitmap::just(R2)
+        ));
+        assert_eq!(d.state_of(LINE), DirState::Dirty(R1));
+    }
+
+    #[test]
+    fn stale_upgrade_becomes_read_excl() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, read(R2));
+        // R1 thinks it is a sharer but is not (invalidated earlier).
+        let outcome = d.request(LINE, upg(R1));
+        assert!(matches!(
+            outcome,
+            DirOutcome::Act(DirAction::Supply {
+                exclusive: true,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn dirty_line_forwards_to_owner_and_shares_on_writeback() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, readx(R1));
+        assert_eq!(d.state_of(LINE), DirState::Dirty(R1));
+        let outcome = d.request(LINE, read(R2));
+        assert!(matches!(outcome, DirOutcome::Act(DirAction::Forward { owner }) if owner == R1));
+        assert!(d.is_busy(LINE));
+        d.sharing_writeback(LINE, R1);
+        let mut bm = NodeBitmap::just(R1);
+        bm.insert(R2);
+        assert_eq!(d.state_of(LINE), DirState::Shared(bm));
+    }
+
+    #[test]
+    fn dirty_line_ownership_transfer() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, readx(R1));
+        let outcome = d.request(LINE, readx(R2));
+        assert!(matches!(outcome, DirOutcome::Act(DirAction::Forward { owner }) if owner == R1));
+        d.ownership_ack(LINE, R1);
+        assert_eq!(d.state_of(LINE), DirState::Dirty(R2));
+        assert!(!d.is_busy(LINE));
+    }
+
+    #[test]
+    fn home_read_of_dirty_line() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, readx(R1));
+        let outcome = d.request(LINE, read(HOME));
+        assert!(matches!(outcome, DirOutcome::Act(DirAction::Forward { owner }) if owner == R1));
+        d.sharing_writeback(LINE, R1);
+        // Home copies are not directory bits: only R1 remains.
+        assert_eq!(d.state_of(LINE), DirState::Shared(NodeBitmap::just(R1)));
+    }
+
+    #[test]
+    fn plain_writeback_clears_owner() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, readx(R1));
+        assert_eq!(d.writeback(LINE, R1), WritebackOutcome::Applied);
+        assert_eq!(d.state_of(LINE), DirState::Uncached);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn writeback_from_non_owner_panics() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, readx(R1));
+        d.writeback(LINE, R2);
+    }
+
+    #[test]
+    fn writeback_racing_forward_then_fwd_miss() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, readx(R1));
+        d.request(LINE, read(R2)); // forward to R1
+        assert_eq!(d.writeback(LINE, R1), WritebackOutcome::RacedWithForward);
+        let replay = d.fwd_miss(LINE, R1);
+        assert_eq!(replay.requester, R2);
+        assert_eq!(replay.kind, DirRequestKind::Read);
+        assert_eq!(d.state_of(LINE), DirState::Shared(NodeBitmap::just(R2)));
+        assert!(!d.is_busy(LINE));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the owner's write-back")]
+    fn fwd_miss_without_writeback_panics() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, readx(R1));
+        d.request(LINE, read(R2));
+        let _ = d.fwd_miss(LINE, R1);
+    }
+
+    #[test]
+    fn owner_rerequest_waits_for_its_own_writeback() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, readx(R1));
+        let outcome = d.request(LINE, read(R1));
+        assert!(matches!(
+            outcome,
+            DirOutcome::Act(DirAction::AwaitWriteback)
+        ));
+        let wb = d.writeback(LINE, R1);
+        assert_eq!(
+            wb,
+            WritebackOutcome::ReleasesWaiter {
+                request: DirRequest {
+                    kind: DirRequestKind::Read,
+                    requester: R1
+                }
+            }
+        );
+        // The directory is Uncached until the replayed request runs.
+        assert_eq!(d.state_of(LINE), DirState::Uncached);
+    }
+
+    #[test]
+    fn busy_lines_buffer_and_replay() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, readx(R1));
+        d.request(LINE, read(R2)); // busy: forward
+        assert_eq!(d.request(LINE, read(R3)), DirOutcome::Busy);
+        assert_eq!(d.buffered_requests(), 1);
+        assert_eq!(d.pop_pending_if_idle(LINE), None); // still busy
+        d.sharing_writeback(LINE, R1);
+        let replay = d.pop_pending_if_idle(LINE).expect("pending replay");
+        assert_eq!(replay.requester, R3);
+        assert_eq!(d.pop_pending_if_idle(LINE), None);
+    }
+
+    #[test]
+    fn read_excl_from_sole_sharer_needs_no_acks() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, read(R1));
+        let outcome = d.request(LINE, readx(R1));
+        assert!(matches!(
+            outcome,
+            DirOutcome::Act(DirAction::Supply { exclusive: true, invalidate }) if invalidate.is_empty()
+        ));
+        assert!(!d.is_busy(LINE));
+        assert_eq!(d.state_of(LINE), DirState::Dirty(R1));
+    }
+
+    #[test]
+    fn replacement_hints_are_advisory_and_safe() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, read(R1));
+        d.request(LINE, read(R2));
+        d.remove_sharer_hint(LINE, R1);
+        assert_eq!(d.state_of(LINE), DirState::Shared(NodeBitmap::just(R2)));
+        // Non-sharer, unknown line, busy line: all ignored.
+        d.remove_sharer_hint(LINE, R3);
+        d.remove_sharer_hint(LineAddr(999), R1);
+        d.request(LINE, readx(R3)); // busy collecting acks? no: R2 inv => busy
+        d.remove_sharer_hint(LINE, R2);
+        assert!(d.is_busy(LINE));
+        // Last sharer removal empties the entry.
+        let mut d2 = Directory::new(HOME);
+        d2.request(LINE, read(R1));
+        d2.remove_sharer_hint(LINE, R1);
+        assert_eq!(d2.state_of(LINE), DirState::Uncached);
+    }
+
+    #[test]
+    fn home_write_leaves_uncached() {
+        let mut d = Directory::new(HOME);
+        d.request(LINE, read(R1));
+        let outcome = d.request(LINE, readx(HOME));
+        assert!(matches!(
+            outcome,
+            DirOutcome::Act(DirAction::Supply { exclusive: true, invalidate }) if invalidate == NodeBitmap::just(R1)
+        ));
+        d.inv_ack(LINE);
+        assert_eq!(d.state_of(LINE), DirState::Uncached);
+    }
+}

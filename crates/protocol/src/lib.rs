@@ -1,0 +1,38 @@
+//! The cache-coherence protocol of the ISCA '97 study.
+//!
+//! Both coherence-controller designs in the paper run *the same* protocol:
+//! a full-map, invalidation-based, write-back directory protocol with
+//! sequentially consistent memory. Remote owners respond directly to remote
+//! requesters with data; invalidation acknowledgements are collected only at
+//! the home node; directory updates that are not needed for a response are
+//! postponed until after the response is issued.
+//!
+//! This crate defines the protocol in an architecture-neutral way:
+//!
+//! * [`msg`] — the network message vocabulary and their queue classes
+//!   (the controller's three input queues).
+//! * [`directory`] — the home-node directory state machine, including the
+//!   transient (busy) states and per-line pending-request buffering.
+//! * [`subop`] — protocol-engine *sub-operations* and their occupancies for
+//!   the custom-hardware (HWC) and protocol-processor (PPC) engines —
+//!   the reproduction of the paper's Table 2.
+//! * [`handlers`] — every protocol handler as a sequence of sub-operations,
+//!   from which handler occupancies (Table 4) are derived.
+//!
+//! The *execution* of handlers (who wins bus arbitration, when messages
+//! arrive) belongs to the machine model in the `ccnuma` crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod directory;
+pub mod handlers;
+pub mod msg;
+pub mod subop;
+
+pub use directory::{
+    DirAction, DirOutcome, DirRequest, DirRequestKind, DirState, Directory, NodeBitmap,
+};
+pub use handlers::{HandlerKind, HandlerSpec, Step};
+pub use msg::{Msg, MsgClass, MsgKind};
+pub use subop::{EngineKind, OccupancyTable, SubOp};

@@ -1,0 +1,158 @@
+//! Network message vocabulary.
+
+use ccn_mem::{LineAddr, NodeId};
+
+/// The controller's input-queue classes. The dispatch policy (Section 2.2
+/// of the paper) serves the transaction *nearest to completion* first:
+/// network responses, then network requests, then bus-side requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgClass {
+    /// Responses arriving from the network (highest priority).
+    NetResponse,
+    /// Requests arriving from the network.
+    NetRequest,
+    /// Requests from the local SMP bus (lowest priority).
+    BusRequest,
+}
+
+/// Kinds of inter-node protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Read request to home.
+    ReadReq,
+    /// Read-exclusive request to home.
+    ReadExclReq,
+    /// Upgrade request to home (requester holds the line Shared).
+    UpgradeReq,
+    /// Dirty-eviction write-back to home (carries data).
+    WritebackReq,
+    /// Home forwards a read to the dirty remote owner.
+    ReadFwd,
+    /// Home forwards a read-exclusive to the dirty remote owner.
+    ReadExclFwd,
+    /// Home asks a sharer to invalidate its copy.
+    InvReq,
+    /// Data response granting a Shared copy (carries data).
+    DataResp,
+    /// Data response granting an exclusive copy (carries data). The
+    /// requester may still owe the home an invalidation-completion wait.
+    DataExclResp,
+    /// Permission grant for an upgrade (no data).
+    UpgradeAck,
+    /// Home tells the requester that all invalidation acks arrived.
+    InvDone,
+    /// Owner sends the line back to home while keeping a Shared copy
+    /// (in response to a forwarded read from a third party; carries data).
+    SharingWriteback,
+    /// Owner tells home that ownership moved to the requester of a
+    /// forwarded read-exclusive.
+    OwnershipAck,
+    /// Sharer acknowledges an invalidation.
+    InvAck,
+    /// Owner received a forward for a line it no longer holds (its
+    /// write-back is in flight to home).
+    FwdMiss,
+    /// Advisory notice that a clean shared copy was evicted (replacement
+    /// hint; only sent when the hint extension is enabled).
+    ReplacementHint,
+}
+
+impl MsgKind {
+    /// The input queue this message is routed to at the receiving
+    /// controller.
+    ///
+    /// Write-backs ride the response queue: they *complete* an ownership
+    /// (the paper's "nearest to completion first" principle), and — load-
+    /// bearing for correctness — a `FwdMiss` from the same owner must
+    /// never overtake the write-back it raced with, which same-class FIFO
+    /// dispatch guarantees.
+    pub fn class(self) -> MsgClass {
+        use MsgKind::*;
+        match self {
+            ReadReq | ReadExclReq | UpgradeReq | ReadFwd | ReadExclFwd | InvReq
+            | ReplacementHint => MsgClass::NetRequest,
+            WritebackReq | DataResp | DataExclResp | UpgradeAck | InvDone | SharingWriteback
+            | OwnershipAck | InvAck | FwdMiss => MsgClass::NetResponse,
+        }
+    }
+
+    /// Whether the message carries a full cache line of data.
+    pub fn carries_data(self) -> bool {
+        use MsgKind::*;
+        matches!(
+            self,
+            WritebackReq | DataResp | DataExclResp | SharingWriteback
+        )
+    }
+}
+
+/// Size in bytes of a message header (command, address, identifiers).
+pub const HEADER_BYTES: u64 = 16;
+
+/// One inter-node protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Message kind.
+    pub kind: MsgKind,
+    /// The cache line concerned.
+    pub line: LineAddr,
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// The node on whose behalf the transaction runs (the original
+    /// requester); equals `from` for plain requests.
+    pub requester: NodeId,
+    /// Number of invalidation acks the requester must wait for
+    /// (only meaningful on `DataExclResp` / `UpgradeAck`).
+    pub acks_pending: u16,
+    /// Data payload (a write-version number used by the coherence checks).
+    pub payload: u64,
+}
+
+impl Msg {
+    /// Total size on the wire, given the machine's line size.
+    pub fn size_bytes(&self, line_bytes: u64) -> u64 {
+        if self.kind.carries_data() {
+            HEADER_BYTES + line_bytes
+        } else {
+            HEADER_BYTES
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_follow_completion_order() {
+        assert_eq!(MsgKind::ReadReq.class(), MsgClass::NetRequest);
+        assert_eq!(MsgKind::ReadFwd.class(), MsgClass::NetRequest);
+        assert_eq!(MsgKind::DataResp.class(), MsgClass::NetResponse);
+        assert_eq!(MsgKind::InvAck.class(), MsgClass::NetResponse);
+        // Write-backs must share the FwdMiss class (FIFO between them).
+        assert_eq!(MsgKind::WritebackReq.class(), MsgKind::FwdMiss.class());
+        assert!(MsgClass::NetResponse < MsgClass::NetRequest);
+        assert!(MsgClass::NetRequest < MsgClass::BusRequest);
+    }
+
+    #[test]
+    fn data_messages_carry_a_line() {
+        let msg = Msg {
+            kind: MsgKind::DataResp,
+            line: LineAddr(1),
+            from: NodeId(0),
+            to: NodeId(1),
+            requester: NodeId(1),
+            acks_pending: 0,
+            payload: 0,
+        };
+        assert_eq!(msg.size_bytes(128), 144);
+        let ack = Msg {
+            kind: MsgKind::InvAck,
+            ..msg
+        };
+        assert_eq!(ack.size_bytes(128), 16);
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic time-ordered event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A deterministic discrete-event queue.
+///
+/// Events are delivered in non-decreasing timestamp order; events scheduled
+/// for the same cycle are delivered in the order they were scheduled (FIFO).
+/// This makes every simulation run bit-for-bit reproducible.
+///
+/// The payload type `E` is chosen by the simulator that owns the queue; the
+/// engine itself attaches no meaning to it.
+///
+/// # Example
+///
+/// ```
+/// let mut q = ccn_sim::EventQueue::new();
+/// q.schedule(20, "b");
+/// q.schedule(10, "a");
+/// q.schedule(20, "c");
+/// assert_eq!(q.pop(), Some((10, "a")));
+/// assert_eq!(q.pop(), Some((20, "b")));
+/// assert_eq!(q.pop(), Some((20, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Cycle,
+    scheduled: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(Cycle, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at cycle zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute cycle `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before the last popped event); a
+    /// simulator that schedules into the past has a causality bug and must
+    /// fail loudly rather than silently reorder history.
+    pub fn schedule(&mut self, time: Cycle, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled at cycle {time} but the clock is already at {}",
+            self.now
+        );
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry {
+            key: Reverse((time, self.seq)),
+            event,
+        });
+    }
+
+    /// Removes and returns the next event as `(time, event)`, advancing the
+    /// clock to its timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        let Reverse((time, _)) = entry.key;
+        debug_assert!(time >= self.now);
+        self.now = time;
+        Some((time, entry.event))
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// The current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled over the queue's lifetime.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 'a');
+        q.schedule(3, 'b');
+        q.schedule(9, 'c');
+        assert_eq!(q.pop(), Some((3, 'b')));
+        assert_eq!(q.pop(), Some((5, 'a')));
+        assert_eq!(q.pop(), Some((9, 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule(10, ());
+        q.schedule(20, ());
+        q.pop();
+        assert_eq!(q.now(), 10);
+        q.schedule(15, ()); // future relative to 10: fine
+        q.pop();
+        assert_eq!(q.now(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled at cycle")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(5, ());
+    }
+
+    #[test]
+    fn counts_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(4, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(2));
+        assert_eq!(q.total_scheduled(), 2);
+        q.pop();
+        q.pop();
+        assert_eq!(q.total_scheduled(), 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Statistics primitives: counters, running means, histograms.
+//!
+//! These are deliberately simple — everything the paper reports is a count,
+//! a mean, a ratio, or a rate — but they are used pervasively, so they live
+//! here rather than being re-invented per crate.
+
+use std::fmt;
+
+/// A running mean/min/max accumulator over `f64` samples.
+///
+/// ```
+/// let mut acc = ccn_sim::stats::Accumulator::new();
+/// acc.record(2.0);
+/// acc.record(4.0);
+/// assert_eq!(acc.mean(), 3.0);
+/// assert_eq!(acc.count(), 2);
+/// assert_eq!(acc.min(), Some(2.0));
+/// assert_eq!(acc.max(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+        self.sum_sq += sample * sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all samples, or 0.0 if none were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Population variance of the samples (0 if fewer than two).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self.sum_sq / self.count as f64 - mean * mean).max(0.0)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (σ/μ): 1 for a Poisson arrival process,
+    /// larger for bursty ones. 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let mean = self.mean();
+        if mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / mean
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.3}", self.count, self.mean())
+    }
+}
+
+/// A histogram with fixed-width buckets and an overflow bucket.
+///
+/// Used for queueing-delay and inter-arrival-time distributions.
+///
+/// ```
+/// let mut h = ccn_sim::stats::Histogram::new(10.0, 4); // buckets [0,10) .. [30,40) + overflow
+/// h.record(5.0);
+/// h.record(35.0);
+/// h.record(1e9);
+/// assert_eq!(h.bucket_counts(), &[1, 0, 0, 1]);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    acc: Accumulator,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of width `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not strictly positive or `buckets` is 0.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            acc: Accumulator::new(),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.acc.record(sample);
+        let idx = (sample / self.bucket_width).floor();
+        if idx >= 0.0 && (idx as usize) < self.buckets.len() {
+            self.buckets[idx as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Per-bucket counts (excluding overflow).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Count of samples beyond the last bucket (or negative).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Summary statistics over all recorded samples.
+    pub fn summary(&self) -> &Accumulator {
+        &self.acc
+    }
+}
+
+/// Rate helper: events per microsecond given a count and an elapsed time in
+/// CPU cycles (5 ns), as used for the "arrival rate of requests per µs"
+/// columns of Table 6.
+///
+/// ```
+/// // 1000 requests over 200_000 cycles (1 ms) = 1 request/µs
+/// assert!((ccn_sim::stats::rate_per_us(1000, 200_000) - 1.0).abs() < 1e-12);
+/// ```
+pub fn rate_per_us(count: u64, elapsed_cycles: u64) -> f64 {
+    if elapsed_cycles == 0 {
+        return 0.0;
+    }
+    let us = elapsed_cycles as f64 * crate::NS_PER_CPU_CYCLE / 1000.0;
+    count as f64 / us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_empty() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+        assert_eq!(acc.count(), 0);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = Accumulator::new();
+        a.record(1.0);
+        let mut b = Accumulator::new();
+        b.record(3.0);
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(5.0));
+    }
+
+    #[test]
+    fn variance_and_cv() {
+        let mut a = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.record(x);
+        }
+        assert!((a.variance() - 4.0).abs() < 1e-9);
+        assert!((a.std_dev() - 2.0).abs() < 1e-9);
+        assert!((a.cv() - 0.4).abs() < 1e-9);
+        let empty = Accumulator::new();
+        assert_eq!(empty.variance(), 0.0);
+        assert_eq!(empty.cv(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(1.0, 3);
+        for x in [0.0, 0.5, 1.0, 2.9, 3.0, -1.0] {
+            h.record(x);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 1, 1]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.summary().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn histogram_rejects_zero_width() {
+        let _ = Histogram::new(0.0, 3);
+    }
+
+    #[test]
+    fn rate_helper() {
+        assert_eq!(rate_per_us(100, 0), 0.0);
+        // 200 cycles = 1 µs
+        assert!((rate_per_us(5, 200) - 5.0).abs() < 1e-12);
+    }
+}

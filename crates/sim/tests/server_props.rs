@@ -1,0 +1,82 @@
+//! Property tests for the reservation server and the event queue: the
+//! conservation and ordering laws every timing model in the workspace
+//! depends on.
+
+use ccn_sim::{EventQueue, Server};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Grants never overlap, never precede their request, and total busy
+    /// time equals the sum of requested durations.
+    #[test]
+    fn server_grants_are_disjoint_and_conserve_time(
+        requests in prop::collection::vec((0u64..10_000, 1u64..100), 1..200),
+    ) {
+        let mut server = Server::new("prop");
+        let mut intervals = Vec::new();
+        let mut total = 0;
+        for &(t, d) in &requests {
+            let grant = server.acquire(t, d);
+            prop_assert!(grant >= t, "grant {grant} before request {t}");
+            intervals.push((grant, grant + d));
+            total += d;
+        }
+        prop_assert_eq!(server.busy_cycles(), total);
+        // Grants are handed out in call order and never overlap.
+        for w in intervals.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1, "overlapping grants {w:?}");
+        }
+    }
+
+    /// Utilization over any window that covers all grants is <= 1.
+    #[test]
+    fn server_utilization_bounded(
+        requests in prop::collection::vec((0u64..1_000, 1u64..50), 1..100),
+    ) {
+        let mut server = Server::new("prop");
+        let mut end = 0;
+        for &(t, d) in &requests {
+            let grant = server.acquire(t, d);
+            end = end.max(grant + d);
+        }
+        prop_assert!(server.utilization(end) <= 1.0 + 1e-9);
+    }
+
+    /// Events come out in timestamp order, FIFO among equal stamps, and
+    /// nothing is lost.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in prop::collection::vec(0u64..1_000, 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut seen = vec![false; times.len()];
+        while let Some((t, i)) = q.pop() {
+            prop_assert_eq!(times[i], t, "event carries its own timestamp");
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "stable order violated");
+            }
+            seen[i] = true;
+            last = Some((t, i));
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every event must come out");
+    }
+
+    /// The RNG produces identical streams for identical seeds and bounded
+    /// values stay in range.
+    #[test]
+    fn rng_determinism_and_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = ccn_sim::SplitMix64::new(seed);
+        let mut b = ccn_sim::SplitMix64::new(seed);
+        for _ in 0..100 {
+            let x = a.next_below(bound);
+            prop_assert_eq!(x, b.next_below(bound));
+            prop_assert!(x < bound);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The eight SPLASH-2-like application kernels (paper Table 5).
+//!
+//! Each kernel reproduces the *shared-memory access pattern* of its
+//! SPLASH-2 namesake — array layout, phase/barrier structure, access order,
+//! read/write mix, and communication topology — with arithmetic modeled as
+//! interleaved `Compute` cycles. See DESIGN.md §3 for the substitution
+//! rationale.
+
+mod barnes;
+mod cholesky;
+mod fft;
+mod lu;
+mod ocean;
+mod radix;
+mod water;
+
+pub use barnes::Barnes;
+pub use cholesky::Cholesky;
+pub use fft::Fft;
+pub use lu::Lu;
+pub use ocean::Ocean;
+pub use radix::Radix;
+pub use water::{WaterNsq, WaterSpatial};
+
+/// Lays out `nprocs` processors on a 2D grid as squarely as possible;
+/// returns `(rows, cols)` with `rows * cols == nprocs` and `rows <= cols`.
+pub(crate) fn proc_grid(nprocs: usize) -> (usize, usize) {
+    assert!(nprocs > 0);
+    let mut rows = (nprocs as f64).sqrt() as usize;
+    while rows > 1 && !nprocs.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    (rows, nprocs / rows)
+}
+
+/// A deterministic pseudo-random permutation of `0..n`: models an
+/// OS-assigned process-to-processor mapping with *no* affinity between
+/// logically adjacent workers (neighbouring grid tiles, adjacent cell
+/// boxes) and physical SMP nodes.
+///
+/// The suite kernels use the SPLASH-2 identity mapping (worker *p* runs on
+/// processor *p*); custom workloads can route their layout through this
+/// permutation to study placement sensitivity.
+///
+/// ```
+/// let perm = ccn_workloads::apps::proc_shuffle(8, 1);
+/// let mut sorted = perm.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+/// ```
+pub fn proc_shuffle(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = ccn_sim::SplitMix64::new(seed ^ 0x005E_ED0F_5EED);
+    for i in (1..n).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// A small helper that hands out fresh barrier identifiers; every
+/// processor's program must request barriers in the same order.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BarrierIds(u32);
+
+impl BarrierIds {
+    pub(crate) fn next(&mut self) -> u32 {
+        let id = self.0;
+        self.0 += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_grid_is_exact_and_squarish() {
+        assert_eq!(proc_grid(1), (1, 1));
+        assert_eq!(proc_grid(4), (2, 2));
+        assert_eq!(proc_grid(8), (2, 4));
+        assert_eq!(proc_grid(16), (4, 4));
+        assert_eq!(proc_grid(64), (8, 8));
+        assert_eq!(proc_grid(6), (2, 3));
+    }
+
+    #[test]
+    fn proc_shuffle_is_a_permutation() {
+        let perm = proc_shuffle(16, 9);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        assert_ne!(perm, (0..16).collect::<Vec<_>>(), "must actually shuffle");
+        assert_eq!(perm, proc_shuffle(16, 9), "deterministic");
+    }
+
+    #[test]
+    fn barrier_ids_are_sequential() {
+        let mut b = BarrierIds::default();
+        assert_eq!(b.next(), 0);
+        assert_eq!(b.next(), 1);
+    }
+}

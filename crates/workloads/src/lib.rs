@@ -1,0 +1,82 @@
+//! SPLASH-2-like workloads as memory-reference programs.
+//!
+//! The paper drives its simulations with eight SPLASH-2 applications under
+//! the Augmint execution-driven simulator. This crate substitutes
+//! *memory-reference-level kernel models*: each application is
+//! re-implemented as a per-processor program that emits the same shared-data
+//! access pattern as the original code — the same arrays, sizes and page
+//! placement, the same phase/barrier structure, element-level touches in
+//! the same order, and `Compute` operations carrying the arithmetic between
+//! touches (1 instruction per cycle). See DESIGN.md §3 for why this
+//! preserves what the study measures.
+//!
+//! * [`Op`] / [`Segment`] / [`SegmentProgram`] — the program representation
+//!   consumed by the simulated processors.
+//! * [`space::AddressSpace`] — shared-region allocation with page-placement
+//!   hints.
+//! * [`apps`] — the eight kernels (LU, Cholesky, Water-Nsq, Water-Spatial,
+//!   Barnes, FFT, Radix, Ocean).
+//! * [`micro`] — synthetic micro-workloads for calibration and protocol
+//!   torture tests.
+//! * [`suite`] — named problem-size presets (Table 5 sizes and scaled-down
+//!   defaults).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod micro;
+pub mod segment;
+pub mod space;
+pub mod suite;
+
+pub use segment::{Access, Op, Segment, SegmentProgram};
+pub use space::AddressSpace;
+
+/// The machine dimensions a workload needs to lay itself out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineShape {
+    /// Number of SMP nodes.
+    pub nodes: usize,
+    /// Compute processors per node.
+    pub procs_per_node: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl MachineShape {
+    /// Total processors in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.nodes * self.procs_per_node
+    }
+
+    /// The node a processor belongs to.
+    pub fn node_of(&self, proc_index: usize) -> usize {
+        proc_index / self.procs_per_node
+    }
+}
+
+/// A built workload: one program per processor plus page-placement hints.
+#[derive(Debug, Clone)]
+pub struct AppBuild {
+    /// One segment program per processor, indexed by processor id.
+    pub programs: Vec<Vec<Segment>>,
+    /// Explicit page placements `(page_index, node_index)`; pages not
+    /// listed fall back to round-robin.
+    pub placements: Vec<(u64, u16)>,
+}
+
+/// An application that can be instantiated on a machine shape.
+pub trait Application {
+    /// Display name (as used in the paper's tables, e.g. "Ocean-258").
+    fn name(&self) -> String;
+    /// Builds the per-processor programs for `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the shape cannot run the problem size
+    /// (e.g. more processors than rows to distribute).
+    fn build(&self, shape: &MachineShape) -> AppBuild;
+}

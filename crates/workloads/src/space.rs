@@ -1,0 +1,130 @@
+//! Shared-address-space layout with page-placement hints.
+
+/// Allocates page-aligned shared regions and records placement hints.
+///
+/// The paper uses round-robin page placement for all applications except
+/// FFT, which uses programmer-directed placement. Regions allocated with
+/// [`alloc`](AddressSpace::alloc) inherit the machine's round-robin
+/// fallback; [`alloc_at`](AddressSpace::alloc_at) pins every page of the
+/// region to one node.
+///
+/// # Example
+///
+/// ```
+/// let mut space = ccn_workloads::AddressSpace::new(4096);
+/// let a = space.alloc(10_000);        // round-robin pages
+/// let b = space.alloc_at(8192, 3);    // pinned to node 3
+/// assert_eq!(a % 4096, 0);
+/// assert_eq!(b % 4096, 0);
+/// assert_eq!(space.placements(), &[(b / 4096, 3), (b / 4096 + 1, 3)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    page_bytes: u64,
+    next: u64,
+    placements: Vec<(u64, u16)>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page_bytes` is a power of two.
+    pub fn new(page_bytes: u64) -> Self {
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        AddressSpace {
+            page_bytes,
+            // Leave page 0 unused so address 0 never appears in programs.
+            next: page_bytes,
+            placements: Vec::new(),
+        }
+    }
+
+    fn round_up(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.page_bytes) * self.page_bytes
+    }
+
+    /// Allocates a page-aligned region of at least `bytes` bytes with
+    /// default (round-robin) placement; returns the base address.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.next;
+        self.next += self.round_up(bytes.max(1));
+        base
+    }
+
+    /// Allocates a page-aligned region pinned to `node`; returns the base
+    /// address.
+    pub fn alloc_at(&mut self, bytes: u64, node: u16) -> u64 {
+        let base = self.alloc(bytes);
+        let pages = self.round_up(bytes.max(1)) / self.page_bytes;
+        for i in 0..pages {
+            self.placements.push((base / self.page_bytes + i, node));
+        }
+        base
+    }
+
+    /// All placement hints recorded so far.
+    pub fn placements(&self) -> &[(u64, u16)] {
+        &self.placements
+    }
+
+    /// Consumes the space, returning the placement hints.
+    pub fn into_placements(self) -> Vec<(u64, u16)> {
+        self.placements
+    }
+
+    /// Total bytes allocated (rounded to pages).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next - self.page_bytes
+    }
+
+    /// The page size.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap_and_align() {
+        let mut s = AddressSpace::new(4096);
+        let a = s.alloc(1);
+        let b = s.alloc(4097);
+        let c = s.alloc(4096);
+        assert_eq!(a % 4096, 0);
+        assert_eq!(b, a + 4096);
+        assert_eq!(c, b + 8192);
+        assert_eq!(s.allocated_bytes(), 4096 + 8192 + 4096);
+    }
+
+    #[test]
+    fn address_zero_never_allocated() {
+        let mut s = AddressSpace::new(4096);
+        assert!(s.alloc(8) >= 4096);
+    }
+
+    #[test]
+    fn pinned_regions_record_every_page() {
+        let mut s = AddressSpace::new(4096);
+        let base = s.alloc_at(3 * 4096, 5);
+        let pages: Vec<_> = s
+            .placements()
+            .iter()
+            .map(|&(p, n)| (p - base / 4096, n))
+            .collect();
+        assert_eq!(pages, vec![(0, 5), (1, 5), (2, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_page_size_panics() {
+        let _ = AddressSpace::new(3000);
+    }
+}

@@ -1,0 +1,200 @@
+//! Named benchmark presets (paper Table 5) and problem-size scaling.
+
+use crate::apps::{Barnes, Cholesky, Fft, Lu, Ocean, Radix, WaterNsq, WaterSpatial};
+use crate::Application;
+
+/// Problem-size scale for a suite run.
+///
+/// The paper's sizes make a full sweep take hours of host time; the
+/// `Scaled` sizes preserve each application's communication character and
+/// relative ordering while keeping a full table/figure regeneration in the
+/// minutes range (EXPERIMENTS.md reports which scale produced each number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// The paper's Table 5 data sets.
+    Paper,
+    /// Scaled-down defaults for fast reproduction runs.
+    Scaled,
+    /// Minimal sizes for unit/integration tests.
+    Tiny,
+}
+
+/// The benchmark suite members, including the large-data-size variants
+/// used by Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteApp {
+    /// Blocked dense LU.
+    Lu,
+    /// Blocked sparse Cholesky (synthetic elimination structure).
+    Cholesky,
+    /// O(n²) water simulation.
+    WaterNsq,
+    /// Spatial water simulation.
+    WaterSpatial,
+    /// Barnes-Hut N-body.
+    Barnes,
+    /// FFT, base data size (64 K points at paper scale).
+    FftBase,
+    /// FFT, large data size (256 K points at paper scale).
+    FftLarge,
+    /// Radix sort.
+    Radix,
+    /// Ocean, base grid (258 at paper scale).
+    OceanBase,
+    /// Ocean, large grid (514 at paper scale).
+    OceanLarge,
+}
+
+impl SuiteApp {
+    /// The eight applications of the base suite (Figure 6 / Table 6 order:
+    /// lowest to highest communication rate).
+    pub fn base_suite() -> [SuiteApp; 8] {
+        [
+            SuiteApp::Lu,
+            SuiteApp::WaterSpatial,
+            SuiteApp::Barnes,
+            SuiteApp::Cholesky,
+            SuiteApp::WaterNsq,
+            SuiteApp::FftBase,
+            SuiteApp::Radix,
+            SuiteApp::OceanBase,
+        ]
+    }
+
+    /// The four high-penalty applications used in the slow-network study
+    /// (Figure 8).
+    pub fn high_penalty_suite() -> [SuiteApp; 4] {
+        [
+            SuiteApp::FftBase,
+            SuiteApp::Radix,
+            SuiteApp::OceanBase,
+            SuiteApp::OceanLarge,
+        ]
+    }
+
+    /// Instantiates the application at a scale.
+    pub fn instantiate(self, scale: Scale) -> Box<dyn Application> {
+        match (self, scale) {
+            (SuiteApp::Lu, Scale::Paper) => Box::new(Lu::paper()),
+            (SuiteApp::Lu, Scale::Scaled) => Box::new(Lu::scaled()),
+            (SuiteApp::Lu, Scale::Tiny) => Box::new(Lu::tiny()),
+            (SuiteApp::Cholesky, Scale::Paper) => Box::new(Cholesky::paper()),
+            (SuiteApp::Cholesky, Scale::Scaled) => Box::new(Cholesky::scaled()),
+            (SuiteApp::Cholesky, Scale::Tiny) => Box::new(Cholesky::tiny()),
+            (SuiteApp::WaterNsq, Scale::Paper) => Box::new(WaterNsq::paper()),
+            (SuiteApp::WaterNsq, Scale::Scaled) => Box::new(WaterNsq::scaled()),
+            (SuiteApp::WaterNsq, Scale::Tiny) => Box::new(WaterNsq::tiny()),
+            (SuiteApp::WaterSpatial, Scale::Paper) => Box::new(WaterSpatial::paper()),
+            (SuiteApp::WaterSpatial, Scale::Scaled) => Box::new(WaterSpatial::scaled()),
+            (SuiteApp::WaterSpatial, Scale::Tiny) => Box::new(WaterSpatial::tiny()),
+            (SuiteApp::Barnes, Scale::Paper) => Box::new(Barnes::paper()),
+            (SuiteApp::Barnes, Scale::Scaled) => Box::new(Barnes::scaled()),
+            (SuiteApp::Barnes, Scale::Tiny) => Box::new(Barnes::tiny()),
+            (SuiteApp::FftBase, Scale::Paper) => Box::new(Fft::paper_base()),
+            (SuiteApp::FftBase, Scale::Scaled) => Box::new(Fft::scaled()),
+            (SuiteApp::FftBase, Scale::Tiny) => Box::new(Fft::tiny()),
+            (SuiteApp::FftLarge, Scale::Paper) => Box::new(Fft::paper_large()),
+            (SuiteApp::FftLarge, Scale::Scaled) => Box::new(Fft { points: 64 * 1024 }),
+            (SuiteApp::FftLarge, Scale::Tiny) => Box::new(Fft { points: 4096 }),
+            (SuiteApp::Radix, Scale::Paper) => Box::new(Radix::paper()),
+            (SuiteApp::Radix, Scale::Scaled) => Box::new(Radix::scaled()),
+            (SuiteApp::Radix, Scale::Tiny) => Box::new(Radix::tiny()),
+            (SuiteApp::OceanBase, Scale::Paper) => Box::new(Ocean::paper_base()),
+            (SuiteApp::OceanBase, Scale::Scaled) => Box::new(Ocean::scaled()),
+            (SuiteApp::OceanBase, Scale::Tiny) => Box::new(Ocean::tiny()),
+            (SuiteApp::OceanLarge, Scale::Paper) => Box::new(Ocean::paper_large()),
+            (SuiteApp::OceanLarge, Scale::Scaled) => Box::new(Ocean::paper_base()),
+            (SuiteApp::OceanLarge, Scale::Tiny) => Box::new(Ocean {
+                grid: 66,
+                ..Ocean::tiny()
+            }),
+        }
+    }
+
+    /// Whether the paper runs this application on 32 processors (8×4)
+    /// instead of 64 because of load imbalance (LU and Cholesky).
+    pub fn wants_32_procs(self) -> bool {
+        matches!(self, SuiteApp::Lu | SuiteApp::Cholesky)
+    }
+
+    /// The Table 5 row for the application: (name, type, paper data set).
+    pub fn table5_row(self) -> (&'static str, &'static str, &'static str) {
+        match self {
+            SuiteApp::Lu => (
+                "LU",
+                "Blocked dense linear algebra",
+                "512x512 matrix, 16x16 blocks",
+            ),
+            SuiteApp::Cholesky => (
+                "Cholesky",
+                "Blocked sparse linear algebra",
+                "tk15.O (synthetic substitute)",
+            ),
+            SuiteApp::WaterNsq => ("Water-Nsq", "O(n^2) molecular dynamics", "512 molecules"),
+            SuiteApp::WaterSpatial => (
+                "Water-Spatial",
+                "Molecular dynamics in a 3-D grid",
+                "512 molecules",
+            ),
+            SuiteApp::Barnes => ("Barnes", "Hierarchical N-body", "8K particles"),
+            SuiteApp::FftBase => ("FFT", "FFT computation", "64K complex doubles"),
+            SuiteApp::FftLarge => ("FFT-256K", "FFT computation", "256K complex doubles"),
+            SuiteApp::Radix => ("Radix", "Integer radix sort", "256K keys, radix 1K"),
+            SuiteApp::OceanBase => ("Ocean", "Study of ocean movements", "258x258 ocean grid"),
+            SuiteApp::OceanLarge => (
+                "Ocean-514",
+                "Study of ocean movements",
+                "514x514 ocean grid",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineShape;
+
+    #[test]
+    fn base_suite_has_eight_members() {
+        assert_eq!(SuiteApp::base_suite().len(), 8);
+    }
+
+    #[test]
+    fn every_member_instantiates_at_every_scale() {
+        let shape = MachineShape {
+            nodes: 4,
+            procs_per_node: 2,
+            page_bytes: 4096,
+            line_bytes: 128,
+        };
+        for app in [
+            SuiteApp::Lu,
+            SuiteApp::Cholesky,
+            SuiteApp::WaterNsq,
+            SuiteApp::WaterSpatial,
+            SuiteApp::Barnes,
+            SuiteApp::FftBase,
+            SuiteApp::Radix,
+            SuiteApp::OceanBase,
+        ] {
+            let built = app.instantiate(Scale::Tiny).build(&shape);
+            assert_eq!(built.programs.len(), 8, "{app:?}");
+        }
+    }
+
+    #[test]
+    fn lu_and_cholesky_run_on_32() {
+        assert!(SuiteApp::Lu.wants_32_procs());
+        assert!(SuiteApp::Cholesky.wants_32_procs());
+        assert!(!SuiteApp::OceanBase.wants_32_procs());
+    }
+
+    #[test]
+    fn table5_rows_are_labelled() {
+        for app in SuiteApp::base_suite() {
+            let (name, ty, data) = app.table5_row();
+            assert!(!name.is_empty() && !ty.is_empty() && !data.is_empty());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for segment programs: the dynamic op stream must match
+//! the static accounting, stay in bounds, and be deterministic — for every
+//! application in the suite.
+
+use ccn_workloads::segment::static_op_counts;
+use ccn_workloads::suite::{Scale, SuiteApp};
+use ccn_workloads::{Access, MachineShape, Op, Segment, SegmentProgram};
+use proptest::prelude::*;
+
+fn segment_strategy() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        (0u64..5_000).prop_map(Segment::Compute),
+        (
+            0u64..1 << 20,
+            8u64..2048,
+            prop_oneof![Just(8u32), Just(16), Just(128)],
+            0u16..50
+        )
+            .prop_map(|(base, bytes, stride, work)| Segment::Walk {
+                base,
+                bytes,
+                stride,
+                access: Access::ReadWrite,
+                work,
+            }),
+        (0u64..1 << 20, 64u64..4096, 1u32..200, any::<u64>()).prop_map(
+            |(base, bytes, count, seed)| Segment::RandomWalk {
+                base,
+                bytes,
+                count,
+                stride: 8,
+                access: Access::Read,
+                work: 3,
+                seed,
+            }
+        ),
+        (0u64..1 << 20).prop_map(|addr| Segment::Touch {
+            addr,
+            access: Access::Write,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Dynamic instruction/reference totals equal the static prediction
+    /// for arbitrary segment lists.
+    #[test]
+    fn dynamic_matches_static(segments in prop::collection::vec(segment_strategy(), 1..12)) {
+        let (want_instr, want_refs) = static_op_counts(&segments);
+        let mut program = SegmentProgram::new(segments);
+        let mut instr = 0u64;
+        let mut refs = 0u64;
+        while let Some(op) = program.next_op() {
+            match op {
+                Op::Read(_) | Op::Write(_) => {
+                    instr += 1;
+                    refs += 1;
+                }
+                Op::Compute(c) => instr += c as u64,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(instr, want_instr);
+        prop_assert_eq!(refs, want_refs);
+    }
+
+    /// Random-walk addresses always stay inside their declared region.
+    #[test]
+    fn random_walk_in_bounds(
+        base in 0u64..1 << 30,
+        bytes in 64u64..1 << 16,
+        count in 1u32..500,
+        seed in any::<u64>(),
+    ) {
+        let mut program = SegmentProgram::new(vec![Segment::RandomWalk {
+            base,
+            bytes,
+            count,
+            stride: 8,
+            access: Access::Write,
+            work: 0,
+            seed,
+        }]);
+        while let Some(op) = program.next_op() {
+            if let Op::Write(a) = op {
+                prop_assert!(a >= base && a < base + bytes, "address {a} escapes region");
+            }
+        }
+    }
+}
+
+/// Every suite application's programs are deterministic and internally
+/// consistent (same barrier sequence on every processor, non-empty).
+#[test]
+fn suite_programs_are_consistent() {
+    let shape = MachineShape {
+        nodes: 4,
+        procs_per_node: 2,
+        page_bytes: 4096,
+        line_bytes: 128,
+    };
+    for app in SuiteApp::base_suite() {
+        let a = app.instantiate(Scale::Tiny).build(&shape);
+        let b = app.instantiate(Scale::Tiny).build(&shape);
+        assert_eq!(
+            a.programs, b.programs,
+            "{app:?} must build deterministically"
+        );
+        let barrier_seq = |segs: &Vec<Segment>| -> Vec<u32> {
+            segs.iter()
+                .filter_map(|s| match s {
+                    Segment::Barrier(id) => Some(*id),
+                    _ => None,
+                })
+                .collect()
+        };
+        let first = barrier_seq(&a.programs[0]);
+        for (i, p) in a.programs.iter().enumerate() {
+            assert!(!p.is_empty(), "{app:?} proc {i} has an empty program");
+            assert_eq!(barrier_seq(p), first, "{app:?} proc {i} barrier mismatch");
+        }
+        // Every program announces the measured phase exactly once.
+        for p in &a.programs {
+            let markers = p
+                .iter()
+                .filter(|s| matches!(s, Segment::StartMeasurement))
+                .count();
+            assert_eq!(markers, 1, "{app:?} must mark the parallel phase once");
+        }
+    }
+}
+
+/// Lock/unlock pairs balance in every suite program.
+#[test]
+fn suite_locks_balance() {
+    let shape = MachineShape {
+        nodes: 4,
+        procs_per_node: 2,
+        page_bytes: 4096,
+        line_bytes: 128,
+    };
+    for app in SuiteApp::base_suite() {
+        let build = app.instantiate(Scale::Tiny).build(&shape);
+        for (i, p) in build.programs.iter().enumerate() {
+            let mut held: std::collections::HashMap<u32, i64> = Default::default();
+            for s in p {
+                match s {
+                    Segment::Lock(id) => *held.entry(*id).or_default() += 1,
+                    Segment::Unlock(id) => {
+                        let h = held.entry(*id).or_default();
+                        *h -= 1;
+                        assert!(*h >= 0, "{app:?} proc {i}: unlock of un-held lock {id}");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                held.values().all(|&v| v == 0),
+                "{app:?} proc {i}: locks left held at program end"
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Capacity planning with RCCPI: the paper's Section 3.3 methodology.
+//!
+//! A system designer can predict the protocol-processor penalty of a large
+//! application by (1) measuring its RCCPI with a cheap simulator, then
+//! (2) reading the penalty off a curve obtained from *detailed* simulation
+//! of simpler kernels spanning the same communication-rate range. This
+//! example builds that curve from the synthetic micro-workloads, then
+//! checks an "unknown" application against it.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use ccnuma_repro::ccn_workloads::micro::UniformSharing;
+use ccnuma_repro::ccn_workloads::suite::{Scale, SuiteApp};
+use ccnuma_repro::ccnuma::{penalty, Architecture, Machine, SystemConfig};
+
+fn run(app: &dyn ccnuma_repro::ccn_workloads::Application, arch: Architecture) -> (f64, f64) {
+    let cfg = SystemConfig::small().with_architecture(arch);
+    let report = Machine::new(cfg, app).expect("valid config").run();
+    (report.rccpi() * 1000.0, report.exec_cycles as f64)
+}
+
+fn main() {
+    // Build the penalty-vs-RCCPI curve from controlled-communication
+    // kernels: the same uniform-sharing workload at rising request rates
+    // (lower compute per touch => higher RCCPI).
+    println!("calibration curve (detailed simulation of simple kernels):");
+    println!("{:>12} {:>12}", "1000xRCCPI", "PP penalty");
+    let mut curve: Vec<(f64, f64)> = Vec::new();
+    for work in [600u16, 250, 100, 40, 12, 4] {
+        let app = UniformSharing {
+            touches_per_proc: 6_000,
+            work,
+            ..UniformSharing::default()
+        };
+        let (rccpi, hwc) = run(&app, Architecture::Hwc);
+        let (_, ppc) = run(&app, Architecture::Ppc);
+        let pen = penalty(hwc as u64, ppc as u64);
+        println!("{rccpi:>12.2} {:>11.1}%", pen * 100.0);
+        curve.push((rccpi, pen));
+    }
+
+    // "Unknown" target application: Radix at tiny scale. Interpolate its
+    // penalty from the curve using only its (cheaply measured) RCCPI.
+    let radix = SuiteApp::Radix.instantiate(Scale::Tiny);
+    let (rccpi, hwc) = run(radix.as_ref(), Architecture::Hwc);
+    let predicted = interpolate(&curve, rccpi);
+    let (_, ppc) = run(radix.as_ref(), Architecture::Ppc);
+    let actual = penalty(hwc as u64, ppc as u64);
+    println!(
+        "\ntarget application: {} with 1000xRCCPI = {rccpi:.2}",
+        radix.name()
+    );
+    println!(
+        "predicted PP penalty from the curve: {:.1}%",
+        predicted * 100.0
+    );
+    println!(
+        "actual PP penalty (detailed run):    {:.1}%",
+        actual * 100.0
+    );
+    println!(
+        "\n(The paper's point: the prediction needs only RCCPI, which is nearly \
+         architecture-independent, plus one calibration curve.)"
+    );
+}
+
+/// Piecewise-linear interpolation over the (sorted-by-rccpi) curve.
+fn interpolate(curve: &[(f64, f64)], x: f64) -> f64 {
+    let mut pts = curve.to_vec();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if x <= pts[0].0 {
+        return pts[0].1;
+    }
+    for w in pts.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x <= x1 {
+            return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+        }
+    }
+    pts.last().expect("curve non-empty").1
+}

@@ -1,0 +1,80 @@
+//! Ocean showdown: reproduce the paper's headline result — on the
+//! communication-heaviest SPLASH-2 application, a commodity protocol
+//! processor nearly doubles execution time, and a second protocol engine
+//! claws a good part of it back.
+//!
+//! ```text
+//! cargo run --release --example ocean_showdown            # scaled (minutes)
+//! cargo run --release --example ocean_showdown -- --quick # tiny (seconds)
+//! ```
+
+use ccnuma_repro::ccn_workloads::suite::SuiteApp;
+use ccnuma_repro::ccnuma::experiments::{run_one, ConfigMods, Options};
+use ccnuma_repro::ccnuma::{penalty, Architecture};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        Options::quick()
+    } else {
+        Options::repro()
+    };
+    println!(
+        "Ocean on a {}x{} CC-NUMA machine (paper: PPC is 93% slower, two engines \
+         recover up to 18%/30%)\n",
+        opts.nodes, opts.procs_per_node
+    );
+
+    let hwc = run_one(
+        SuiteApp::OceanBase,
+        Architecture::Hwc,
+        opts,
+        ConfigMods::default(),
+    );
+    println!(
+        "HWC   {:>10} cycles   util {:>5.1}%   queue {:>5.0} ns",
+        hwc.exec_cycles,
+        hwc.avg_utilization() * 100.0,
+        hwc.queue_delay_ns
+    );
+    for arch in [
+        Architecture::TwoHwc,
+        Architecture::Ppc,
+        Architecture::TwoPpc,
+    ] {
+        let r = run_one(SuiteApp::OceanBase, arch, opts, ConfigMods::default());
+        println!(
+            "{:<5} {:>10} cycles   util {:>5.1}%   queue {:>5.0} ns   vs HWC {:+.1}%",
+            arch.name(),
+            r.exec_cycles,
+            r.avg_utilization() * 100.0,
+            r.queue_delay_ns,
+            penalty(hwc.exec_cycles, r.exec_cycles) * 100.0
+        );
+    }
+
+    // The two-engine improvement the paper reports for Ocean.
+    let ppc = run_one(
+        SuiteApp::OceanBase,
+        Architecture::Ppc,
+        opts,
+        ConfigMods::default(),
+    );
+    let two_ppc = run_one(
+        SuiteApp::OceanBase,
+        Architecture::TwoPpc,
+        opts,
+        ConfigMods::default(),
+    );
+    let gain = 1.0 - two_ppc.exec_cycles as f64 / ppc.exec_cycles as f64;
+    println!(
+        "\nsecond protocol processor speeds Ocean up by {:.1}% (paper: up to 30%)",
+        gain * 100.0
+    );
+    println!(
+        "LPE/RPE request split on 2PPC: {:.0}% / {:.0}% (paper: LPE gets ~40%, \
+         but with higher per-request occupancy)",
+        two_ppc.engine_request_share("LPE") * 100.0,
+        two_ppc.engine_request_share("RPE") * 100.0
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build a CC-NUMA machine, run one workload on the four
+//! coherence-controller architectures, and print the paper's headline
+//! comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ccnuma_repro::ccn_workloads::suite::{Scale, SuiteApp};
+use ccnuma_repro::ccnuma::{penalty, Architecture, Machine, SystemConfig};
+
+fn main() {
+    // A small 4-node x 2-processor machine and a scaled-down FFT keep the
+    // example in the seconds range; see the `repro` binary for the real
+    // 16x4 runs.
+    let app = SuiteApp::FftBase.instantiate(Scale::Tiny);
+
+    println!(
+        "running {} on all four controller architectures...\n",
+        app.name()
+    );
+    let mut hwc_cycles = 0;
+    for arch in Architecture::all() {
+        let cfg = SystemConfig::small().with_architecture(arch);
+        let mut machine = Machine::new(cfg, app.as_ref()).expect("valid configuration");
+        let report = machine.run();
+        if arch == Architecture::Hwc {
+            hwc_cycles = report.exec_cycles;
+        }
+        println!(
+            "{:<5} exec = {:>9} cycles ({:>8.1} us)  normalized = {:>5.2}  \
+             controller utilization = {:>5.1}%  RCCPI = {:.2}e-3",
+            arch.name(),
+            report.exec_cycles,
+            report.exec_us(),
+            report.exec_cycles as f64 / hwc_cycles as f64,
+            report.avg_utilization() * 100.0,
+            report.rccpi() * 1000.0,
+        );
+    }
+
+    // The paper's central quantity: the protocol-processor penalty.
+    let cfg_hwc = SystemConfig::small().with_architecture(Architecture::Hwc);
+    let cfg_ppc = SystemConfig::small().with_architecture(Architecture::Ppc);
+    let hwc = Machine::new(cfg_hwc, app.as_ref()).unwrap().run();
+    let ppc = Machine::new(cfg_ppc, app.as_ref()).unwrap().run();
+    println!(
+        "\nPP penalty (execution-time increase of PPC over HWC): {:.1}%",
+        penalty(hwc.exec_cycles, ppc.exec_cycles) * 100.0
+    );
+}

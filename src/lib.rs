@@ -1,0 +1,35 @@
+//! Umbrella crate for the ISCA '97 coherence-controller reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests (and downstream users who want a single dependency)
+//! can reach the whole system:
+//!
+//! * [`ccnuma`] — the machine simulator, experiments, and reports;
+//! * [`ccn_workloads`] — the SPLASH-2-like kernels and micro-workloads;
+//! * [`ccn_protocol`] / [`ccn_controller`] — the directory protocol and
+//!   controller architectures;
+//! * [`ccn_sim`] / [`ccn_mem`] / [`ccn_bus`] / [`ccn_net`] — the
+//!   discrete-event, cache/memory, bus and network substrates.
+//!
+//! # Example
+//!
+//! ```
+//! use ccnuma_repro::ccnuma::{Architecture, Machine, SystemConfig};
+//! use ccnuma_repro::ccn_workloads::micro::PrivateCompute;
+//!
+//! let cfg = SystemConfig::small().with_architecture(Architecture::Hwc);
+//! let report = Machine::new(cfg, &PrivateCompute::default()).unwrap().run();
+//! assert!(report.exec_cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ccn_bus;
+pub use ccn_controller;
+pub use ccn_mem;
+pub use ccn_net;
+pub use ccn_protocol;
+pub use ccn_sim;
+pub use ccn_workloads;
+pub use ccnuma;

@@ -1,0 +1,156 @@
+//! Property-based protocol torture: random multi-processor workloads must
+//! always drain, keep the single-writer invariant, leave the directory
+//! exactly consistent with the caches, and propagate the latest written
+//! value — on every controller architecture.
+
+use proptest::prelude::*;
+
+use ccnuma_repro::ccn_workloads::{Access, AppBuild, Application, MachineShape, Segment};
+use ccnuma_repro::ccnuma::{Architecture, Machine, SystemConfig};
+
+/// A fully random shared-memory workload described by a handful of knobs.
+#[derive(Debug, Clone)]
+struct TortureApp {
+    region_lines: u64,
+    touches: u32,
+    write_percent: u32,
+    line_granular: bool,
+    use_locks: bool,
+    phases: u32,
+    seed: u64,
+}
+
+impl Application for TortureApp {
+    fn name(&self) -> String {
+        "torture".to_string()
+    }
+
+    fn build(&self, shape: &MachineShape) -> AppBuild {
+        let mut space = ccnuma_repro::ccn_workloads::AddressSpace::new(shape.page_bytes);
+        let region_bytes = self.region_lines * shape.line_bytes;
+        let region = space.alloc(region_bytes);
+        let stride = if self.line_granular {
+            shape.line_bytes as u32
+        } else {
+            8
+        };
+        let writes = self.touches * self.write_percent / 100;
+        let reads = self.touches - writes;
+        let nprocs = shape.nprocs();
+        let mut programs = Vec::with_capacity(nprocs);
+        for p in 0..nprocs {
+            let mut segs = vec![Segment::Barrier(0), Segment::StartMeasurement];
+            for phase in 0..self.phases {
+                let seed = self
+                    .seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((p as u64) << 16 | phase as u64);
+                if self.use_locks {
+                    segs.push(Segment::Lock(phase % 4));
+                }
+                segs.push(Segment::RandomWalk {
+                    base: region,
+                    bytes: region_bytes,
+                    count: reads / self.phases.max(1),
+                    stride,
+                    access: Access::Read,
+                    work: 2,
+                    seed,
+                });
+                segs.push(Segment::RandomWalk {
+                    base: region,
+                    bytes: region_bytes,
+                    count: writes / self.phases.max(1),
+                    stride,
+                    access: Access::Write,
+                    work: 2,
+                    seed: seed ^ 0xFFFF,
+                });
+                if self.use_locks {
+                    segs.push(Segment::Unlock(phase % 4));
+                }
+                segs.push(Segment::Barrier(1 + phase));
+            }
+            programs.push(segs);
+        }
+        AppBuild {
+            programs,
+            placements: space.into_placements(),
+        }
+    }
+}
+
+fn arch_strategy() -> impl Strategy<Value = Architecture> {
+    prop_oneof![
+        Just(Architecture::Hwc),
+        Just(Architecture::Ppc),
+        Just(Architecture::TwoHwc),
+        Just(Architecture::TwoPpc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 40,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_workloads_stay_coherent(
+        region_lines in 2u64..64,
+        touches in 50u32..800,
+        write_percent in 0u32..=100,
+        line_granular in any::<bool>(),
+        use_locks in any::<bool>(),
+        phases in 1u32..4,
+        seed in any::<u64>(),
+        arch in arch_strategy(),
+    ) {
+        let app = TortureApp {
+            region_lines,
+            touches,
+            write_percent,
+            line_granular,
+            use_locks,
+            phases,
+            seed,
+        };
+        let cfg = SystemConfig::small().with_architecture(arch);
+        let mut machine = Machine::new(cfg, &app).expect("valid config");
+        // The watchdog converts a protocol livelock into a test failure
+        // instead of a hang.
+        let report = machine.run_with_event_limit(30_000_000);
+        prop_assert!(report.exec_cycles > 0);
+        machine.check_quiescent().map_err(|e| {
+            TestCaseError::fail(format!("invariant violated on {}: {e}", arch.name()))
+        })?;
+    }
+
+    #[test]
+    fn runs_are_deterministic(
+        region_lines in 2u64..32,
+        touches in 50u32..400,
+        write_percent in 0u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let app = TortureApp {
+            region_lines,
+            touches,
+            write_percent,
+            line_granular: false,
+            use_locks: true,
+            phases: 2,
+            seed,
+        };
+        let run = || {
+            let cfg = SystemConfig::small().with_architecture(Architecture::TwoPpc);
+            Machine::new(cfg, &app).expect("valid config").run_with_event_limit(30_000_000)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.exec_cycles, b.exec_cycles);
+        prop_assert_eq!(a.cc_arrivals, b.cc_arrivals);
+        prop_assert_eq!(a.messages, b.messages);
+    }
+}

@@ -1,45 +1,32 @@
-//! Criterion benches: simulator throughput on each suite application
-//! (tiny data, small machine). These track the *host-side* cost of the
-//! simulator per kernel — regressions here mean the reproduction harness
-//! got slower, not that the simulated machine changed.
+//! Simulator throughput on each suite application (tiny data, small
+//! machine). These track the *host-side* cost of the simulator per
+//! kernel — regressions here mean the reproduction harness got slower,
+//! not that the simulated machine changed.
+//!
+//! Opt-in: `cargo bench -p ccn-bench --features criterion-benches`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use ccn_bench::timing::bench;
 use ccn_workloads::suite::{Scale, SuiteApp};
 use ccnuma::{Architecture, Machine, SystemConfig};
 
-fn bench_apps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("apps_tiny_hwc");
-    group.sample_size(10);
+fn main() {
     for app in SuiteApp::base_suite() {
-        group.bench_function(format!("{app:?}"), |b| {
-            let instance = app.instantiate(Scale::Tiny);
-            b.iter(|| {
-                let cfg = SystemConfig::small().with_architecture(Architecture::Hwc);
-                let mut machine = Machine::new(cfg, instance.as_ref()).unwrap();
-                black_box(machine.run().exec_cycles)
-            })
+        let instance = app.instantiate(Scale::Tiny);
+        bench(&format!("apps_tiny_hwc/{app:?}"), 10, || {
+            let cfg = SystemConfig::small().with_architecture(Architecture::Hwc);
+            let mut machine = Machine::new(cfg, instance.as_ref()).unwrap();
+            black_box(machine.run().exec_cycles)
         });
     }
-    group.finish();
-}
 
-fn bench_architectures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ocean_tiny_by_arch");
-    group.sample_size(10);
     for arch in Architecture::all() {
-        group.bench_function(arch.name(), |b| {
-            let instance = SuiteApp::OceanBase.instantiate(Scale::Tiny);
-            b.iter(|| {
-                let cfg = SystemConfig::small().with_architecture(arch);
-                let mut machine = Machine::new(cfg, instance.as_ref()).unwrap();
-                black_box(machine.run().exec_cycles)
-            })
+        let instance = SuiteApp::OceanBase.instantiate(Scale::Tiny);
+        bench(&format!("ocean_tiny_by_arch/{}", arch.name()), 10, || {
+            let cfg = SystemConfig::small().with_architecture(arch);
+            let mut machine = Machine::new(cfg, instance.as_ref()).unwrap();
+            black_box(machine.run().exec_cycles)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_apps, bench_architectures);
-criterion_main!(benches);

@@ -1,86 +1,62 @@
-//! Criterion micro-benchmarks of the simulation substrates: event queue,
+//! Micro-benchmarks of the simulation substrates: event queue,
 //! reservation servers, cache model, and a full small machine step.
+//!
+//! Opt-in: `cargo bench -p ccn-bench --features criterion-benches`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use ccn_bench::timing::bench;
 use ccn_mem::{AccessKind, CacheGeometry, LineAddr, LineState, SetAssocCache};
 use ccn_sim::{EventQueue, Server, SplitMix64};
 use ccn_workloads::micro::UniformSharing;
 use ccnuma::{Architecture, Machine, SystemConfig};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = SplitMix64::new(7);
-            for i in 0..10_000u64 {
-                q.schedule(i + rng.next_below(64), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+fn main() {
+    bench("event_queue/push_pop_10k", 20, || {
+        let mut q = EventQueue::new();
+        let mut rng = SplitMix64::new(7);
+        for i in 0..10_000u64 {
+            q.schedule(i + rng.next_below(64), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum)
     });
-}
 
-fn bench_server(c: &mut Criterion) {
-    c.bench_function("server/acquire_100k", |b| {
-        b.iter(|| {
-            let mut s = Server::new("bench");
-            let mut t = 0;
-            for i in 0..100_000u64 {
-                t = s.acquire(black_box(i), 4);
-            }
-            black_box(t)
-        })
+    bench("server/acquire_100k", 20, || {
+        let mut s = Server::new("bench");
+        let mut t = 0;
+        for i in 0..100_000u64 {
+            t = s.acquire(black_box(i), 4);
+        }
+        black_box(t)
     });
-}
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/l2_access_stream_64k", |b| {
+    bench("cache/l2_access_stream_64k", 20, || {
         let geometry = CacheGeometry::l2(128);
-        b.iter(|| {
-            let mut cache = SetAssocCache::new(geometry);
-            let mut rng = SplitMix64::new(3);
-            let mut hits = 0u64;
-            for _ in 0..65_536 {
-                let line = LineAddr(rng.next_below(16_384));
-                if cache.access(line, AccessKind::Read).readable() {
-                    hits += 1;
-                } else {
-                    cache.fill(line, LineState::Shared, 0);
-                }
+        let mut cache = SetAssocCache::new(geometry);
+        let mut rng = SplitMix64::new(3);
+        let mut hits = 0u64;
+        for _ in 0..65_536 {
+            let line = LineAddr(rng.next_below(16_384));
+            if cache.access(line, AccessKind::Read).readable() {
+                hits += 1;
+            } else {
+                cache.fill(line, LineState::Shared, 0);
             }
-            black_box(hits)
-        })
+        }
+        black_box(hits)
+    });
+
+    let app = UniformSharing {
+        touches_per_proc: 2_000,
+        ..UniformSharing::default()
+    };
+    bench("machine/uniform_sharing_small_hwc", 10, || {
+        let cfg = SystemConfig::small().with_architecture(Architecture::Hwc);
+        let mut machine = Machine::new(cfg, &app).unwrap();
+        black_box(machine.run().exec_cycles)
     });
 }
-
-fn bench_machine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine");
-    group.sample_size(10);
-    group.bench_function("uniform_sharing_small_hwc", |b| {
-        let app = UniformSharing {
-            touches_per_proc: 2_000,
-            ..UniformSharing::default()
-        };
-        b.iter(|| {
-            let cfg = SystemConfig::small().with_architecture(Architecture::Hwc);
-            let mut machine = Machine::new(cfg, &app).unwrap();
-            black_box(machine.run().exec_cycles)
-        })
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_server,
-    bench_cache,
-    bench_machine
-);
-criterion_main!(benches);

@@ -1,95 +1,52 @@
-//! Criterion benches: one per paper *figure*. Each runs its experiment at
-//! quick scale (and prints the series once) so `cargo bench` regenerates
-//! every figure's shape; the `repro` binary produces the full-scale
-//! numbers.
+//! One bench per paper *figure*. Each runs its experiment at quick scale
+//! (and prints the series once) so a bench run regenerates every figure's
+//! shape; the `repro` binary produces the full-scale numbers.
+//!
+//! Opt-in: `cargo bench -p ccn-bench --features criterion-benches`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use ccn_bench::timing::bench;
 use ccn_workloads::suite::SuiteApp;
 use ccnuma::experiments::{self, Options};
 
-fn quick_group<'a>(
-    c: &'a mut Criterion,
-    name: &str,
-) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
-    let mut group = c.benchmark_group(name);
-    group.sample_size(10);
-    group
-}
-
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
     println!("{}", experiments::fig6(Options::quick()).render());
-    let mut g = quick_group(c, "fig6");
-    g.bench_function("quick", |b| {
-        b.iter(|| black_box(experiments::fig6(Options::quick()).labels.len()))
+    bench("fig6/quick", 5, || {
+        black_box(experiments::fig6(Options::quick()).labels.len())
     });
-    g.finish();
-}
 
-fn bench_fig7(c: &mut Criterion) {
     println!("{}", experiments::fig7(Options::quick()).render());
-    let mut g = quick_group(c, "fig7");
-    g.bench_function("quick", |b| {
-        b.iter(|| black_box(experiments::fig7(Options::quick()).labels.len()))
+    bench("fig7/quick", 5, || {
+        black_box(experiments::fig7(Options::quick()).labels.len())
     });
-    g.finish();
-}
 
-fn bench_fig8(c: &mut Criterion) {
     println!("{}", experiments::fig8(Options::quick()).render());
-    let mut g = quick_group(c, "fig8");
-    g.bench_function("quick", |b| {
-        b.iter(|| black_box(experiments::fig8(Options::quick()).labels.len()))
+    bench("fig8/quick", 5, || {
+        black_box(experiments::fig8(Options::quick()).labels.len())
     });
-    g.finish();
-}
 
-fn bench_fig9(c: &mut Criterion) {
     println!("{}", experiments::fig9(Options::quick()).render());
-    let mut g = quick_group(c, "fig9");
-    g.bench_function("quick", |b| {
-        b.iter(|| black_box(experiments::fig9(Options::quick()).labels.len()))
+    bench("fig9/quick", 5, || {
+        black_box(experiments::fig9(Options::quick()).labels.len())
     });
-    g.finish();
-}
 
-fn bench_fig10(c: &mut Criterion) {
     println!(
         "{}",
         experiments::fig10(Options::quick(), SuiteApp::OceanBase).render()
     );
-    let mut g = quick_group(c, "fig10");
-    g.bench_function("quick_ocean", |b| {
-        b.iter(|| {
-            black_box(
-                experiments::fig10(Options::quick(), SuiteApp::OceanBase)
-                    .series
-                    .len(),
-            )
-        })
+    bench("fig10/quick_ocean", 5, || {
+        black_box(
+            experiments::fig10(Options::quick(), SuiteApp::OceanBase)
+                .series
+                .len(),
+        )
     });
-    g.finish();
-}
 
-fn bench_fig11_fig12(c: &mut Criterion) {
     let data = experiments::scatter(Options::quick());
     println!("{}", data.render_fig11());
     println!("{}", data.render_fig12());
-    let mut g = quick_group(c, "fig11_fig12");
-    g.bench_function("quick_scatter", |b| {
-        b.iter(|| black_box(experiments::scatter(Options::quick()).points.len()))
+    bench("fig11_fig12/quick_scatter", 5, || {
+        black_box(experiments::scatter(Options::quick()).points.len())
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_fig6,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9,
-    bench_fig10,
-    bench_fig11_fig12
-);
-criterion_main!(benches);

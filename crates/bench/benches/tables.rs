@@ -1,65 +1,41 @@
-//! Criterion benches: one per paper *table* whose content requires
-//! simulation. They run the generating code at quick scale so `cargo
-//! bench` terminates in minutes; the `repro` binary produces the real
-//! (scaled or paper-size) numbers.
+//! One bench per paper *table* whose content requires simulation. They
+//! run the generating code at quick scale so a bench run terminates in
+//! minutes; the `repro` binary produces the real (scaled or paper-size)
+//! numbers.
 //!
 //! Each bench also prints its table once, so a bench run doubles as a
 //! smoke regeneration of the rows the paper reports.
+//!
+//! Opt-in: `cargo bench -p ccn-bench --features criterion-benches`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use ccn_bench::timing::bench;
 use ccnuma::experiments::{self, Options};
 use ccnuma::probe;
 use ccnuma::{Architecture, SystemConfig};
 
-fn bench_table3(c: &mut Criterion) {
+fn main() {
     println!("{}", experiments::table3().render());
-    c.bench_function("table3/read_miss_probe_pair", |b| {
-        b.iter(|| {
-            let hwc = probe::measured_read_miss(&SystemConfig::base());
-            let ppc = probe::measured_read_miss(
-                &SystemConfig::base().with_architecture(Architecture::Ppc),
-            );
-            black_box((hwc, ppc))
-        })
+    bench("table3/read_miss_probe_pair", 20, || {
+        let hwc = probe::measured_read_miss(&SystemConfig::base());
+        let ppc =
+            probe::measured_read_miss(&SystemConfig::base().with_architecture(Architecture::Ppc));
+        black_box((hwc, ppc))
     });
-}
 
-fn bench_table4(c: &mut Criterion) {
     println!("{}", experiments::table4().render());
-    c.bench_function("table4/handler_occupancies", |b| {
-        b.iter(|| black_box(experiments::table4().len()))
+    bench("table4/handler_occupancies", 20, || {
+        black_box(experiments::table4().len())
+    });
+
+    println!("{}", experiments::table6(Options::quick()).render());
+    bench("table6/quick_scale", 5, || {
+        black_box(experiments::table6(Options::quick()).rows.len())
+    });
+
+    println!("{}", experiments::table7(Options::quick()).render());
+    bench("table7/quick_scale", 5, || {
+        black_box(experiments::table7(Options::quick()).rows.len())
     });
 }
-
-fn bench_table6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table6");
-    group.sample_size(10);
-    let once = experiments::table6(Options::quick());
-    println!("{}", once.render());
-    group.bench_function("quick_scale", |b| {
-        b.iter(|| black_box(experiments::table6(Options::quick()).rows.len()))
-    });
-    group.finish();
-}
-
-fn bench_table7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table7");
-    group.sample_size(10);
-    let once = experiments::table7(Options::quick());
-    println!("{}", once.render());
-    group.bench_function("quick_scale", |b| {
-        b.iter(|| black_box(experiments::table7(Options::quick()).rows.len()))
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_table3,
-    bench_table4,
-    bench_table6,
-    bench_table7
-);
-criterion_main!(benches);

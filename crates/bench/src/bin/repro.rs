@@ -3,7 +3,7 @@
 //! Multiprocessors* (ISCA 1997).
 //!
 //! ```text
-//! repro [--quick | --paper] [--out DIR] <target>...
+//! repro [--quick | --paper] [--jobs N] [--fresh] [--out DIR] <target>...
 //!
 //! targets: table1 table2 table3 table4 table5 table6 table7
 //!          fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -14,41 +14,38 @@
 //! (minutes); `--paper` uses the paper's Table 5 sizes (hours); `--quick`
 //! runs a 4×2 machine with tiny data sets (seconds; for smoke-testing the
 //! harness, not for numbers). With `--out DIR`, each target's output is
-//! also written to `DIR/<target>.txt`.
+//! also written to `DIR/<target>_<scale>.txt`, stamped with the
+//! configuration and source revision.
+//!
+//! Sweep targets (table6/7, the figures) run on a worker pool — `--jobs N`
+//! sets the width (default: available parallelism) — and checkpoint each
+//! completed simulation under `results/checkpoints/`. An interrupted
+//! sweep resumes from its checkpoint; `--fresh` discards recorded results
+//! first. Result tables are byte-identical for every `--jobs` value: all
+//! timing-dependent telemetry goes to stderr.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ccn_bench::{options_from_flags, scale_name, TARGETS};
+use ccn_bench::{
+    artifact_path, artifact_stamp, checkpoint_path, git_describe, jobs_from_flags,
+    options_from_flags, scale_name, sweep_name, SWEEP_TARGETS, TARGETS,
+};
+use ccn_harness::{Json, SweepSummary};
 use ccn_workloads::suite::SuiteApp;
 use ccnuma::experiments::{self, Options};
+use ccnuma::sweep::Runner;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = options_from_flags(&args);
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned());
+    let jobs = jobs_from_flags(&args);
+    let fresh = args.iter().any(|a| a == "--fresh");
+    let out_dir = flag_value(&args, "--out");
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("can create the output directory");
     }
-    let mut skip_next = false;
-    let mut targets: Vec<&str> = args
-        .iter()
-        .filter(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
-            }
-            if *a == "--out" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with("--")
-        })
-        .map(|a| a.as_str())
-        .collect();
+    let mut targets = positional_targets(&args);
     if targets.is_empty() || targets.contains(&"all") {
         // "all" covers the paper's tables and figures; the ablation,
         // summary and validate extras run only when asked for by name.
@@ -60,6 +57,7 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let revision = git_describe();
     println!(
         "# ISCA'97 coherence-controller reproduction — {} on a {}x{} machine\n",
         scale_name(&opts),
@@ -67,22 +65,124 @@ fn main() {
         opts.procs_per_node
     );
     let mut failed = false;
+    let mut totals = Totals::default();
     for target in targets {
+        let runner = sweep_runner(target, opts, jobs, &revision, fresh);
         let start = Instant::now();
-        let output = render_target(target, opts, &mut failed);
+        let output = render_target(target, opts, runner.as_ref(), &mut failed);
         print!("{output}");
         if let Some(dir) = &out_dir {
-            let path = format!("{dir}/{target}.txt");
-            std::fs::write(&path, &output).expect("can write the target output");
+            let path = artifact_path(dir, target, &opts);
+            let stamped = format!("{}{output}", artifact_stamp(target, &opts, &revision));
+            std::fs::write(&path, stamped).expect("can write the target output");
         }
-        println!("[{target} took {:.1?}]\n", start.elapsed());
+        if let Some(r) = &runner {
+            totals.absorb(r);
+        }
+        eprintln!("[{target} took {:.1?}]", start.elapsed());
     }
+    totals.report();
     if failed {
         std::process::exit(1);
     }
 }
 
-fn render_target(target: &str, opts: Options, failed: &mut bool) -> String {
+/// Extracts the value following a `--flag`.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The non-flag arguments, with `--out DIR` / `--jobs N` values skipped.
+fn positional_targets(args: &[String]) -> Vec<&str> {
+    let mut targets = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--out" || a == "--jobs" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            targets.push(a.as_str());
+        }
+    }
+    targets
+}
+
+/// Builds the worker-pool runner for a sweep target (`None` for targets
+/// that simulate nothing or run a single diagnostic).
+fn sweep_runner(
+    target: &str,
+    opts: Options,
+    jobs: usize,
+    revision: &str,
+    fresh: bool,
+) -> Option<Runner> {
+    if !SWEEP_TARGETS.contains(&target) {
+        return None;
+    }
+    let sweep = sweep_name(target);
+    let path = checkpoint_path(sweep, &opts);
+    if fresh {
+        let _ = std::fs::remove_file(&path);
+    }
+    Some(
+        Runner::parallel(opts, jobs)
+            .with_checkpoint(path)
+            .with_meta(vec![
+                ("sweep", Json::Str(sweep.to_string())),
+                ("revision", Json::Str(revision.to_string())),
+            ]),
+    )
+}
+
+/// Accumulated harness telemetry across every sweep target in one
+/// invocation, reported once on stderr at the end.
+#[derive(Default)]
+struct Totals {
+    executed: usize,
+    skipped: usize,
+    summary: Option<SweepSummary>,
+}
+
+impl Totals {
+    fn absorb(&mut self, runner: &Runner) {
+        let stats = runner.stats();
+        self.executed += stats.executed;
+        self.skipped += stats.skipped;
+        if let Some(s) = stats.summary {
+            match &mut self.summary {
+                Some(total) => total.merge(&s),
+                slot => *slot = Some(s),
+            }
+        }
+    }
+
+    fn report(&self) {
+        if self.executed + self.skipped == 0 {
+            return;
+        }
+        eprintln!(
+            "[harness] {} simulation(s) executed, {} replayed from checkpoints",
+            self.executed, self.skipped
+        );
+        if let Some(s) = &self.summary {
+            eprint!("{}", s.render());
+        }
+    }
+}
+
+fn render_target(
+    target: &str,
+    opts: Options,
+    runner: Option<&Runner>,
+    failed: &mut bool,
+) -> String {
     let mut out = String::new();
     match target {
         "table1" => render(&mut out, experiments::table1().render()),
@@ -90,12 +190,12 @@ fn render_target(target: &str, opts: Options, failed: &mut bool) -> String {
         "table3" => render(&mut out, experiments::table3().render()),
         "table4" => render(&mut out, experiments::table4().render()),
         "table5" => render(&mut out, experiments::table5().render()),
-        "table6" => render(&mut out, experiments::table6(opts).render()),
-        "table7" => render(&mut out, experiments::table7(opts).render()),
-        "fig6" => render_figure(&mut out, experiments::fig6(opts)),
-        "fig7" => render_figure(&mut out, experiments::fig7(opts)),
-        "fig8" => render_figure(&mut out, experiments::fig8(opts)),
-        "fig9" => render_figure(&mut out, experiments::fig9(opts)),
+        "table6" => render(&mut out, experiments::table6_with(sweep(runner)).render()),
+        "table7" => render(&mut out, experiments::table7_with(sweep(runner)).render()),
+        "fig6" => render_figure(&mut out, experiments::fig6_with(sweep(runner))),
+        "fig7" => render_figure(&mut out, experiments::fig7_with(sweep(runner))),
+        "fig8" => render_figure(&mut out, experiments::fig8_with(sweep(runner))),
+        "fig9" => render_figure(&mut out, experiments::fig9_with(sweep(runner))),
         "fig10" => {
             // The paper shows the sweep for the full suite; the four apps
             // spanning the communication range keep the default run short.
@@ -106,11 +206,17 @@ fn render_target(target: &str, opts: Options, failed: &mut bool) -> String {
                 SuiteApp::OceanBase,
             ];
             for app in apps {
-                render_figure(&mut out, experiments::fig10(opts, app));
+                render_figure(&mut out, experiments::fig10_with(sweep(runner), app));
             }
         }
-        "fig11" => render(&mut out, experiments::scatter(opts).render_fig11()),
-        "fig12" => render(&mut out, experiments::scatter(opts).render_fig12()),
+        "fig11" => render(
+            &mut out,
+            experiments::scatter_with(sweep(runner)).render_fig11(),
+        ),
+        "fig12" => render(
+            &mut out,
+            experiments::scatter_with(sweep(runner)).render_fig12(),
+        ),
         "summary" => {
             // Full per-run diagnostics for the headline comparison.
             use ccnuma::experiments::{run_one, ConfigMods};
@@ -167,6 +273,12 @@ fn render_target(target: &str, opts: Options, failed: &mut bool) -> String {
         other => unreachable!("validated target {other}"),
     }
     out
+}
+
+/// Every sweep target is paired with a runner in `main`; anything else is
+/// a wiring bug.
+fn sweep(runner: Option<&Runner>) -> &Runner {
+    runner.expect("sweep targets run with a harness runner")
 }
 
 fn render(out: &mut String, s: String) {

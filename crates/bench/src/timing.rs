@@ -1,0 +1,98 @@
+//! A small wall-clock measurement harness for the opt-in benches.
+//!
+//! The workspace builds with no registry dependencies, so the benches
+//! under `benches/` use this module instead of an external framework:
+//! each bench is a plain `fn main()` that calls [`bench`] per case and
+//! prints one summary line. Results are indicative (no outlier rejection
+//! or statistical testing) — they exist to catch order-of-magnitude
+//! regressions in the simulator's host-side cost, not to referee
+//! micro-optimizations.
+
+use std::time::{Duration, Instant};
+
+/// Result of one timed case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case label.
+    pub name: String,
+    /// Samples taken.
+    pub samples: usize,
+    /// Per-sample wall times, sorted ascending.
+    pub times: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Median wall time.
+    pub fn median(&self) -> Duration {
+        self.times[self.times.len() / 2]
+    }
+
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.times[0]
+    }
+
+    /// Slowest sample.
+    pub fn max(&self) -> Duration {
+        self.times[self.times.len() - 1]
+    }
+
+    /// One-line summary in the shape the benches print.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<40} median {:>10.2?}  min {:>10.2?}  max {:>10.2?}  ({} samples)",
+            self.name,
+            self.median(),
+            self.min(),
+            self.max(),
+            self.samples
+        )
+    }
+}
+
+/// Times `f` for `samples` iterations (after one untimed warm-up) and
+/// prints the summary line. Returns the measurement for callers that want
+/// the raw numbers.
+pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> Measurement {
+    let samples = samples.max(1);
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort();
+    let m = Measurement {
+        name: name.to_string(),
+        samples,
+        times,
+    };
+    println!("{}", m.summary());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_sorted_samples() {
+        let mut calls = 0u32;
+        let m = bench("spin", 5, || {
+            calls += 1;
+            std::hint::black_box((0..1000u64).sum::<u64>())
+        });
+        assert_eq!(calls, 6, "warm-up plus five samples");
+        assert_eq!(m.times.len(), 5);
+        assert!(m.min() <= m.median() && m.median() <= m.max());
+        assert!(m.summary().contains("spin"));
+    }
+
+    #[test]
+    fn zero_samples_clamps_to_one() {
+        let m = bench("once", 0, || 1);
+        assert_eq!(m.samples, 1);
+        assert_eq!(m.times.len(), 1);
+    }
+}

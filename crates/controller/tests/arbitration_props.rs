@@ -1,9 +1,14 @@
 //! Property tests for the dispatch controller's arbitration: priority,
 //! starvation bounds, work conservation, and routing.
+//!
+//! Cases come from the in-tree deterministic RNG, so the suite is
+//! hermetic and repeatable.
 
 use ccn_controller::{CoherenceController, EnginePolicy, EngineRole};
 use ccn_protocol::MsgClass;
-use proptest::prelude::*;
+use ccn_sim::SplitMix64;
+
+const CASES: u64 = 128;
 
 #[derive(Debug, Clone, Copy)]
 struct Arrival {
@@ -11,11 +16,14 @@ struct Arrival {
     line: u64,
 }
 
-fn arrivals() -> impl Strategy<Value = Vec<Arrival>> {
-    prop::collection::vec(
-        (0u8..3, 0u64..16).prop_map(|(class, line)| Arrival { class, line }),
-        1..120,
-    )
+fn random_arrivals(rng: &mut SplitMix64) -> Vec<Arrival> {
+    let n = 1 + rng.next_below(119) as usize;
+    (0..n)
+        .map(|_| Arrival {
+            class: rng.next_below(3) as u8,
+            line: rng.next_below(16),
+        })
+        .collect()
 }
 
 fn class_of(code: u8) -> MsgClass {
@@ -26,13 +34,13 @@ fn class_of(code: u8) -> MsgClass {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    /// Every enqueued request is eventually dispatched exactly once
-    /// (work conservation), regardless of class mix.
-    #[test]
-    fn all_requests_dispatch_exactly_once(arrs in arrivals()) {
+/// Every enqueued request is eventually dispatched exactly once
+/// (work conservation), regardless of class mix.
+#[test]
+fn all_requests_dispatch_exactly_once() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA2B1 + case);
+        let arrs = random_arrivals(&mut rng);
         let mut cc: CoherenceController<usize> = CoherenceController::new(EnginePolicy::Single);
         for (i, a) in arrs.iter().enumerate() {
             cc.enqueue(EngineRole::Remote, a.line, class_of(a.class), 0, i);
@@ -40,18 +48,22 @@ proptest! {
         let mut out = Vec::new();
         while let Some((i, _)) = cc.dispatch(0, 1_000) {
             out.push(i);
-            prop_assert!(out.len() <= arrs.len(), "duplicate dispatch");
+            assert!(out.len() <= arrs.len(), "case {case}: duplicate dispatch");
         }
         out.sort_unstable();
-        prop_assert_eq!(out, (0..arrs.len()).collect::<Vec<_>>());
+        assert_eq!(out, (0..arrs.len()).collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    /// A bus request is never bypassed by more than 4 network-side
-    /// requests plus however many responses arrive (the anti-livelock
-    /// bound from Section 2.2: responses always win, further *requests*
-    /// do not after 4 bypasses).
-    #[test]
-    fn bus_starvation_is_bounded(net_requests in 5usize..40) {
+/// A bus request is never bypassed by more than 4 network-side
+/// requests plus however many responses arrive (the anti-livelock
+/// bound from Section 2.2: responses always win, further *requests*
+/// do not after 4 bypasses).
+#[test]
+fn bus_starvation_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x57A2 + case);
+        let net_requests = 5 + rng.next_below(35) as usize;
         let mut cc: CoherenceController<&'static str> =
             CoherenceController::new(EnginePolicy::Single);
         cc.enqueue(EngineRole::Remote, 0, MsgClass::BusRequest, 0, "bus");
@@ -66,18 +78,23 @@ proptest! {
             }
             bypasses += 1;
         }
-        prop_assert!(bypasses <= 4, "bus request bypassed {bypasses} times");
+        assert!(
+            bypasses <= 4,
+            "case {case}: bus request bypassed {bypasses} times"
+        );
     }
+}
 
-    /// Routing is deterministic and respects the policy: the same
-    /// (role, line) always lands on the same engine, and every engine
-    /// index is within range.
-    #[test]
-    fn routing_is_stable_and_in_range(
-        lines in prop::collection::vec(0u64..1024, 1..60),
-        policy_code in 0u8..4,
-    ) {
-        let policy = match policy_code {
+/// Routing is deterministic and respects the policy: the same
+/// (role, line) always lands on the same engine, and every engine
+/// index is within range.
+#[test]
+fn routing_is_stable_and_in_range() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x2077E + case);
+        let n = 1 + rng.next_below(59) as usize;
+        let lines: Vec<u64> = (0..n).map(|_| rng.next_below(1024)).collect();
+        let policy = match rng.next_below(4) {
             0 => EnginePolicy::Single,
             1 => EnginePolicy::LocalRemote,
             2 => EnginePolicy::Interleaved(4),
@@ -87,23 +104,28 @@ proptest! {
             for role in [EngineRole::Local, EngineRole::Remote] {
                 let a = policy.engine_for(role, line);
                 let b = policy.engine_for(role, line);
-                prop_assert_eq!(a, b);
-                prop_assert!(a < policy.engines());
+                assert_eq!(a, b, "case {case}");
+                assert!(a < policy.engines(), "case {case}");
             }
         }
     }
+}
 
-    /// Under the local/remote split, local requests only ever reach the
-    /// LPE-labelled engines and remote requests only the RPE-labelled
-    /// ones.
-    #[test]
-    fn split_respects_roles(lines in prop::collection::vec(0u64..1024, 1..60)) {
+/// Under the local/remote split, local requests only ever reach the
+/// LPE-labelled engines and remote requests only the RPE-labelled
+/// ones.
+#[test]
+fn split_respects_roles() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5B117 + case);
+        let n = 1 + rng.next_below(59) as usize;
+        let lines: Vec<u64> = (0..n).map(|_| rng.next_below(1024)).collect();
         for policy in [EnginePolicy::LocalRemote, EnginePolicy::LocalRemotePairs(2)] {
             for &line in &lines {
                 let l = policy.engine_for(EngineRole::Local, line);
                 let r = policy.engine_for(EngineRole::Remote, line);
-                prop_assert_eq!(policy.role_label(l), "LPE");
-                prop_assert_eq!(policy.role_label(r), "RPE");
+                assert_eq!(policy.role_label(l), "LPE", "case {case}");
+                assert_eq!(policy.role_label(r), "RPE", "case {case}");
             }
         }
     }

@@ -366,13 +366,9 @@ pub fn replacement_hints(_app: SuiteApp, opts: Options) -> TextTable {
 pub fn flash_conditions(opts: Options) -> TextTable {
     let app = SuiteApp::Radix;
     let instance = app.instantiate(opts.scale);
-    let mut t = TextTable::new(vec!["configuration", "PP penalty vs matching HWC"]).with_title(
-        "Ablation: the FLASH conditions (Section 4) applied cumulatively to Radix",
-    );
-    let mut measure = |label: &str,
-                       engine: EngineKind,
-                       ppn: Option<usize>,
-                       slow_220ns: bool| {
+    let mut t = TextTable::new(vec!["configuration", "PP penalty vs matching HWC"])
+        .with_title("Ablation: the FLASH conditions (Section 4) applied cumulatively to Radix");
+    let mut measure = |label: &str, engine: EngineKind, ppn: Option<usize>, slow_220ns: bool| {
         let mods = ConfigMods {
             procs_per_node: ppn,
             ..ConfigMods::default()
@@ -390,7 +386,12 @@ pub fn flash_conditions(opts: Options) -> TextTable {
             pct(penalty(base.exec_cycles, that.exec_cycles)),
         ]);
     };
-    measure("this paper: commodity PP, 4-proc SMP nodes, 70 ns net", EngineKind::Ppc, None, false);
+    measure(
+        "this paper: commodity PP, 4-proc SMP nodes, 70 ns net",
+        EngineKind::Ppc,
+        None,
+        false,
+    );
     measure("+ uniprocessor nodes", EngineKind::Ppc, Some(1), false);
     measure("+ 220 ns network", EngineKind::Ppc, Some(1), true);
     measure(
@@ -500,7 +501,12 @@ mod tests {
         // Behavioural check at quick scale: the full FLASH setting must
         // show a much smaller penalty than this paper's setting.
         let app = SuiteApp::Radix.instantiate(opts.scale);
-        let paper_hwc = config_for(SuiteApp::Radix, Architecture::Hwc, opts, ConfigMods::default());
+        let paper_hwc = config_for(
+            SuiteApp::Radix,
+            Architecture::Hwc,
+            opts,
+            ConfigMods::default(),
+        );
         let mut paper_ppc = paper_hwc.clone();
         paper_ppc.engine = EngineKind::Ppc;
         let mut flash_hwc = config_for(
@@ -516,12 +522,24 @@ mod tests {
         let mut flash_pp = flash_hwc.clone();
         flash_pp.engine = EngineKind::PpcAccelerated;
         let paper_pen = penalty(
-            Machine::new(paper_hwc, app.as_ref()).unwrap().run().exec_cycles,
-            Machine::new(paper_ppc, app.as_ref()).unwrap().run().exec_cycles,
+            Machine::new(paper_hwc, app.as_ref())
+                .unwrap()
+                .run()
+                .exec_cycles,
+            Machine::new(paper_ppc, app.as_ref())
+                .unwrap()
+                .run()
+                .exec_cycles,
         );
         let flash_pen = penalty(
-            Machine::new(flash_hwc, app.as_ref()).unwrap().run().exec_cycles,
-            Machine::new(flash_pp, app.as_ref()).unwrap().run().exec_cycles,
+            Machine::new(flash_hwc, app.as_ref())
+                .unwrap()
+                .run()
+                .exec_cycles,
+            Machine::new(flash_pp, app.as_ref())
+                .unwrap()
+                .run()
+                .exec_cycles,
         );
         // Tiny scale mutes the collapse (little queueing to remove);
         // the scaled run in results/ablations_scaled.txt shows the full

@@ -18,6 +18,7 @@ use crate::config::{Architecture, SystemConfig};
 use crate::machine::Machine;
 use crate::probe;
 use crate::report::{penalty, SimReport};
+use crate::sweep::{RunKey, RunRecord, Runner};
 use crate::tables::{num, pct, TextTable};
 
 /// Machine size and problem scale for a reproduction run.
@@ -63,7 +64,7 @@ impl Options {
 }
 
 /// Configuration knobs varied by the parameter studies.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct ConfigMods {
     /// Override the cache-line size (Figure 7: 32).
     pub line_bytes: Option<u64>,
@@ -266,21 +267,33 @@ pub fn table6_apps() -> Vec<SuiteApp> {
 }
 
 /// Runs Table 6: HWC and PPC on the base configuration for every
-/// application.
+/// application (sequentially; see [`table6_with`] for the sweep runner).
 pub fn table6(opts: Options) -> Table6Data {
-    let rows = table6_apps()
-        .into_iter()
-        .map(|app| {
-            let hwc = run_one(app, Architecture::Hwc, opts, ConfigMods::default());
-            let ppc = run_one(app, Architecture::Ppc, opts, ConfigMods::default());
-            table6_row(&hwc, &ppc)
-        })
+    table6_with(&Runner::sequential(opts))
+}
+
+/// Runs Table 6 through a sweep [`Runner`].
+pub fn table6_with(runner: &Runner) -> Table6Data {
+    let apps = table6_apps();
+    let mut keys = Vec::with_capacity(apps.len() * 2);
+    for &app in &apps {
+        keys.push(RunKey::new(app, Architecture::Hwc));
+        keys.push(RunKey::new(app, Architecture::Ppc));
+    }
+    let records = runner.run(&keys);
+    let rows = records
+        .chunks_exact(2)
+        .map(|pair| table6_row_from(&pair[0], &pair[1]))
         .collect();
     Table6Data { rows }
 }
 
 /// Derives one Table 6 row from a matched HWC/PPC run pair.
 pub fn table6_row(hwc: &SimReport, ppc: &SimReport) -> Table6Row {
+    table6_row_from(&RunRecord::from_report(hwc), &RunRecord::from_report(ppc))
+}
+
+fn table6_row_from(hwc: &RunRecord, ppc: &RunRecord) -> Table6Row {
     Table6Row {
         app: hwc.workload.clone(),
         pp_penalty: penalty(hwc.exec_cycles, ppc.exec_cycles),
@@ -290,12 +303,12 @@ pub fn table6_row(hwc: &SimReport, ppc: &SimReport) -> Table6Row {
         } else {
             ppc.cc_occupancy as f64 / hwc.cc_occupancy as f64
         },
-        hwc_utilization: hwc.avg_utilization(),
-        ppc_utilization: ppc.avg_utilization(),
+        hwc_utilization: hwc.avg_utilization,
+        ppc_utilization: ppc.avg_utilization,
         hwc_queue_ns: hwc.queue_delay_ns,
         ppc_queue_ns: ppc.queue_delay_ns,
-        hwc_rate: hwc.arrival_rate_per_us(),
-        ppc_rate: ppc.arrival_rate_per_us(),
+        hwc_rate: hwc.arrival_rate_per_us,
+        ppc_rate: ppc.arrival_rate_per_us,
     }
 }
 
@@ -365,29 +378,39 @@ pub struct Table7Data {
     pub rows: Vec<Table7Row>,
 }
 
-/// Runs Table 7: 2HWC and 2PPC on the base configuration.
+/// Runs Table 7: 2HWC and 2PPC on the base configuration
+/// (sequentially; see [`table7_with`] for the sweep runner).
 pub fn table7(opts: Options) -> Table7Data {
-    let mut rows = Vec::new();
+    table7_with(&Runner::sequential(opts))
+}
+
+/// Runs Table 7 through a sweep [`Runner`].
+pub fn table7_with(runner: &Runner) -> Table7Data {
+    let mut keys = Vec::new();
     for app in table6_apps() {
         for arch in [Architecture::TwoHwc, Architecture::TwoPpc] {
-            let report = run_one(app, arch, opts, ConfigMods::default());
-            rows.push(table7_row(&report));
+            keys.push(RunKey::new(app, arch));
         }
     }
+    let rows = runner.run(&keys).iter().map(table7_row_from).collect();
     Table7Data { rows }
 }
 
 /// Derives a Table 7 row from a two-engine run.
 pub fn table7_row(report: &SimReport) -> Table7Row {
+    table7_row_from(&RunRecord::from_report(report))
+}
+
+fn table7_row_from(record: &RunRecord) -> Table7Row {
     Table7Row {
-        app: report.workload.clone(),
-        architecture: report.architecture.clone(),
-        lpe_utilization: report.avg_engine_utilization("LPE"),
-        rpe_utilization: report.avg_engine_utilization("RPE"),
-        lpe_share: report.engine_request_share("LPE"),
-        rpe_share: report.engine_request_share("RPE"),
-        lpe_queue_ns: report.engine_queue_delay_ns("LPE"),
-        rpe_queue_ns: report.engine_queue_delay_ns("RPE"),
+        app: record.workload.clone(),
+        architecture: record.architecture.clone(),
+        lpe_utilization: record.lpe_utilization,
+        rpe_utilization: record.rpe_utilization,
+        lpe_share: record.lpe_share,
+        rpe_share: record.rpe_share,
+        lpe_queue_ns: record.lpe_queue_ns,
+        rpe_queue_ns: record.rpe_queue_ns,
     }
 }
 
@@ -460,10 +483,15 @@ impl Figure {
 /// Figure 6: normalized execution time on the base system, all four
 /// architectures over the eight-application suite.
 pub fn fig6(opts: Options) -> Figure {
+    fig6_with(&Runner::sequential(opts))
+}
+
+/// Runs Figure 6 through a sweep [`Runner`].
+pub fn fig6_with(runner: &Runner) -> Figure {
     normalized_figure(
         "Figure 6: normalized execution time, base system".to_string(),
         &SuiteApp::base_suite(),
-        opts,
+        runner,
         ConfigMods::default(),
     )
 }
@@ -471,10 +499,15 @@ pub fn fig6(opts: Options) -> Figure {
 /// Figure 7: the base suite with 32-byte cache lines, normalized to HWC on
 /// the *base* (128-byte) configuration.
 pub fn fig7(opts: Options) -> Figure {
+    fig7_with(&Runner::sequential(opts))
+}
+
+/// Runs Figure 7 through a sweep [`Runner`].
+pub fn fig7_with(runner: &Runner) -> Figure {
     normalized_vs_base_figure(
         "Figure 7: normalized execution time, 32-byte lines (vs 128-byte HWC)".to_string(),
         &SuiteApp::base_suite(),
-        opts,
+        runner,
         ConfigMods {
             line_bytes: Some(32),
             ..ConfigMods::default()
@@ -485,10 +518,15 @@ pub fn fig7(opts: Options) -> Figure {
 /// Figure 8: the four high-penalty applications on the 1 µs network,
 /// normalized to HWC on the base configuration.
 pub fn fig8(opts: Options) -> Figure {
+    fig8_with(&Runner::sequential(opts))
+}
+
+/// Runs Figure 8 through a sweep [`Runner`].
+pub fn fig8_with(runner: &Runner) -> Figure {
     normalized_vs_base_figure(
         "Figure 8: normalized execution time, 1 us network (vs base HWC)".to_string(),
         &SuiteApp::high_penalty_suite(),
-        opts,
+        runner,
         ConfigMods {
             slow_net: true,
             ..ConfigMods::default()
@@ -499,6 +537,11 @@ pub fn fig8(opts: Options) -> Figure {
 /// Figure 9: FFT and Ocean at base and large data sizes, each size
 /// normalized to its own HWC run.
 pub fn fig9(opts: Options) -> Figure {
+    fig9_with(&Runner::sequential(opts))
+}
+
+/// Runs Figure 9 through a sweep [`Runner`].
+pub fn fig9_with(runner: &Runner) -> Figure {
     let apps = [
         SuiteApp::FftBase,
         SuiteApp::FftLarge,
@@ -508,7 +551,7 @@ pub fn fig9(opts: Options) -> Figure {
     normalized_figure(
         "Figure 9: normalized execution time, base and large data sizes".to_string(),
         &apps,
-        opts,
+        runner,
         ConfigMods::default(),
     )
 }
@@ -516,24 +559,36 @@ pub fn fig9(opts: Options) -> Figure {
 /// Figure 10: 1/2/4/8 processors per SMP node at constant total processor
 /// count, normalized to HWC with 4 processors per node.
 pub fn fig10(opts: Options, app: SuiteApp) -> Figure {
+    fig10_with(&Runner::sequential(opts), app)
+}
+
+/// Runs Figure 10 through a sweep [`Runner`].
+pub fn fig10_with(runner: &Runner, app: SuiteApp) -> Figure {
     let ppn_values = [1usize, 2, 4, 8];
-    let base = run_one(app, Architecture::Hwc, opts, ConfigMods::default());
+    // One grid: the base run plus every (architecture, node size) cell.
+    let mut keys = vec![RunKey::new(app, Architecture::Hwc)];
+    for &arch in Architecture::all().iter() {
+        for &p in &ppn_values {
+            keys.push(RunKey::with_mods(
+                app,
+                arch,
+                ConfigMods {
+                    procs_per_node: Some(p),
+                    ..ConfigMods::default()
+                },
+            ));
+        }
+    }
+    let records = runner.run(&keys);
+    let base = &records[0];
     let labels = ppn_values.iter().map(|p| format!("{p}/node")).collect();
     let series = Architecture::all()
         .iter()
-        .map(|&arch| {
-            let values = ppn_values
-                .iter()
-                .map(|&p| {
-                    let r = run_one(
-                        app,
-                        arch,
-                        opts,
-                        ConfigMods {
-                            procs_per_node: Some(p),
-                            ..ConfigMods::default()
-                        },
-                    );
+        .enumerate()
+        .map(|(i, arch)| {
+            let values = (0..ppn_values.len())
+                .map(|j| {
+                    let r = &records[1 + i * ppn_values.len() + j];
                     r.exec_cycles as f64 / base.exec_cycles as f64
                 })
                 .collect();
@@ -552,25 +607,34 @@ pub fn fig10(opts: Options, app: SuiteApp) -> Figure {
 
 /// Runs `apps` × all architectures with `mods`, normalizing each
 /// application to its own HWC run *under the same mods*.
-fn normalized_figure(title: String, apps: &[SuiteApp], opts: Options, mods: ConfigMods) -> Figure {
-    let mut labels = Vec::new();
-    let mut matrix: Vec<Vec<f64>> = vec![Vec::new(); 4];
+fn normalized_figure(
+    title: String,
+    apps: &[SuiteApp],
+    runner: &Runner,
+    mods: ConfigMods,
+) -> Figure {
+    let archs = Architecture::all();
+    let mut keys = Vec::with_capacity(apps.len() * archs.len());
     for &app in apps {
-        let hwc = run_one(app, Architecture::Hwc, opts, mods);
-        labels.push(hwc.workload.clone());
-        for (i, &arch) in Architecture::all().iter().enumerate() {
-            let cycles = if arch == Architecture::Hwc {
-                hwc.exec_cycles
-            } else {
-                run_one(app, arch, opts, mods).exec_cycles
-            };
-            matrix[i].push(cycles as f64 / hwc.exec_cycles as f64);
+        for &arch in archs.iter() {
+            keys.push(RunKey::with_mods(app, arch, mods));
         }
+    }
+    let records = runner.run(&keys);
+    let mut labels = Vec::new();
+    let mut matrix: Vec<Vec<f64>> = vec![Vec::new(); archs.len()];
+    for (a, per_app) in records.chunks_exact(archs.len()).enumerate() {
+        let hwc_cycles = per_app[0].exec_cycles;
+        labels.push(per_app[0].workload.clone());
+        for (i, r) in per_app.iter().enumerate() {
+            matrix[i].push(r.exec_cycles as f64 / hwc_cycles as f64);
+        }
+        debug_assert_eq!(apps[a], keys[a * archs.len()].app);
     }
     Figure {
         title,
         labels,
-        series: Architecture::all()
+        series: archs
             .iter()
             .zip(matrix)
             .map(|(a, v)| (a.name().to_string(), v))
@@ -583,23 +647,32 @@ fn normalized_figure(title: String, apps: &[SuiteApp], opts: Options, mods: Conf
 fn normalized_vs_base_figure(
     title: String,
     apps: &[SuiteApp],
-    opts: Options,
+    runner: &Runner,
     mods: ConfigMods,
 ) -> Figure {
-    let mut labels = Vec::new();
-    let mut matrix: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let archs = Architecture::all();
+    // Per app: the unmodified HWC baseline, then the modified grid.
+    let mut keys = Vec::with_capacity(apps.len() * (archs.len() + 1));
     for &app in apps {
-        let base = run_one(app, Architecture::Hwc, opts, ConfigMods::default());
+        keys.push(RunKey::new(app, Architecture::Hwc));
+        for &arch in archs.iter() {
+            keys.push(RunKey::with_mods(app, arch, mods));
+        }
+    }
+    let records = runner.run(&keys);
+    let mut labels = Vec::new();
+    let mut matrix: Vec<Vec<f64>> = vec![Vec::new(); archs.len()];
+    for group in records.chunks_exact(archs.len() + 1) {
+        let base = &group[0];
         labels.push(base.workload.clone());
-        for (i, &arch) in Architecture::all().iter().enumerate() {
-            let r = run_one(app, arch, opts, mods);
+        for (i, r) in group[1..].iter().enumerate() {
             matrix[i].push(r.exec_cycles as f64 / base.exec_cycles as f64);
         }
     }
     Figure {
         title,
         labels,
-        series: Architecture::all()
+        series: archs
             .iter()
             .zip(matrix)
             .map(|(a, v)| (a.name().to_string(), v))
@@ -637,18 +710,29 @@ pub struct ScatterData {
 
 /// Runs the Figure 11/12 sweep.
 pub fn scatter(opts: Options) -> ScatterData {
-    let points = table6_apps()
-        .into_iter()
-        .map(|app| {
-            let hwc = run_one(app, Architecture::Hwc, opts, ConfigMods::default());
-            let ppc = run_one(app, Architecture::Ppc, opts, ConfigMods::default());
-            let two_hwc = run_one(app, Architecture::TwoHwc, opts, ConfigMods::default());
+    scatter_with(&Runner::sequential(opts))
+}
+
+/// Runs the Figure 11/12 sweep through a sweep [`Runner`].
+pub fn scatter_with(runner: &Runner) -> ScatterData {
+    let archs = [Architecture::Hwc, Architecture::Ppc, Architecture::TwoHwc];
+    let mut keys = Vec::new();
+    for app in table6_apps() {
+        for arch in archs {
+            keys.push(RunKey::new(app, arch));
+        }
+    }
+    let points = runner
+        .run(&keys)
+        .chunks_exact(archs.len())
+        .map(|group| {
+            let (hwc, ppc, two_hwc) = (&group[0], &group[1], &group[2]);
             ScatterPoint {
                 app: hwc.workload.clone(),
                 rccpi_x1000: hwc.rccpi() * 1000.0,
-                hwc_rate: hwc.arrival_rate_per_us(),
-                ppc_rate: ppc.arrival_rate_per_us(),
-                two_hwc_rate: two_hwc.arrival_rate_per_us(),
+                hwc_rate: hwc.arrival_rate_per_us,
+                ppc_rate: ppc.arrival_rate_per_us,
+                two_hwc_rate: two_hwc.arrival_rate_per_us,
                 pp_penalty: penalty(hwc.exec_cycles, ppc.exec_cycles),
             }
         })

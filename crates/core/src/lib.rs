@@ -41,9 +41,11 @@ pub mod machine;
 pub mod probe;
 pub mod report;
 mod steps;
+pub mod sweep;
 pub mod sync;
 pub mod tables;
 
 pub use config::{Architecture, ConfigError, LatencyConfig, PlacementPolicy, SystemConfig};
 pub use machine::Machine;
 pub use report::{penalty, SimReport};
+pub use sweep::{RunKey, RunRecord, Runner, SweepStats};

@@ -1,10 +1,13 @@
 //! Model-based property tests: `SetAssocCache` against a naive reference
 //! implementation (per-set vectors with explicit LRU ordering).
+//!
+//! Operation sequences are generated with the in-tree deterministic RNG,
+//! so the suite is hermetic and every run replays the same cases.
 
 use std::collections::HashMap;
 
 use ccn_mem::{AccessKind, CacheGeometry, Eviction, LineAddr, LineState, SetAssocCache};
-use proptest::prelude::*;
+use ccn_sim::SplitMix64;
 
 /// A deliberately slow but obviously correct reference cache.
 struct RefCache {
@@ -90,13 +93,17 @@ enum CacheOp {
     SetState(u64, u8),
 }
 
-fn op_strategy(lines: u64) -> impl Strategy<Value = CacheOp> {
-    prop_oneof![
-        (0..lines, any::<bool>()).prop_map(|(l, w)| CacheOp::Access(l, w)),
-        (0..lines, 0u8..3, any::<u64>()).prop_map(|(l, s, p)| CacheOp::Fill(l, s, p)),
-        (0..lines).prop_map(CacheOp::Invalidate),
-        (0..lines, 0u8..3).prop_map(|(l, s)| CacheOp::SetState(l, s)),
-    ]
+fn random_op(rng: &mut SplitMix64, lines: u64) -> CacheOp {
+    match rng.next_below(4) {
+        0 => CacheOp::Access(rng.next_below(lines), rng.chance(0.5)),
+        1 => CacheOp::Fill(
+            rng.next_below(lines),
+            rng.next_below(3) as u8,
+            rng.next_u64(),
+        ),
+        2 => CacheOp::Invalidate(rng.next_below(lines)),
+        _ => CacheOp::SetState(rng.next_below(lines), rng.next_below(3) as u8),
+    }
 }
 
 fn state_from(code: u8) -> LineState {
@@ -107,19 +114,31 @@ fn state_from(code: u8) -> LineState {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn cache_matches_reference_model(ops in prop::collection::vec(op_strategy(64), 1..300)) {
-        let geometry = CacheGeometry { size_bytes: 1024, line_bytes: 64, ways: 2 };
+#[test]
+fn cache_matches_reference_model() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xCAC4E + case);
+        let n = 1 + rng.next_below(299) as usize;
+        let geometry = CacheGeometry {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        };
         let mut cache = SetAssocCache::new(geometry);
         let mut model = RefCache::new(geometry);
-        for op in ops {
-            match op {
+        for _ in 0..n {
+            match random_op(&mut rng, 64) {
                 CacheOp::Access(l, write) => {
-                    let kind = if write { AccessKind::Write } else { AccessKind::Read };
-                    prop_assert_eq!(cache.access(LineAddr(l), kind), model.access(l, kind));
+                    let kind = if write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    assert_eq!(
+                        cache.access(LineAddr(l), kind),
+                        model.access(l, kind),
+                        "case {case}"
+                    );
                 }
                 CacheOp::Fill(l, s, p) => {
                     if cache.state_of(LineAddr(l)) != LineState::Invalid {
@@ -128,10 +147,14 @@ proptest! {
                     let state = state_from(s);
                     let got = cache.fill(LineAddr(l), state, p);
                     let want = model.fill(l, state, p);
-                    prop_assert_eq!(got, want, "evictions must match");
+                    assert_eq!(got, want, "case {case}: evictions must match");
                 }
                 CacheOp::Invalidate(l) => {
-                    prop_assert_eq!(cache.invalidate(LineAddr(l)), model.invalidate(l));
+                    assert_eq!(
+                        cache.invalidate(LineAddr(l)),
+                        model.invalidate(l),
+                        "case {case}"
+                    );
                 }
                 CacheOp::SetState(l, s) => {
                     if cache.state_of(LineAddr(l)) != LineState::Invalid {
@@ -146,28 +169,35 @@ proptest! {
             }
             // Spot-check agreement on every line we know about.
             for l in 0..64 {
-                prop_assert_eq!(
+                assert_eq!(
                     cache.state_of(LineAddr(l)),
                     model.state_of(l),
-                    "state divergence on line {}",
-                    l
+                    "case {case}: state divergence on line {l}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn resident_count_never_exceeds_capacity(ops in prop::collection::vec(op_strategy(256), 1..300)) {
-        let geometry = CacheGeometry { size_bytes: 2048, line_bytes: 64, ways: 4 };
+#[test]
+fn resident_count_never_exceeds_capacity() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x0CCF + case);
+        let n = 1 + rng.next_below(299) as usize;
+        let geometry = CacheGeometry {
+            size_bytes: 2048,
+            line_bytes: 64,
+            ways: 4,
+        };
         let mut cache = SetAssocCache::new(geometry);
         let capacity = (geometry.size_bytes / geometry.line_bytes) as usize;
-        for op in ops {
-            if let CacheOp::Fill(l, s, p) = op {
+        for _ in 0..n {
+            if let CacheOp::Fill(l, s, p) = random_op(&mut rng, 256) {
                 if cache.state_of(LineAddr(l)) == LineState::Invalid {
                     cache.fill(LineAddr(l), state_from(s), p);
                 }
             }
-            prop_assert!(cache.resident_lines() <= capacity);
+            assert!(cache.resident_lines() <= capacity, "case {case}");
         }
     }
 }

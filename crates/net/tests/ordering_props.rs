@@ -1,67 +1,91 @@
 //! Property tests for the network model: per-pair FIFO delivery (the
 //! directory protocol's write-back / forward-miss race depends on it),
 //! latency lower bounds, and port-bandwidth conservation.
+//!
+//! Cases are generated with the in-tree deterministic RNG, so the suite
+//! is hermetic and repeatable.
 
 use ccn_mem::NodeId;
 use ccn_net::{NetConfig, Network};
-use proptest::prelude::*;
+use ccn_sim::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+const CASES: u64 = 128;
 
-    /// Messages between the same (source, destination) pair are delivered
-    /// in send order even under cross traffic.
-    #[test]
-    fn per_pair_fifo(
-        sends in prop::collection::vec((0u16..4, 0u16..4, 16u64..160), 2..80),
-    ) {
+/// Messages between the same (source, destination) pair are delivered
+/// in send order even under cross traffic.
+#[test]
+fn per_pair_fifo() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xF1F0 + case);
+        let n = 2 + rng.next_below(78) as usize;
         let mut net = Network::new(4, NetConfig::default());
         let mut last: std::collections::HashMap<(u16, u16), u64> = Default::default();
-        for (i, &(from, to, bytes)) in sends.iter().enumerate() {
+        for i in 0..n {
+            let from = rng.next_below(4) as u16;
+            let to = rng.next_below(4) as u16;
+            let bytes = 16 + rng.next_below(144);
             let t = net.send(i as u64, NodeId(from), NodeId(to), bytes);
             if let Some(&prev) = last.get(&(from, to)) {
-                prop_assert!(t > prev, "pair ({from},{to}) reordered: {t} <= {prev}");
+                assert!(
+                    t > prev,
+                    "case {case}: pair ({from},{to}) reordered: {t} <= {prev}"
+                );
             }
             last.insert((from, to), t);
         }
     }
+}
 
-    /// No message arrives faster than the physics allows: two NI
-    /// overheads, two serialization steps, and the fall-through latency.
-    #[test]
-    fn latency_lower_bound(
-        from in 0u16..4,
-        to in 0u16..4,
-        bytes in 16u64..2048,
-        time in 0u64..100_000,
-    ) {
+/// No message arrives faster than the physics allows: two NI
+/// overheads, two serialization steps, and the fall-through latency.
+#[test]
+fn latency_lower_bound() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x1A7E + case);
+        let from = rng.next_below(4) as u16;
+        let to = rng.next_below(4) as u16;
+        let bytes = 16 + rng.next_below(2032);
+        let time = rng.next_below(100_000);
         let cfg = NetConfig::default();
         let mut net = Network::new(4, cfg);
         let arrival = net.send(time, NodeId(from), NodeId(to), bytes);
         let ser = bytes.div_ceil(cfg.bytes_per_cycle).max(1);
         let min = time + 2 * cfg.ni_overhead + 2 * ser + cfg.latency_cycles;
-        prop_assert_eq!(arrival, min, "single message must see no contention");
+        assert_eq!(
+            arrival, min,
+            "case {case}: single message must see no contention"
+        );
     }
+}
 
-    /// Bytes are conserved in the statistics.
-    #[test]
-    fn byte_accounting(
-        sends in prop::collection::vec((0u16..3, 0u16..3, 16u64..300), 1..50),
-    ) {
+/// Bytes are conserved in the statistics.
+#[test]
+fn byte_accounting() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB17E + case);
+        let n = 1 + rng.next_below(49) as usize;
         let mut net = Network::new(3, NetConfig::default());
         let mut total = 0;
-        for (i, &(from, to, bytes)) in sends.iter().enumerate() {
+        for i in 0..n {
+            let from = rng.next_below(3) as u16;
+            let to = rng.next_below(3) as u16;
+            let bytes = 16 + rng.next_below(284);
             net.send(i as u64, NodeId(from), NodeId(to), bytes);
             total += bytes;
         }
-        prop_assert_eq!(net.bytes(), total);
-        prop_assert_eq!(net.messages(), sends.len() as u64);
+        assert_eq!(net.bytes(), total, "case {case}");
+        assert_eq!(net.messages(), n as u64, "case {case}");
     }
+}
 
-    /// A saturated egress port delays messages by at least their
-    /// aggregate serialization time.
-    #[test]
-    fn egress_serialization_accumulates(count in 2u64..40, bytes in 16u64..160) {
+/// A saturated egress port delays messages by at least their
+/// aggregate serialization time.
+#[test]
+fn egress_serialization_accumulates() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xE54A + case);
+        let count = 2 + rng.next_below(38);
+        let bytes = 16 + rng.next_below(144);
         let cfg = NetConfig::default();
         let mut net = Network::new(2, cfg);
         let ser = bytes.div_ceil(cfg.bytes_per_cycle).max(1);
@@ -70,6 +94,6 @@ proptest! {
             last = net.send(0, NodeId(0), NodeId(1), bytes);
         }
         let min_last = 2 * cfg.ni_overhead + cfg.latency_cycles + (count + 1) * ser;
-        prop_assert!(last >= min_last, "{last} < {min_last}");
+        assert!(last >= min_last, "case {case}: {last} < {min_last}");
     }
 }

@@ -4,12 +4,14 @@
 //!
 //! The test keeps a tiny oracle of which nodes "really" hold the line and
 //! feeds the directory exactly the completions a real machine would send.
+//! Stimuli are generated with the in-tree deterministic RNG, so the suite
+//! is hermetic and every run replays the same sequences.
 
 use ccn_mem::{LineAddr, NodeId};
 use ccn_protocol::directory::{
     DirAction, DirOutcome, DirRequest, DirRequestKind, DirState, Directory, WritebackOutcome,
 };
-use proptest::prelude::*;
+use ccn_sim::SplitMix64;
 
 const LINE: LineAddr = LineAddr(42);
 const HOME: NodeId = NodeId(0);
@@ -31,13 +33,14 @@ enum Stimulus {
     Evict,
 }
 
-fn stimulus(nodes: u16) -> impl Strategy<Value = Stimulus> {
-    prop_oneof![
-        (1..nodes).prop_map(Stimulus::Read),
-        (1..nodes).prop_map(Stimulus::ReadExcl),
-        (1..nodes).prop_map(Stimulus::Upgrade),
-        Just(Stimulus::Evict),
-    ]
+fn random_stimulus(rng: &mut SplitMix64, nodes: u16) -> Stimulus {
+    let node = 1 + rng.next_below(u64::from(nodes) - 1) as u16;
+    match rng.next_below(4) {
+        0 => Stimulus::Read(node),
+        1 => Stimulus::ReadExcl(node),
+        2 => Stimulus::Upgrade(node),
+        _ => Stimulus::Evict,
+    }
 }
 
 /// Applies one request to the directory, playing all completions the
@@ -116,33 +119,30 @@ fn apply(dir: &mut Directory, world: &mut World, req: DirRequest) {
 }
 
 /// Checks the directory's stable state against the oracle.
-fn agree(dir: &Directory, world: &World) -> Result<(), TestCaseError> {
-    prop_assert!(!dir.is_busy(LINE), "line must quiesce between stimuli");
+fn agree(dir: &Directory, world: &World) {
+    assert!(!dir.is_busy(LINE), "line must quiesce between stimuli");
     match (dir.state_of(LINE), world) {
         (DirState::Uncached, World::Uncached) => {}
-        (DirState::Dirty(d), World::Dirty(w)) => prop_assert_eq!(&d, w),
+        (DirState::Dirty(d), World::Dirty(w)) => assert_eq!(&d, w),
         (DirState::Shared(bm), World::Shared(sharers)) => {
-            prop_assert_eq!(bm.count() as usize, sharers.len());
+            assert_eq!(bm.count() as usize, sharers.len());
             for s in sharers {
-                prop_assert!(bm.contains(*s), "missing sharer {}", s);
+                assert!(bm.contains(*s), "missing sharer {s}");
             }
         }
-        (got, want) => prop_assert!(false, "directory {got:?} vs oracle {want:?}"),
+        (got, want) => panic!("directory {got:?} vs oracle {want:?}"),
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    #[test]
-    fn directory_tracks_ownership_exactly(
-        stimuli in prop::collection::vec(stimulus(6), 1..60),
-    ) {
+#[test]
+fn directory_tracks_ownership_exactly() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0xD12EC7 + case);
+        let n = 1 + rng.next_below(59) as usize;
         let mut dir = Directory::new(HOME);
         let mut world = World::Uncached;
-        for s in stimuli {
-            match s {
+        for _ in 0..n {
+            match random_stimulus(&mut rng, 6) {
                 Stimulus::Read(n) => {
                     // A node that already holds the line would hit in its
                     // cache; skip to stay protocol-legal.
@@ -154,63 +154,95 @@ proptest! {
                     if holder {
                         continue;
                     }
-                    apply(&mut dir, &mut world, DirRequest {
-                        kind: DirRequestKind::Read,
-                        requester: NodeId(n),
-                    });
+                    apply(
+                        &mut dir,
+                        &mut world,
+                        DirRequest {
+                            kind: DirRequestKind::Read,
+                            requester: NodeId(n),
+                        },
+                    );
                 }
                 Stimulus::ReadExcl(n) => {
                     if matches!(&world, World::Dirty(d) if d.0 == n) {
                         continue; // already owns it
                     }
-                    apply(&mut dir, &mut world, DirRequest {
-                        kind: DirRequestKind::ReadExcl,
-                        requester: NodeId(n),
-                    });
+                    apply(
+                        &mut dir,
+                        &mut world,
+                        DirRequest {
+                            kind: DirRequestKind::ReadExcl,
+                            requester: NodeId(n),
+                        },
+                    );
                 }
                 Stimulus::Upgrade(n) => {
                     // Upgrades are only issued by current sharers.
-                    let is_sharer = matches!(&world, World::Shared(s) if s.iter().any(|x| x.0 == n));
+                    let is_sharer =
+                        matches!(&world, World::Shared(s) if s.iter().any(|x| x.0 == n));
                     if !is_sharer {
                         continue;
                     }
-                    apply(&mut dir, &mut world, DirRequest {
-                        kind: DirRequestKind::Upgrade,
-                        requester: NodeId(n),
-                    });
+                    apply(
+                        &mut dir,
+                        &mut world,
+                        DirRequest {
+                            kind: DirRequestKind::Upgrade,
+                            requester: NodeId(n),
+                        },
+                    );
                 }
                 Stimulus::Evict => {
                     if let World::Dirty(owner) = world {
-                        prop_assert_eq!(
-                            dir.writeback(LINE, owner),
-                            WritebackOutcome::Applied
-                        );
+                        assert_eq!(dir.writeback(LINE, owner), WritebackOutcome::Applied);
                         world = World::Uncached;
                     }
                 }
             }
-            agree(&dir, &world)?;
+            agree(&dir, &world);
         }
     }
+}
 
-    #[test]
-    fn busy_lines_buffer_everything_and_replay_once(
-        waiters in prop::collection::vec(1u16..8, 1..10),
-    ) {
+#[test]
+fn busy_lines_buffer_everything_and_replay_once() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xB0FFE2 + case);
+        let n = 1 + rng.next_below(9) as usize;
+        let waiters: Vec<u16> = (0..n).map(|_| 1 + rng.next_below(7) as u16).collect();
         let mut dir = Directory::new(HOME);
         // Make the line busy with a forward.
-        dir.request(LINE, DirRequest { kind: DirRequestKind::ReadExcl, requester: NodeId(1) });
-        dir.request(LINE, DirRequest { kind: DirRequestKind::Read, requester: NodeId(2) });
-        prop_assert!(dir.is_busy(LINE));
+        dir.request(
+            LINE,
+            DirRequest {
+                kind: DirRequestKind::ReadExcl,
+                requester: NodeId(1),
+            },
+        );
+        dir.request(
+            LINE,
+            DirRequest {
+                kind: DirRequestKind::Read,
+                requester: NodeId(2),
+            },
+        );
+        assert!(dir.is_busy(LINE));
         for &w in &waiters {
-            prop_assert_eq!(
-                dir.request(LINE, DirRequest { kind: DirRequestKind::Read, requester: NodeId(w) }),
-                DirOutcome::Busy
+            assert_eq!(
+                dir.request(
+                    LINE,
+                    DirRequest {
+                        kind: DirRequestKind::Read,
+                        requester: NodeId(w),
+                    }
+                ),
+                DirOutcome::Busy,
+                "case {case}"
             );
         }
-        prop_assert_eq!(dir.buffered_requests(), waiters.len() as u64);
+        assert_eq!(dir.buffered_requests(), waiters.len() as u64);
         // Nothing pops while busy.
-        prop_assert!(dir.pop_pending_if_idle(LINE).is_none());
+        assert!(dir.pop_pending_if_idle(LINE).is_none());
         // Complete the forward; buffered requests drain in FIFO order.
         dir.sharing_writeback(LINE, NodeId(1));
         let mut drained = Vec::new();
@@ -219,6 +251,6 @@ proptest! {
             // Replay it (reads of a shared line complete immediately).
             dir.request(LINE, req);
         }
-        prop_assert_eq!(drained, waiters);
+        assert_eq!(drained, waiters, "case {case}");
     }
 }

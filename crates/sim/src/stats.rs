@@ -179,6 +179,30 @@ impl Histogram {
     pub fn summary(&self) -> &Accumulator {
         &self.acc
     }
+
+    /// Merges another histogram into this one. Used by the sweep harness
+    /// and other parallel collectors to combine per-worker statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different bucket geometry — merging
+    /// distributions sampled on different grids is meaningless.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch in Histogram::merge"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket count mismatch in Histogram::merge"
+        );
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.overflow += other.overflow;
+        self.acc.merge(&other.acc);
+    }
 }
 
 /// Rate helper: events per microsecond given a count and an elapsed time in
@@ -253,6 +277,28 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn histogram_rejects_zero_width() {
         let _ = Histogram::new(0.0, 3);
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets_and_summary() {
+        let mut a = Histogram::new(1.0, 3);
+        a.record(0.5);
+        a.record(9.0);
+        let mut b = Histogram::new(1.0, 3);
+        b.record(0.5);
+        b.record(2.5);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), &[2, 0, 1]);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.summary().count(), 4);
+        assert_eq!(a.summary().max(), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn histogram_merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(1.0, 3);
+        a.merge(&Histogram::new(2.0, 3));
     }
 
     #[test]

@@ -1,55 +1,68 @@
 //! Property tests for the reservation server and the event queue: the
 //! conservation and ordering laws every timing model in the workspace
 //! depends on.
+//!
+//! Cases are generated with the in-tree deterministic RNG rather than a
+//! property-testing framework, so the suite is hermetic (no registry
+//! dependencies) and every run exercises exactly the same inputs.
 
-use ccn_sim::{EventQueue, Server};
-use proptest::prelude::*;
+use ccn_sim::{EventQueue, Server, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+const CASES: u64 = 128;
 
-    /// Grants never overlap, never precede their request, and total busy
-    /// time equals the sum of requested durations.
-    #[test]
-    fn server_grants_are_disjoint_and_conserve_time(
-        requests in prop::collection::vec((0u64..10_000, 1u64..100), 1..200),
-    ) {
+/// Grants never overlap, never precede their request, and total busy
+/// time equals the sum of requested durations.
+#[test]
+fn server_grants_are_disjoint_and_conserve_time() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA11C + case);
+        let n = 1 + rng.next_below(199) as usize;
+        let requests: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.next_below(10_000), 1 + rng.next_below(99)))
+            .collect();
         let mut server = Server::new("prop");
         let mut intervals = Vec::new();
         let mut total = 0;
         for &(t, d) in &requests {
             let grant = server.acquire(t, d);
-            prop_assert!(grant >= t, "grant {grant} before request {t}");
+            assert!(grant >= t, "case {case}: grant {grant} before request {t}");
             intervals.push((grant, grant + d));
             total += d;
         }
-        prop_assert_eq!(server.busy_cycles(), total);
+        assert_eq!(server.busy_cycles(), total, "case {case}");
         // Grants are handed out in call order and never overlap.
         for w in intervals.windows(2) {
-            prop_assert!(w[1].0 >= w[0].1, "overlapping grants {w:?}");
+            assert!(w[1].0 >= w[0].1, "case {case}: overlapping grants {w:?}");
         }
     }
+}
 
-    /// Utilization over any window that covers all grants is <= 1.
-    #[test]
-    fn server_utilization_bounded(
-        requests in prop::collection::vec((0u64..1_000, 1u64..50), 1..100),
-    ) {
+/// Utilization over any window that covers all grants is <= 1.
+#[test]
+fn server_utilization_bounded() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB22D + case);
+        let n = 1 + rng.next_below(99) as usize;
         let mut server = Server::new("prop");
         let mut end = 0;
-        for &(t, d) in &requests {
+        for _ in 0..n {
+            let t = rng.next_below(1_000);
+            let d = 1 + rng.next_below(49);
             let grant = server.acquire(t, d);
             end = end.max(grant + d);
         }
-        prop_assert!(server.utilization(end) <= 1.0 + 1e-9);
+        assert!(server.utilization(end) <= 1.0 + 1e-9, "case {case}");
     }
+}
 
-    /// Events come out in timestamp order, FIFO among equal stamps, and
-    /// nothing is lost.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(
-        times in prop::collection::vec(0u64..1_000, 1..300),
-    ) {
+/// Events come out in timestamp order, FIFO among equal stamps, and
+/// nothing is lost.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC33E + case);
+        let n = 1 + rng.next_below(299) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(t, i);
@@ -57,26 +70,37 @@ proptest! {
         let mut last: Option<(u64, usize)> = None;
         let mut seen = vec![false; times.len()];
         while let Some((t, i)) = q.pop() {
-            prop_assert_eq!(times[i], t, "event carries its own timestamp");
+            assert_eq!(times[i], t, "case {case}: event carries its own timestamp");
             if let Some((lt, li)) = last {
-                prop_assert!(t > lt || (t == lt && i > li), "stable order violated");
+                assert!(
+                    t > lt || (t == lt && i > li),
+                    "case {case}: stable order violated"
+                );
             }
             seen[i] = true;
             last = Some((t, i));
         }
-        prop_assert!(seen.iter().all(|&s| s), "every event must come out");
+        assert!(
+            seen.iter().all(|&s| s),
+            "case {case}: every event must come out"
+        );
     }
+}
 
-    /// The RNG produces identical streams for identical seeds and bounded
-    /// values stay in range.
-    #[test]
-    fn rng_determinism_and_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut a = ccn_sim::SplitMix64::new(seed);
-        let mut b = ccn_sim::SplitMix64::new(seed);
+/// The RNG produces identical streams for identical seeds and bounded
+/// values stay in range.
+#[test]
+fn rng_determinism_and_bounds() {
+    let mut meta = SplitMix64::new(0xD44F);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.next_below(999_999);
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
         for _ in 0..100 {
             let x = a.next_below(bound);
-            prop_assert_eq!(x, b.next_below(bound));
-            prop_assert!(x < bound);
+            assert_eq!(x, b.next_below(bound), "case {case}");
+            assert!(x < bound, "case {case}");
         }
     }
 }

@@ -1,53 +1,49 @@
 //! Property tests for segment programs: the dynamic op stream must match
 //! the static accounting, stay in bounds, and be deterministic — for every
 //! application in the suite.
+//!
+//! Random segment lists are generated with the in-tree deterministic RNG,
+//! so the suite is hermetic and every run replays the same cases.
 
+use ccn_sim::SplitMix64;
 use ccn_workloads::segment::static_op_counts;
 use ccn_workloads::suite::{Scale, SuiteApp};
 use ccn_workloads::{Access, MachineShape, Op, Segment, SegmentProgram};
-use proptest::prelude::*;
 
-fn segment_strategy() -> impl Strategy<Value = Segment> {
-    prop_oneof![
-        (0u64..5_000).prop_map(Segment::Compute),
-        (
-            0u64..1 << 20,
-            8u64..2048,
-            prop_oneof![Just(8u32), Just(16), Just(128)],
-            0u16..50
-        )
-            .prop_map(|(base, bytes, stride, work)| Segment::Walk {
-                base,
-                bytes,
-                stride,
-                access: Access::ReadWrite,
-                work,
-            }),
-        (0u64..1 << 20, 64u64..4096, 1u32..200, any::<u64>()).prop_map(
-            |(base, bytes, count, seed)| Segment::RandomWalk {
-                base,
-                bytes,
-                count,
-                stride: 8,
-                access: Access::Read,
-                work: 3,
-                seed,
-            }
-        ),
-        (0u64..1 << 20).prop_map(|addr| Segment::Touch {
-            addr,
+fn random_segment(rng: &mut SplitMix64) -> Segment {
+    match rng.next_below(4) {
+        0 => Segment::Compute(rng.next_below(5_000)),
+        1 => Segment::Walk {
+            base: rng.next_below(1 << 20),
+            bytes: 8 + rng.next_below(2040),
+            stride: [8u32, 16, 128][rng.next_below(3) as usize],
+            access: Access::ReadWrite,
+            work: rng.next_below(50) as u16,
+        },
+        2 => Segment::RandomWalk {
+            base: rng.next_below(1 << 20),
+            bytes: 64 + rng.next_below(4032),
+            count: 1 + rng.next_below(199) as u32,
+            stride: 8,
+            access: Access::Read,
+            work: 3,
+            seed: rng.next_u64(),
+        },
+        _ => Segment::Touch {
+            addr: rng.next_below(1 << 20),
             access: Access::Write,
-        }),
-    ]
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    /// Dynamic instruction/reference totals equal the static prediction
-    /// for arbitrary segment lists.
-    #[test]
-    fn dynamic_matches_static(segments in prop::collection::vec(segment_strategy(), 1..12)) {
+/// Dynamic instruction/reference totals equal the static prediction
+/// for arbitrary segment lists.
+#[test]
+fn dynamic_matches_static() {
+    for case in 0..96u64 {
+        let mut rng = SplitMix64::new(0x5E9 + case);
+        let n = 1 + rng.next_below(11) as usize;
+        let segments: Vec<Segment> = (0..n).map(|_| random_segment(&mut rng)).collect();
         let (want_instr, want_refs) = static_op_counts(&segments);
         let mut program = SegmentProgram::new(segments);
         let mut instr = 0u64;
@@ -62,18 +58,20 @@ proptest! {
                 _ => {}
             }
         }
-        prop_assert_eq!(instr, want_instr);
-        prop_assert_eq!(refs, want_refs);
+        assert_eq!(instr, want_instr, "case {case}");
+        assert_eq!(refs, want_refs, "case {case}");
     }
+}
 
-    /// Random-walk addresses always stay inside their declared region.
-    #[test]
-    fn random_walk_in_bounds(
-        base in 0u64..1 << 30,
-        bytes in 64u64..1 << 16,
-        count in 1u32..500,
-        seed in any::<u64>(),
-    ) {
+/// Random-walk addresses always stay inside their declared region.
+#[test]
+fn random_walk_in_bounds() {
+    for case in 0..96u64 {
+        let mut rng = SplitMix64::new(0xBA5E + case);
+        let base = rng.next_below(1 << 30);
+        let bytes = 64 + rng.next_below((1 << 16) - 64);
+        let count = 1 + rng.next_below(499) as u32;
+        let seed = rng.next_u64();
         let mut program = SegmentProgram::new(vec![Segment::RandomWalk {
             base,
             bytes,
@@ -85,7 +83,10 @@ proptest! {
         }]);
         while let Some(op) = program.next_op() {
             if let Op::Write(a) = op {
-                prop_assert!(a >= base && a < base + bytes, "address {a} escapes region");
+                assert!(
+                    a >= base && a < base + bytes,
+                    "case {case}: address {a} escapes region"
+                );
             }
         }
     }

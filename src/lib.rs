@@ -9,7 +9,9 @@
 //! * [`ccn_protocol`] / [`ccn_controller`] — the directory protocol and
 //!   controller architectures;
 //! * [`ccn_sim`] / [`ccn_mem`] / [`ccn_bus`] / [`ccn_net`] — the
-//!   discrete-event, cache/memory, bus and network substrates.
+//!   discrete-event, cache/memory, bus and network substrates;
+//! * [`ccn_harness`] — the parallel sweep orchestrator behind
+//!   `repro --jobs N` (worker pool, checkpointing, telemetry).
 //!
 //! # Example
 //!
@@ -27,6 +29,7 @@
 
 pub use ccn_bus;
 pub use ccn_controller;
+pub use ccn_harness;
 pub use ccn_mem;
 pub use ccn_net;
 pub use ccn_protocol;

@@ -2,9 +2,12 @@
 //! always drain, keep the single-writer invariant, leave the directory
 //! exactly consistent with the caches, and propagate the latest written
 //! value — on every controller architecture.
+//!
+//! Workload knobs are drawn from the in-tree deterministic RNG, so the
+//! suite is hermetic and every run tortures the protocol with exactly the
+//! same workloads.
 
-use proptest::prelude::*;
-
+use ccnuma_repro::ccn_sim::SplitMix64;
 use ccnuma_repro::ccn_workloads::{Access, AppBuild, Application, MachineShape, Segment};
 use ccnuma_repro::ccnuma::{Architecture, Machine, SystemConfig};
 
@@ -18,6 +21,21 @@ struct TortureApp {
     use_locks: bool,
     phases: u32,
     seed: u64,
+}
+
+impl TortureApp {
+    /// Draws a workload from the RNG within the torture envelope.
+    fn random(rng: &mut SplitMix64) -> Self {
+        TortureApp {
+            region_lines: 2 + rng.next_below(62),
+            touches: 50 + rng.next_below(750) as u32,
+            write_percent: rng.next_below(101) as u32,
+            line_granular: rng.chance(0.5),
+            use_locks: rng.chance(0.5),
+            phases: 1 + rng.next_below(3) as u32,
+            seed: rng.next_u64(),
+        }
+    }
 }
 
 impl Application for TortureApp {
@@ -80,77 +98,53 @@ impl Application for TortureApp {
     }
 }
 
-fn arch_strategy() -> impl Strategy<Value = Architecture> {
-    prop_oneof![
-        Just(Architecture::Hwc),
-        Just(Architecture::Ppc),
-        Just(Architecture::TwoHwc),
-        Just(Architecture::TwoPpc),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        max_shrink_iters: 40,
-        ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_workloads_stay_coherent(
-        region_lines in 2u64..64,
-        touches in 50u32..800,
-        write_percent in 0u32..=100,
-        line_granular in any::<bool>(),
-        use_locks in any::<bool>(),
-        phases in 1u32..4,
-        seed in any::<u64>(),
-        arch in arch_strategy(),
-    ) {
-        let app = TortureApp {
-            region_lines,
-            touches,
-            write_percent,
-            line_granular,
-            use_locks,
-            phases,
-            seed,
-        };
+#[test]
+fn random_workloads_stay_coherent() {
+    let archs = [
+        Architecture::Hwc,
+        Architecture::Ppc,
+        Architecture::TwoHwc,
+        Architecture::TwoPpc,
+    ];
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x7027 + case);
+        let app = TortureApp::random(&mut rng);
+        let arch = archs[rng.next_below(4) as usize];
         let cfg = SystemConfig::small().with_architecture(arch);
         let mut machine = Machine::new(cfg, &app).expect("valid config");
         // The watchdog converts a protocol livelock into a test failure
         // instead of a hang.
         let report = machine.run_with_event_limit(30_000_000);
-        prop_assert!(report.exec_cycles > 0);
-        machine.check_quiescent().map_err(|e| {
-            TestCaseError::fail(format!("invariant violated on {}: {e}", arch.name()))
-        })?;
+        assert!(report.exec_cycles > 0, "case {case} on {}", arch.name());
+        machine
+            .check_quiescent()
+            .unwrap_or_else(|e| panic!("case {case}: invariant violated on {}: {e}", arch.name()));
     }
+}
 
-    #[test]
-    fn runs_are_deterministic(
-        region_lines in 2u64..32,
-        touches in 50u32..400,
-        write_percent in 0u32..=100,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn runs_are_deterministic() {
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::new(0xDE7E + case);
         let app = TortureApp {
-            region_lines,
-            touches,
-            write_percent,
+            region_lines: 2 + rng.next_below(30),
+            touches: 50 + rng.next_below(350) as u32,
+            write_percent: rng.next_below(101) as u32,
             line_granular: false,
             use_locks: true,
             phases: 2,
-            seed,
+            seed: rng.next_u64(),
         };
         let run = || {
             let cfg = SystemConfig::small().with_architecture(Architecture::TwoPpc);
-            Machine::new(cfg, &app).expect("valid config").run_with_event_limit(30_000_000)
+            Machine::new(cfg, &app)
+                .expect("valid config")
+                .run_with_event_limit(30_000_000)
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.exec_cycles, b.exec_cycles);
-        prop_assert_eq!(a.cc_arrivals, b.cc_arrivals);
-        prop_assert_eq!(a.messages, b.messages);
+        assert_eq!(a.exec_cycles, b.exec_cycles, "case {case}");
+        assert_eq!(a.cc_arrivals, b.cc_arrivals, "case {case}");
+        assert_eq!(a.messages, b.messages, "case {case}");
     }
 }

@@ -7,8 +7,17 @@
 //!
 //! targets: table1 table2 table3 table4 table5 table6 table7
 //!          fig6 fig7 fig8 fig9 fig10 fig11 fig12
-//!          ablations summary validate all
+//!          ablations summary validate verify golden all
 //! ```
+//!
+//! `verify` runs the protocol verification suite: bounded exhaustive
+//! model checking of the directory protocol (`--nodes N --lines L
+//! --depth D`, optionally under the adversarial `--ordering pair-fifo`
+//! network or with a seeded bug via `--mutate NAME`), a checker sanity
+//! sweep that demands every seeded mutation be caught, and
+//! cross-architecture differential conformance (`--conf-cases K`).
+//! `golden` compares the deterministic anchor outputs against the
+//! snapshots under `tests/golden/`; `golden --bless` regenerates them.
 //!
 //! The default scale runs the full 16×4 machine with scaled-down data sets
 //! (minutes); `--paper` uses the paper's Table 5 sizes (hours); `--quick`
@@ -28,8 +37,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use ccn_bench::{
-    artifact_path, artifact_stamp, checkpoint_path, git_describe, jobs_from_flags,
-    options_from_flags, scale_name, sweep_name, SWEEP_TARGETS, TARGETS,
+    artifact_path, artifact_stamp, checkpoint_path, default_targets, git_describe, golden,
+    jobs_from_flags, options_from_flags, scale_name, sweep_name, SWEEP_TARGETS, TARGETS,
 };
 use ccn_harness::{Json, SweepSummary};
 use ccn_workloads::suite::SuiteApp;
@@ -47,9 +56,10 @@ fn main() {
     }
     let mut targets = positional_targets(&args);
     if targets.is_empty() || targets.contains(&"all") {
-        // "all" covers the paper's tables and figures; the ablation,
-        // summary and validate extras run only when asked for by name.
-        targets = TARGETS[..TARGETS.len() - 4].to_vec();
+        // "all" covers the paper's tables and figures; the extras
+        // (ablations, summary, validate, verify, golden) run only when
+        // asked for by name.
+        targets = default_targets();
     }
     for t in &targets {
         if !TARGETS.contains(t) {
@@ -69,7 +79,7 @@ fn main() {
     for target in targets {
         let runner = sweep_runner(target, opts, jobs, &revision, fresh);
         let start = Instant::now();
-        let output = render_target(target, opts, runner.as_ref(), &mut failed);
+        let output = render_target(target, opts, jobs, &args, runner.as_ref(), &mut failed);
         print!("{output}");
         if let Some(dir) = &out_dir {
             let path = artifact_path(dir, target, &opts);
@@ -94,7 +104,19 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-/// The non-flag arguments, with `--out DIR` / `--jobs N` values skipped.
+/// Flags that take a value; their values are not targets.
+const VALUE_FLAGS: &[&str] = &[
+    "--out",
+    "--jobs",
+    "--depth",
+    "--nodes",
+    "--lines",
+    "--mutate",
+    "--ordering",
+    "--conf-cases",
+];
+
+/// The non-flag arguments, with every value flag's value skipped.
 fn positional_targets(args: &[String]) -> Vec<&str> {
     let mut targets = Vec::new();
     let mut skip_next = false;
@@ -103,7 +125,7 @@ fn positional_targets(args: &[String]) -> Vec<&str> {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--jobs" {
+        if VALUE_FLAGS.contains(&a.as_str()) {
             skip_next = true;
             continue;
         }
@@ -112,6 +134,17 @@ fn positional_targets(args: &[String]) -> Vec<&str> {
         }
     }
     targets
+}
+
+/// Parses a numeric `--flag N`, exiting with a usage error on garbage.
+fn uint_flag(args: &[String], flag: &str, default: u64) -> u64 {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} wants a non-negative integer, got '{v}'");
+            std::process::exit(2);
+        }),
+    }
 }
 
 /// Builds the worker-pool runner for a sweep target (`None` for targets
@@ -180,6 +213,8 @@ impl Totals {
 fn render_target(
     target: &str,
     opts: Options,
+    jobs: usize,
+    args: &[String],
     runner: Option<&Runner>,
     failed: &mut bool,
 ) -> String {
@@ -268,6 +303,24 @@ fn render_target(
             render(&mut out, report);
             if !ok {
                 *failed = true;
+            }
+        }
+        "verify" => {
+            let (report, ok) = run_verify(opts, jobs, args);
+            render(&mut out, report);
+            if !ok {
+                *failed = true;
+            }
+        }
+        "golden" => {
+            if args.iter().any(|a| a == "--bless") {
+                render(&mut out, golden::bless_all());
+            } else {
+                let (report, ok) = golden::check_all();
+                render(&mut out, report);
+                if !ok {
+                    *failed = true;
+                }
             }
         }
         other => unreachable!("validated target {other}"),
@@ -385,5 +438,148 @@ fn validate(opts: Options) -> (String, bool) {
     } else {
         let _ = writeln!(out, "\n{failures} anchor(s) FAILED");
     }
+    (out, ok)
+}
+
+/// The `verify` target: bounded exhaustive model checking, a checker
+/// sanity sweep over the seeded mutations, and cross-architecture
+/// differential conformance.
+fn run_verify(opts: Options, jobs: usize, args: &[String]) -> (String, bool) {
+    use ccn_verify::{
+        conformance_cases, explore, run_conformance, Bounds, ModelConfig, Mutation, Ordering,
+    };
+    let mut out = String::new();
+    let mut ok = true;
+
+    let nodes = uint_flag(args, "--nodes", 2) as u16;
+    let lines = uint_flag(args, "--lines", 1) as u8;
+    let mutate = flag_value(args, "--mutate").unwrap_or_else(|| "none".to_string());
+    let Some(mutation) = Mutation::parse(&mutate) else {
+        let names: Vec<&str> = Mutation::ALL.iter().map(|(n, _)| *n).collect();
+        eprintln!(
+            "unknown mutation '{mutate}'; known: none, {}",
+            names.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let ordering = match flag_value(args, "--ordering").as_deref() {
+        None | Some("causal") => Ordering::Causal,
+        Some("pair-fifo") => Ordering::PairFifo,
+        Some(other) => {
+            eprintln!("unknown ordering '{other}'; known: causal, pair-fifo");
+            std::process::exit(2);
+        }
+    };
+    let bounds = Bounds {
+        depth: uint_flag(args, "--depth", u64::from(Bounds::default().depth)) as u32,
+        ..Bounds::default()
+    };
+    let cfg = ModelConfig {
+        nodes,
+        lines,
+        ordering,
+        mutation,
+        ..ModelConfig::default()
+    };
+
+    let _ = writeln!(
+        out,
+        "model check: {nodes} node(s), {lines} line(s), depth {}, {:?} ordering, mutation {mutate}",
+        bounds.depth, ordering
+    );
+    let report = explore(&cfg, &bounds);
+    let _ = writeln!(out, "{}", report.summary());
+    match (&report.violation, mutation) {
+        (None, Mutation::None) => {}
+        (Some(v), Mutation::None) => {
+            // Under the architected (causal) ordering this is a real bug;
+            // under pair-fifo it demonstrates the ordering is load-bearing
+            // but still exits nonzero so it is never mistaken for clean.
+            let _ = write!(out, "{v}");
+            ok = false;
+        }
+        (Some(v), _) => {
+            let _ = writeln!(out, "seeded mutation caught; shrunk counterexample:");
+            let _ = write!(out, "{v}");
+        }
+        (None, _) => {
+            let _ = writeln!(
+                out,
+                "FAIL: the checker missed the seeded mutation '{mutate}'"
+            );
+            ok = false;
+        }
+    }
+
+    // With the faithful protocol, additionally demand that the checker
+    // catches every seeded mutation at this configuration — a run that
+    // reports "no violations" is only meaningful if the checker is known
+    // to be able to fail.
+    if mutation == Mutation::None && ordering == Ordering::Causal {
+        let _ = writeln!(
+            out,
+            "\nchecker sanity (each seeded mutation must be caught):"
+        );
+        for (name, m) in Mutation::ALL {
+            let mcfg = ModelConfig { mutation: m, ..cfg };
+            // Mutations surface within a few events; the configured depth
+            // may be shallow for speed, so give the sanity sweep the full
+            // default depth (violating runs terminate early regardless).
+            let r = explore(
+                &mcfg,
+                &Bounds {
+                    depth: Bounds::default().depth,
+                    ..bounds
+                },
+            );
+            match r.violation {
+                Some(v) => {
+                    let _ = writeln!(
+                        out,
+                        "  [PASS] {name}: [{}] in {} events",
+                        v.kind,
+                        v.trace.len()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  [FAIL] {name}: not caught");
+                    ok = false;
+                }
+            }
+        }
+    }
+
+    // Differential conformance across the four architectures (skipped
+    // when a mutation or adversarial ordering was requested: those runs
+    // study the model checker, not the timed simulator).
+    if mutation == Mutation::None && ordering == Ordering::Causal {
+        let cases = conformance_cases(uint_flag(args, "--conf-cases", 4));
+        let runner = Runner::parallel(opts, jobs);
+        let _ = writeln!(
+            out,
+            "\nconformance: {} case(s) x {} architectures",
+            cases.len(),
+            ccn_verify::ARCHS.len()
+        );
+        match run_conformance(&runner, &cases) {
+            Ok(records) => {
+                let _ = writeln!(
+                    out,
+                    "all architectures agree on the functional outcome ({} runs)",
+                    records.len()
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "CONFORMANCE FAILURE: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\n{}",
+        if ok { "verify: PASS" } else { "verify: FAIL" }
+    );
     (out, ok)
 }

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod golden;
 pub mod timing;
 
 use ccn_workloads::suite::Scale;
@@ -41,8 +42,31 @@ pub const TARGETS: &[&str] = &[
     "ablations",
     "summary",
     "validate",
+    "verify",
+    "golden",
     "all",
 ];
+
+/// Targets that are *extras*: they run only when asked for by name and
+/// are not part of what `all` expands to.
+pub const EXTRA_TARGETS: &[&str] = &[
+    "ablations",
+    "summary",
+    "validate",
+    "verify",
+    "golden",
+    "all",
+];
+
+/// The targets `all` (or an empty target list) expands to: every table
+/// and figure of the paper, without the extras.
+pub fn default_targets() -> Vec<&'static str> {
+    TARGETS
+        .iter()
+        .copied()
+        .filter(|t| !EXTRA_TARGETS.contains(t))
+        .collect()
+}
 
 /// Targets that sweep simulations and therefore run through the harness
 /// worker pool with a checkpoint file.
@@ -200,11 +224,18 @@ mod tests {
 
     #[test]
     fn targets_cover_all_tables_and_figures() {
-        for t in ["table1", "table7", "fig6", "fig12", "all"] {
+        for t in [
+            "table1", "table7", "fig6", "fig12", "verify", "golden", "all",
+        ] {
             assert!(TARGETS.contains(&t));
         }
         for t in SWEEP_TARGETS {
             assert!(TARGETS.contains(t));
+        }
+        let defaults = default_targets();
+        assert!(defaults.contains(&"table6") && defaults.contains(&"fig12"));
+        for t in EXTRA_TARGETS {
+            assert!(!defaults.contains(t), "extra {t} leaked into `all`");
         }
     }
 }

@@ -246,6 +246,13 @@ impl<R> CoherenceController<R> {
         self.engines[idx].queues.iter().any(|q| !q.is_empty())
     }
 
+    /// Whether every input queue of every engine is empty — the
+    /// controller-level quiescence condition: no accepted request is still
+    /// waiting for a handler. Used by end-of-run consistency checks.
+    pub fn is_drained(&self) -> bool {
+        (0..self.engines.len()).all(|idx| !self.has_work(idx))
+    }
+
     /// Number of engines.
     pub fn engines(&self) -> usize {
         self.engines.len()
@@ -364,6 +371,16 @@ mod tests {
         c.complete_handler(0, 0, 100);
         assert!(!c.enqueue(EngineRole::Local, 0, MsgClass::BusRequest, 50, 2));
         assert!(c.enqueue(EngineRole::Local, 0, MsgClass::BusRequest, 100, 3));
+    }
+
+    #[test]
+    fn drained_means_every_queue_is_empty() {
+        let mut c = cc(EnginePolicy::LocalRemote);
+        assert!(c.is_drained());
+        c.enqueue(EngineRole::Remote, 0, MsgClass::NetRequest, 0, 1);
+        assert!(!c.is_drained());
+        c.dispatch(1, 0);
+        assert!(c.is_drained());
     }
 
     #[test]

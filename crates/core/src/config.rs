@@ -122,6 +122,11 @@ pub struct SystemConfig {
     pub replacement_hints: bool,
     /// Directory-cache entries (paper: 8 K).
     pub dir_cache_entries: u64,
+    /// Optional L2 capacity override in bytes (`None` = the paper's 1 MB).
+    /// Verification workloads shrink the L2 so cache-pressure corner cases
+    /// (evictions, write-back races) appear without millions of touches
+    /// and so a full-cache flush epilogue stays cheap.
+    pub l2_bytes: Option<u64>,
     /// Fixed latencies.
     pub lat: LatencyConfig,
     /// SMP bus timing.
@@ -144,6 +149,7 @@ impl SystemConfig {
             direct_data_path: true,
             replacement_hints: false,
             dir_cache_entries: 8192,
+            l2_bytes: None,
             lat: LatencyConfig::default(),
             bus: BusConfig::default(),
             net: NetConfig::default(),
@@ -209,6 +215,18 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the L2 capacity (the default is the paper's 1 MB).
+    pub fn with_l2_bytes(mut self, bytes: u64) -> Self {
+        self.l2_bytes = Some(bytes);
+        self
+    }
+
+    /// Enables or disables the replacement-hint protocol extension.
+    pub fn with_replacement_hints(mut self, hints: bool) -> Self {
+        self.replacement_hints = hints;
+        self
+    }
+
     /// Total processors.
     pub fn nprocs(&self) -> usize {
         self.nodes * self.procs_per_node
@@ -221,7 +239,14 @@ impl SystemConfig {
 
     /// L2 geometry for this configuration.
     pub fn l2_geometry(&self) -> CacheGeometry {
-        CacheGeometry::l2(self.line_bytes)
+        match self.l2_bytes {
+            None => CacheGeometry::l2(self.line_bytes),
+            Some(size_bytes) => CacheGeometry {
+                size_bytes,
+                line_bytes: self.line_bytes,
+                ways: CacheGeometry::l2(self.line_bytes).ways,
+            },
+        }
     }
 
     /// Checks internal consistency.
@@ -253,6 +278,15 @@ impl SystemConfig {
             return Err(ConfigError::new(
                 "directory-cache entries must be a power of two",
             ));
+        }
+        if let Some(bytes) = self.l2_bytes {
+            let geom = self.l2_geometry();
+            let lines_per_way = bytes / (self.line_bytes * geom.ways as u64);
+            if lines_per_way == 0 || !lines_per_way.is_power_of_two() {
+                return Err(ConfigError::new(
+                    "L2 override must hold a power-of-two number of sets",
+                ));
+            }
         }
         Ok(())
     }

@@ -46,6 +46,6 @@ pub mod sync;
 pub mod tables;
 
 pub use config::{Architecture, ConfigError, LatencyConfig, PlacementPolicy, SystemConfig};
-pub use machine::Machine;
+pub use machine::{FunctionalSnapshot, Machine};
 pub use report::{penalty, SimReport};
-pub use sweep::{RunKey, RunRecord, Runner, SweepStats};
+pub use sweep::{RunKey, RunRecord, Runner, SweepRecord, SweepStats};

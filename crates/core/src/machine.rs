@@ -1136,6 +1136,11 @@ impl Machine {
                     node.mshr.keys()
                 ));
             }
+            if !node.cc.is_drained() {
+                return Err(format!(
+                    "node {n}'s coherence controller still has queued requests"
+                ));
+            }
             for (line, _state, busy) in node.dir.iter_states() {
                 if busy {
                     return Err(format!("directory entry {line} on node {n} still busy"));
@@ -1196,6 +1201,102 @@ impl Machine {
             }
         }
         Ok(())
+    }
+
+    /// The timing-independent functional outcome of the run: per-line write
+    /// serials, home-memory contents, and every non-Uncached directory
+    /// entry. Two runs of the same workload on different controller
+    /// architectures may differ in every cycle count, but — if the
+    /// workload ends in a cache-flushed, scrubbed state — must produce
+    /// identical snapshots. This is what the `ccn-verify` differential
+    /// conformance layer compares across HWC/PPC/2HWC/2PPC.
+    pub fn functional_snapshot(&self) -> FunctionalSnapshot {
+        let mut versions: Vec<(u64, u64)> = self.versions.iter().map(|(l, &v)| (l.0, v)).collect();
+        versions.sort_unstable();
+        let mut memory: Vec<(u64, u64)> = self.memory.iter().map(|(l, &v)| (l.0, v)).collect();
+        memory.sort_unstable();
+        let mut directory: Vec<(u64, u16, String)> = Vec::new();
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (line, state, busy) in node.dir.iter_states() {
+                if state != DirState::Uncached || busy {
+                    let rendered = if busy {
+                        format!("{state:?} (busy)")
+                    } else {
+                        format!("{state:?}")
+                    };
+                    directory.push((line.0, n as u16, rendered));
+                }
+            }
+        }
+        directory.sort_unstable();
+        FunctionalSnapshot {
+            versions,
+            memory,
+            directory,
+        }
+    }
+}
+
+/// See [`Machine::functional_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalSnapshot {
+    /// Latest write serial per written line, sorted by line address.
+    pub versions: Vec<(u64, u64)>,
+    /// Version stored in home memory per line, sorted by line address.
+    pub memory: Vec<(u64, u64)>,
+    /// Every directory entry that is not idle-Uncached:
+    /// `(line, home node, rendered state)`, sorted.
+    pub directory: Vec<(u64, u16, String)>,
+}
+
+impl FunctionalSnapshot {
+    /// FNV-1a digest of the snapshot, for compact cross-architecture
+    /// comparison tables.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for (l, v) in &self.versions {
+            eat(&l.to_le_bytes());
+            eat(&v.to_le_bytes());
+        }
+        eat(&[0xff]);
+        for (l, v) in &self.memory {
+            eat(&l.to_le_bytes());
+            eat(&v.to_le_bytes());
+        }
+        eat(&[0xfe]);
+        for (l, n, s) in &self.directory {
+            eat(&l.to_le_bytes());
+            eat(&n.to_le_bytes());
+            eat(s.as_bytes());
+        }
+        h
+    }
+
+    /// Describes the first difference from `other`, or `None` when the
+    /// snapshots are identical.
+    pub fn diff(&self, other: &FunctionalSnapshot) -> Option<String> {
+        fn first_diff<T: PartialEq + std::fmt::Debug>(
+            what: &str,
+            a: &[T],
+            b: &[T],
+        ) -> Option<String> {
+            if a.len() != b.len() {
+                return Some(format!("{what}: {} entries vs {}", a.len(), b.len()));
+            }
+            a.iter()
+                .zip(b)
+                .find(|(x, y)| x != y)
+                .map(|(x, y)| format!("{what}: {x:?} vs {y:?}"))
+        }
+        first_diff("write versions", &self.versions, &other.versions)
+            .or_else(|| first_diff("home memory", &self.memory, &other.memory))
+            .or_else(|| first_diff("directory", &self.directory, &other.directory))
     }
 }
 

@@ -90,6 +90,24 @@ impl RunKey {
     }
 }
 
+/// A job result that can ride a [`Runner`] checkpoint: serialized to one
+/// JSON-lines entry on completion and replayed from it on resume.
+///
+/// [`RunRecord`] implements this for the paper's experiment grids; the
+/// `ccn-verify` differential-conformance sweep implements it for its own
+/// per-architecture outcome records. The contract is the same as
+/// [`RunRecord`]'s: `from_json(to_json(r)) == Some(r)`, bit-for-bit, and
+/// `from_json` returns `None` (never panics) on a foreign or outdated
+/// schema so stale checkpoint lines degrade to a re-run.
+pub trait SweepRecord: Clone + Send {
+    /// Serializes the record for a checkpoint line.
+    fn to_json(&self) -> Json;
+    /// Deserializes a checkpointed record; `None` on schema mismatch.
+    fn from_json(v: &Json) -> Option<Self>
+    where
+        Self: Sized;
+}
+
 /// The checkpointable reduction of a [`SimReport`]: every statistic the
 /// paper's tables and figures consume, and nothing per-node.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +218,15 @@ impl RunRecord {
             lpe_queue_ns: v.get("lpe_queue_ns")?.as_f64()?,
             rpe_queue_ns: v.get("rpe_queue_ns")?.as_f64()?,
         })
+    }
+}
+
+impl SweepRecord for RunRecord {
+    fn to_json(&self) -> Json {
+        RunRecord::to_json(self)
+    }
+    fn from_json(v: &Json) -> Option<Self> {
+        RunRecord::from_json(v)
     }
 }
 
@@ -314,7 +341,31 @@ impl Runner {
     /// read or written.
     pub fn run(&self, keys: &[RunKey]) -> Vec<RunRecord> {
         let opts = self.opts;
-        let ids: Vec<String> = keys.iter().map(|k| k.id(opts)).collect();
+        let jobs: Vec<(String, RunKey)> = keys.iter().map(|k| (k.id(opts), *k)).collect();
+        self.run_keyed(jobs, |k| {
+            RunRecord::from_report(&run_one(k.app, k.arch, opts, k.mods))
+        })
+    }
+
+    /// The generic sweep core behind [`Runner::run`]: executes arbitrary
+    /// `(id, input)` jobs with the same dedup / checkpoint-replay / worker
+    /// pool / telemetry machinery. Callers supply stable ids (same
+    /// contract as [`RunKey::id`]) and an executor that depends only on the
+    /// input. Records come back in request order; duplicate ids execute
+    /// once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any job exhausts its attempt budget or the checkpoint
+    /// file cannot be read or written (same contract as [`Runner::run`]).
+    pub fn run_keyed<I, R, F>(&self, jobs: Vec<(String, I)>, exec: F) -> Vec<R>
+    where
+        I: Send + Sync,
+        R: SweepRecord,
+        F: Fn(&I) -> R + Sync,
+    {
+        let opts = self.opts;
+        let (ids, inputs): (Vec<String>, Vec<I>) = jobs.into_iter().unzip();
 
         // Deduplicate, preserving first-occurrence order.
         let mut slot_of: HashMap<&str, usize> = HashMap::new();
@@ -327,7 +378,7 @@ impl Runner {
         }
 
         // Replay whatever the checkpoint already holds.
-        let mut records: Vec<Option<RunRecord>> = vec![None; unique.len()];
+        let mut records: Vec<Option<R>> = (0..unique.len()).map(|_| None).collect();
         let mut pending: Vec<usize> = Vec::new();
         let mut skipped = 0usize;
         let loaded = match &self.checkpoint {
@@ -335,7 +386,7 @@ impl Runner {
             None => Default::default(),
         };
         for (slot, &ki) in unique.iter().enumerate() {
-            let replayed = loaded.completed(&ids[ki]).and_then(RunRecord::from_json);
+            let replayed = loaded.completed(&ids[ki]).and_then(R::from_json);
             match replayed {
                 Some(rec) => {
                     records[slot] = Some(rec);
@@ -346,9 +397,9 @@ impl Runner {
         }
 
         // Run the rest on the pool, appending each completion.
-        let jobs: Vec<Job<RunKey>> = pending
+        let jobs: Vec<Job<&I>> = pending
             .iter()
-            .map(|&slot| Job::new(ids[unique[slot]].clone(), keys[unique[slot]]))
+            .map(|&slot| Job::new(ids[unique[slot]].clone(), &inputs[unique[slot]]))
             .collect();
         let cfg = PoolConfig {
             workers: self.workers,
@@ -367,14 +418,7 @@ impl Runner {
         let result = run_jobs(
             &jobs,
             &cfg,
-            |job| {
-                RunRecord::from_report(&run_one(
-                    job.input.app,
-                    job.input.arch,
-                    opts,
-                    job.input.mods,
-                ))
-            },
+            |job| exec(job.input),
             |job, outcome| {
                 if let Some(w) = writer.as_mut() {
                     match &outcome.status {

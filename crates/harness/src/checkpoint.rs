@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::json::{self, Json};
@@ -139,13 +139,27 @@ impl CheckpointWriter {
             file,
             path: path.to_path_buf(),
         };
-        if writer.file.metadata()?.len() == 0 {
+        let len = writer.file.metadata()?.len();
+        if len == 0 {
             let mut obj = vec![
                 ("kind", Json::Str("meta".into())),
                 ("schema", Json::UInt(SCHEMA_VERSION)),
             ];
             obj.extend(meta);
             writer.append_line(&Json::obj(obj))?;
+        } else {
+            // A crash mid-append can leave a torn final line with no
+            // newline; terminate it now so the next record starts on its
+            // own line instead of merging with (and corrupting) the torn
+            // fragment.
+            let mut probe = File::open(path)?;
+            probe.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            probe.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                writer.file.write_all(b"\n")?;
+                writer.file.flush()?;
+            }
         }
         Ok(writer)
     }

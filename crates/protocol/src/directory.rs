@@ -590,6 +590,112 @@ impl Directory {
             .iter()
             .map(|(&l, e)| (l, e.state, e.busy.is_some()))
     }
+
+    /// Appends a canonical byte encoding of the directory's *complete*
+    /// state — stable states, transient transaction state, and buffered
+    /// request queues — to `out`.
+    ///
+    /// Two directories produce the same encoding iff they are functionally
+    /// identical, regardless of the order operations created their entries:
+    /// lines are emitted in address order, and entries indistinguishable
+    /// from an untouched line (Uncached, idle, nothing buffered) are
+    /// elided. Statistics counters are excluded. This is the hashing
+    /// primitive the `ccn-verify` model checker uses to deduplicate
+    /// explored states, so the encoding of a given state must never depend
+    /// on insertion history.
+    pub fn encode_canonical(&self, out: &mut Vec<u8>) {
+        fn push_node(out: &mut Vec<u8>, n: NodeId) {
+            out.extend_from_slice(&n.0.to_le_bytes());
+        }
+        fn push_req(out: &mut Vec<u8>, r: &DirRequest) {
+            out.push(match r.kind {
+                DirRequestKind::Read => 0,
+                DirRequestKind::ReadExcl => 1,
+                DirRequestKind::Upgrade => 2,
+            });
+            push_node(out, r.requester);
+        }
+
+        let mut lines: Vec<&LineAddr> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                e.state != DirState::Uncached || e.busy.is_some() || !e.pending.is_empty()
+            })
+            .map(|(l, _)| l)
+            .collect();
+        lines.sort();
+        push_node(out, self.home);
+        out.extend_from_slice(&(lines.len() as u32).to_le_bytes());
+        for line in lines {
+            let e = &self.entries[line];
+            out.extend_from_slice(&line.0.to_le_bytes());
+            match e.state {
+                DirState::Uncached => out.push(0),
+                DirState::Shared(bm) => {
+                    out.push(1);
+                    let mut bits = 0u64;
+                    for n in bm.iter() {
+                        bits |= 1 << n.0;
+                    }
+                    out.extend_from_slice(&bits.to_le_bytes());
+                }
+                DirState::Dirty(owner) => {
+                    out.push(2);
+                    push_node(out, owner);
+                }
+            }
+            match &e.busy {
+                None => out.push(0),
+                Some(Busy::AcksPending {
+                    remaining,
+                    requester,
+                    kind,
+                }) => {
+                    out.push(1);
+                    out.extend_from_slice(&remaining.to_le_bytes());
+                    push_req(
+                        out,
+                        &DirRequest {
+                            kind: *kind,
+                            requester: *requester,
+                        },
+                    );
+                }
+                Some(Busy::OwnerTransfer {
+                    requester,
+                    kind,
+                    owner,
+                    writeback_seen,
+                }) => {
+                    out.push(2);
+                    push_req(
+                        out,
+                        &DirRequest {
+                            kind: *kind,
+                            requester: *requester,
+                        },
+                    );
+                    push_node(out, *owner);
+                    out.push(*writeback_seen as u8);
+                }
+                Some(Busy::WritebackWait { requester, kind }) => {
+                    out.push(3);
+                    push_req(
+                        out,
+                        &DirRequest {
+                            kind: *kind,
+                            requester: *requester,
+                        },
+                    );
+                }
+            }
+            out.extend_from_slice(&(e.pending.len() as u32).to_le_bytes());
+            for req in &e.pending {
+                push_req(out, req);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -864,5 +970,113 @@ mod tests {
         ));
         d.inv_ack(LINE);
         assert_eq!(d.state_of(LINE), DirState::Uncached);
+    }
+
+    #[test]
+    fn bitmap_insert_and_remove_are_idempotent() {
+        let mut bm = NodeBitmap::EMPTY;
+        bm.insert(R1);
+        bm.insert(R1);
+        assert_eq!(bm.count(), 1);
+        assert_eq!(bm, NodeBitmap::just(R1));
+        bm.remove(R1);
+        bm.remove(R1);
+        assert!(bm.is_empty());
+        assert_eq!(bm, NodeBitmap::EMPTY);
+    }
+
+    #[test]
+    fn bitmap_without_an_absent_node_is_a_no_op() {
+        let bm = NodeBitmap::just(R1);
+        assert_eq!(bm.without(R2), bm);
+        assert_eq!(NodeBitmap::EMPTY.without(R1), NodeBitmap::EMPTY);
+        // `without` is by-value: the original is untouched either way.
+        assert!(bm.contains(R1));
+        assert!(bm.without(R1).is_empty());
+    }
+
+    #[test]
+    fn bitmap_iterates_in_ascending_node_order() {
+        let mut bm = NodeBitmap::EMPTY;
+        for n in [NodeId(63), NodeId(0), NodeId(17), NodeId(5)] {
+            bm.insert(n);
+        }
+        let order: Vec<u16> = bm.iter().map(|n| n.0).collect();
+        assert_eq!(order, vec![0, 5, 17, 63]);
+        assert_eq!(bm.count(), 4);
+    }
+
+    #[test]
+    fn bitmap_handles_the_64_node_boundary() {
+        let mut bm = NodeBitmap::EMPTY;
+        bm.insert(NodeId(63));
+        assert!(bm.contains(NodeId(63)));
+        assert_eq!(bm.iter().next(), Some(NodeId(63)));
+        // Out-of-range queries are false, not panics; removal of an
+        // out-of-range id must not clobber bit 0 (1 << 64 wraps).
+        assert!(!bm.contains(NodeId(64)));
+        assert!(!bm.contains(NodeId(1000)));
+        let mut low = NodeBitmap::just(NodeId(0));
+        low.insert(NodeId(63));
+        assert!(low.contains(NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond bitmap capacity")]
+    fn bitmap_insert_beyond_capacity_panics() {
+        let mut bm = NodeBitmap::EMPTY;
+        bm.insert(NodeId(64));
+    }
+
+    #[test]
+    fn canonical_encoding_ignores_entry_history() {
+        // A line driven to Uncached must encode identically to one never
+        // touched at all.
+        let mut touched = Directory::new(HOME);
+        touched.request(LINE, read(R1));
+        touched.remove_sharer_hint(LINE, R1);
+        let fresh = Directory::new(HOME);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        touched.encode_canonical(&mut a);
+        fresh.encode_canonical(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_encoding_distinguishes_transient_states() {
+        // Same stable state (Shared{R1}), different transaction state.
+        let mut idle = Directory::new(HOME);
+        idle.request(LINE, read(R1));
+        let mut busy = Directory::new(HOME);
+        busy.request(LINE, read(R1));
+        busy.request(LINE, readx(R2)); // AcksPending on R1's invalidation
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        idle.encode_canonical(&mut a);
+        busy.encode_canonical(&mut b);
+        assert_ne!(a, b);
+        // Buffered requests are part of the state too.
+        let mut buffered = Directory::new(HOME);
+        buffered.request(LINE, read(R1));
+        buffered.request(LINE, readx(R2));
+        buffered.request(LINE, read(R3)); // buffered behind the busy line
+        let mut c = Vec::new();
+        buffered.encode_canonical(&mut c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn canonical_encoding_orders_lines_by_address() {
+        // Entry creation order must not leak into the encoding.
+        let (l1, l2) = (LineAddr(10), LineAddr(20));
+        let mut fwd = Directory::new(HOME);
+        fwd.request(l1, read(R1));
+        fwd.request(l2, read(R2));
+        let mut rev = Directory::new(HOME);
+        rev.request(l2, read(R2));
+        rev.request(l1, read(R1));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        fwd.encode_canonical(&mut a);
+        rev.encode_canonical(&mut b);
+        assert_eq!(a, b);
     }
 }

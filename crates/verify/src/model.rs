@@ -1,0 +1,1658 @@
+//! Abstract transition-system model of the directory protocol.
+//!
+//! The model drives the *real* [`ccn_protocol::directory::Directory`] state
+//! machine — the same code the simulator executes — and surrounds it with
+//! an untimed abstraction of everything else: one cache and one MSHR per
+//! node per line, a message pool in place of the timed network, and a
+//! per-line write counter in place of real data. Because the untimed parts
+//! mirror the handler logic in `ccnuma`'s `ccexec` module step for step,
+//! every interleaving the explorer enumerates corresponds to a schedule
+//! the machine could execute under *some* timing, and a violation found
+//! here is a protocol bug, not a modeling artifact.
+//!
+//! # Message ordering
+//!
+//! The machine's network delivers messages between a source/destination
+//! pair in send order (FIFO ports, constant fall-through), and the
+//! receiving controller dispatches network *responses* before network
+//! *requests* (the paper's nearest-to-completion-first rule). Together
+//! these give the protocol its architected ordering guarantee, which
+//! [`Ordering::Causal`] reproduces: per destination and line, messages
+//! are consumed in send order, except that a response may overtake
+//! earlier-sent requests. [`Ordering::PairFifo`] keeps only per-pair
+//! per-class FIFO and frees everything else — an adversarial network the
+//! real machine does not have, useful for probing which races the
+//! architected ordering is actually load-bearing for.
+
+use ccn_mem::{LineAddr, NodeId};
+use ccn_protocol::directory::{
+    DirAction, DirOutcome, DirRequest, DirRequestKind, DirState, Directory, WritebackOutcome,
+};
+use ccn_protocol::{Msg, MsgClass, MsgKind, NodeBitmap};
+
+/// Message-ordering discipline the model's network enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ordering {
+    /// The machine's architected guarantee: per destination and line,
+    /// delivery follows send order, but a response may overtake
+    /// earlier-sent requests (dispatch-priority jump).
+    #[default]
+    Causal,
+    /// Adversarial: FIFO only within one (source, destination, class)
+    /// triple; requests and responses reorder freely.
+    PairFifo,
+}
+
+/// A protocol mutation: a deliberately seeded bug used to demonstrate that
+/// the checker catches real defects (and what its counterexamples look
+/// like). `None` is the faithful protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// Faithful protocol.
+    #[default]
+    None,
+    /// A sharer acknowledges an invalidation but keeps its copy readable.
+    SharerIgnoresInv,
+    /// A sharer invalidates its copy but never sends the ack.
+    SharerDropsInvAck,
+    /// The home omits the last invalidation of a fan-out while still
+    /// counting it in the expected acks.
+    HomeDropsInv,
+    /// A forwarded owner hands out an exclusive copy but keeps its own
+    /// modified copy.
+    OwnerKeepsCopy,
+}
+
+impl Mutation {
+    /// All mutations, with their CLI names.
+    pub const ALL: [(&'static str, Mutation); 4] = [
+        ("sharer-ignores-inv", Mutation::SharerIgnoresInv),
+        ("sharer-drops-inv-ack", Mutation::SharerDropsInvAck),
+        ("home-drops-inv", Mutation::HomeDropsInv),
+        ("owner-keeps-copy", Mutation::OwnerKeepsCopy),
+    ];
+
+    /// Parses a CLI mutation name.
+    pub fn parse(name: &str) -> Option<Mutation> {
+        if name == "none" {
+            return Some(Mutation::None);
+        }
+        Mutation::ALL
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, m)| *m)
+    }
+}
+
+/// Size and behavior bounds of the modeled system.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Number of nodes (2–64; exhaustive exploration wants 2–4).
+    pub nodes: u16,
+    /// Number of cache lines (homes assigned round-robin).
+    pub lines: u8,
+    /// Maximum writes issued per line. Writes are what grow the version
+    /// space, so bounding them makes the reachable state space finite.
+    pub max_writes: u32,
+    /// Whether nodes may spontaneously evict cached copies (silent clean
+    /// drops and dirty write-backs).
+    pub evictions: bool,
+    /// Message-ordering discipline.
+    pub ordering: Ordering,
+    /// Seeded protocol bug, if any.
+    pub mutation: Mutation,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            nodes: 2,
+            lines: 1,
+            max_writes: 2,
+            evictions: true,
+            ordering: Ordering::Causal,
+            mutation: Mutation::None,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// The home node of `line` (round-robin).
+    pub fn home_of(&self, line: u8) -> NodeId {
+        NodeId(line as u16 % self.nodes)
+    }
+
+    /// The line address used for `line` in the directory.
+    pub fn addr(&self, line: u8) -> LineAddr {
+        LineAddr(line as u64)
+    }
+}
+
+/// A node's cached copy of one line. The payload is the write-version
+/// number the copy was filled with (the model's stand-in for data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyState {
+    /// No copy.
+    Invalid,
+    /// Read-only copy holding version `v`.
+    Shared(u64),
+    /// Writable (dirty) copy holding version `v`.
+    Modified(u64),
+}
+
+/// One outstanding transaction of a node on a line (the machine's MSHR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Mshr {
+    kind: DirRequestKind,
+    has_data: bool,
+    payload: u64,
+    needs_inv_done: bool,
+    inv_done: bool,
+}
+
+impl Mshr {
+    fn new(kind: DirRequestKind) -> Self {
+        Mshr {
+            kind,
+            has_data: false,
+            payload: 0,
+            needs_inv_done: false,
+            inv_done: false,
+        }
+    }
+}
+
+/// An in-flight message, stamped with a global send-sequence number that
+/// the [`Ordering`] rules consult.
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    seq: u64,
+    msg: Msg,
+}
+
+/// One atomic step of the transition system.
+///
+/// `Issue` and `Evict` model processor activity; `Deliver` consumes one
+/// in-flight message and runs the receiving controller's handler to
+/// completion (including any directory-pending replays it unblocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// A processor on `node` issues a read or write to `line`.
+    Issue {
+        /// Issuing node.
+        node: u16,
+        /// Target line.
+        line: u8,
+        /// Write (true) or read (false).
+        write: bool,
+    },
+    /// `node` evicts its copy of `line` (write-back if dirty).
+    Evict {
+        /// Evicting node.
+        node: u16,
+        /// Evicted line.
+        line: u8,
+    },
+    /// Deliver the next eligible message to `to` for `line`.
+    Deliver {
+        /// Destination node.
+        to: u16,
+        /// Line the message concerns.
+        line: u8,
+        /// Source node (informational; determined by the ordering rule).
+        from: u16,
+        /// Whether the response-priority slot is taken (see [`Ordering`]).
+        response: bool,
+    },
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Label::Issue { node, line, write } => {
+                let op = if write { "write" } else { "read" };
+                write!(f, "node {node} issues a {op} to line {line}")
+            }
+            Label::Evict { node, line } => write!(f, "node {node} evicts line {line}"),
+            Label::Deliver { to, line, from, .. } => {
+                write!(f, "deliver to node {to} from node {from} (line {line})")
+            }
+        }
+    }
+}
+
+/// A full state of the modeled system.
+#[derive(Debug, Clone)]
+pub struct ModelState {
+    dirs: Vec<Directory>,
+    caches: Vec<Vec<CopyState>>,
+    mshrs: Vec<Vec<Option<Mshr>>>,
+    flights: Vec<Flight>,
+    memory: Vec<u64>,
+    version: Vec<u64>,
+    writes: Vec<u32>,
+    next_seq: u64,
+    /// Set when a handler hit a protocol-impossible situation (an assert
+    /// the real machine would die on); the state is terminal.
+    wedged: Option<String>,
+}
+
+impl ModelState {
+    /// The initial state: everything invalid, memory at version 0.
+    pub fn new(cfg: &ModelConfig) -> Self {
+        assert!(cfg.nodes >= 2, "the protocol needs at least two nodes");
+        assert!(cfg.lines >= 1, "at least one line");
+        let n = cfg.nodes as usize;
+        let l = cfg.lines as usize;
+        ModelState {
+            dirs: (0..cfg.nodes).map(|i| Directory::new(NodeId(i))).collect(),
+            caches: vec![vec![CopyState::Invalid; l]; n],
+            mshrs: vec![vec![None; l]; n],
+            flights: Vec::new(),
+            memory: vec![0; l],
+            version: vec![0; l],
+            writes: vec![0; l],
+            next_seq: 0,
+            wedged: None,
+        }
+    }
+
+    /// The cached copy `node` holds of `line`.
+    pub fn copy(&self, node: u16, line: u8) -> CopyState {
+        self.caches[node as usize][line as usize]
+    }
+
+    /// The latest committed write version of `line`.
+    pub fn version_of(&self, line: u8) -> u64 {
+        self.version[line as usize]
+    }
+
+    /// Whether the system is fully quiescent: no in-flight messages, no
+    /// outstanding transactions, no busy directory lines. (Directory
+    /// pending queues cannot be non-empty here: handlers replay them
+    /// whenever a line goes idle.)
+    pub fn is_quiescent(&self, cfg: &ModelConfig) -> bool {
+        self.flights.is_empty()
+            && self.mshrs.iter().flatten().all(Option::is_none)
+            && (0..cfg.lines).all(|l| !self.dirs[cfg.home_of(l).index()].is_busy(cfg.addr(l)))
+    }
+
+    /// Whether any message is in flight.
+    pub fn has_flights(&self) -> bool {
+        !self.flights.is_empty()
+    }
+
+    // -----------------------------------------------------------------
+    // Enabled labels
+    // -----------------------------------------------------------------
+
+    /// All labels enabled in this state, in a deterministic order
+    /// (issues, evictions, then deliveries by destination/line/source).
+    pub fn enabled(&self, cfg: &ModelConfig) -> Vec<Label> {
+        let mut out = Vec::new();
+        if self.wedged.is_some() {
+            return out; // terminal
+        }
+        for node in 0..cfg.nodes {
+            for line in 0..cfg.lines {
+                let li = line as usize;
+                let no_mshr = self.mshrs[node as usize][li].is_none();
+                let copy = self.caches[node as usize][li];
+                if no_mshr && copy == CopyState::Invalid {
+                    out.push(Label::Issue {
+                        node,
+                        line,
+                        write: false,
+                    });
+                }
+                if self.writes[li] < cfg.max_writes {
+                    // A write is issuable on a miss (I), an upgrade (S),
+                    // or as a hit (M); reads on a present copy are hits
+                    // with no protocol action and are skipped.
+                    let issuable = match copy {
+                        CopyState::Invalid | CopyState::Shared(_) => no_mshr,
+                        CopyState::Modified(_) => no_mshr,
+                    };
+                    if issuable {
+                        out.push(Label::Issue {
+                            node,
+                            line,
+                            write: true,
+                        });
+                    }
+                }
+            }
+        }
+        if cfg.evictions {
+            for node in 0..cfg.nodes {
+                for line in 0..cfg.lines {
+                    let li = line as usize;
+                    let copy = self.caches[node as usize][li];
+                    if copy == CopyState::Invalid {
+                        continue;
+                    }
+                    // Evicting under an outstanding upgrade is legal (the
+                    // L2 may displace the line while the MSHR waits); other
+                    // MSHR kinds imply no copy is present anyway.
+                    let ok = match self.mshrs[node as usize][li] {
+                        None => true,
+                        Some(m) => m.kind == DirRequestKind::Upgrade,
+                    };
+                    if ok {
+                        out.push(Label::Evict { node, line });
+                    }
+                }
+            }
+        }
+        self.deliverable(cfg, &mut out);
+        out
+    }
+
+    /// Appends the enabled `Deliver` labels per the ordering discipline.
+    fn deliverable(&self, cfg: &ModelConfig, out: &mut Vec<Label>) {
+        match cfg.ordering {
+            Ordering::Causal => {
+                // Per (to, line): the oldest message, plus the oldest
+                // response when the oldest message is a request.
+                let mut keys: Vec<(u16, u8)> = self
+                    .flights
+                    .iter()
+                    .map(|f| (f.msg.to.0, f.msg.line.0 as u8))
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                for (to, line) in keys {
+                    let group = || {
+                        self.flights
+                            .iter()
+                            .filter(move |f| f.msg.to.0 == to && f.msg.line.0 as u8 == line)
+                    };
+                    let oldest = group().min_by_key(|f| f.seq).expect("non-empty group");
+                    if oldest.msg.kind.class() == MsgClass::NetResponse {
+                        out.push(Label::Deliver {
+                            to,
+                            line,
+                            from: oldest.msg.from.0,
+                            response: true,
+                        });
+                    } else {
+                        out.push(Label::Deliver {
+                            to,
+                            line,
+                            from: oldest.msg.from.0,
+                            response: false,
+                        });
+                        if let Some(resp) = group()
+                            .filter(|f| f.msg.kind.class() == MsgClass::NetResponse)
+                            .min_by_key(|f| f.seq)
+                        {
+                            out.push(Label::Deliver {
+                                to,
+                                line,
+                                from: resp.msg.from.0,
+                                response: true,
+                            });
+                        }
+                    }
+                }
+            }
+            Ordering::PairFifo => {
+                let mut keys: Vec<(u16, u8, u16, bool)> = self
+                    .flights
+                    .iter()
+                    .map(|f| {
+                        (
+                            f.msg.to.0,
+                            f.msg.line.0 as u8,
+                            f.msg.from.0,
+                            f.msg.kind.class() == MsgClass::NetResponse,
+                        )
+                    })
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                for (to, line, from, response) in keys {
+                    out.push(Label::Deliver {
+                        to,
+                        line,
+                        from,
+                        response,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Resolves a `Deliver` label to the index of the flight it consumes,
+    /// per the ordering discipline. `None` if no such message is eligible.
+    fn resolve(
+        &self,
+        cfg: &ModelConfig,
+        to: u16,
+        line: u8,
+        from: u16,
+        response: bool,
+    ) -> Option<usize> {
+        let in_group = |f: &Flight| f.msg.to.0 == to && f.msg.line.0 as u8 == line;
+        match cfg.ordering {
+            Ordering::Causal => {
+                let oldest = self
+                    .flights
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| in_group(f))
+                    .min_by_key(|(_, f)| f.seq)?;
+                if response {
+                    let (i, f) = self
+                        .flights
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| in_group(f) && f.msg.kind.class() == MsgClass::NetResponse)
+                        .min_by_key(|(_, f)| f.seq)?;
+                    (f.msg.from.0 == from).then_some(i)
+                } else {
+                    let (i, f) = oldest;
+                    if f.msg.kind.class() == MsgClass::NetResponse {
+                        return None; // the oldest is a response; use the response slot
+                    }
+                    (f.msg.from.0 == from).then_some(i)
+                }
+            }
+            Ordering::PairFifo => {
+                let class = if response {
+                    MsgClass::NetResponse
+                } else {
+                    MsgClass::NetRequest
+                };
+                self.flights
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| {
+                        in_group(f) && f.msg.from.0 == from && f.msg.kind.class() == class
+                    })
+                    .min_by_key(|(_, f)| f.seq)
+                    .map(|(i, _)| i)
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Transitions
+    // -----------------------------------------------------------------
+
+    /// Applies `label`. Returns a human-readable note describing what the
+    /// step did, or `Err` when the label is not enabled here (used by the
+    /// trace shrinker, which speculatively deletes events).
+    pub fn apply(&mut self, cfg: &ModelConfig, label: Label) -> Result<String, String> {
+        if self.wedged.is_some() {
+            return Err("state is wedged".into());
+        }
+        match label {
+            Label::Issue { node, line, write } => self.issue(cfg, node, line, write),
+            Label::Evict { node, line } => self.evict(cfg, node, line),
+            Label::Deliver {
+                to,
+                line,
+                from,
+                response,
+            } => {
+                let idx = self
+                    .resolve(cfg, to, line, from, response)
+                    .ok_or_else(|| format!("no eligible message for {label}"))?;
+                let msg = self.flights.remove(idx).msg;
+                Ok(self.deliver(cfg, msg))
+            }
+        }
+    }
+
+    fn issue(
+        &mut self,
+        cfg: &ModelConfig,
+        node: u16,
+        line: u8,
+        write: bool,
+    ) -> Result<String, String> {
+        let li = line as usize;
+        let ni = node as usize;
+        if self.mshrs[ni][li].is_some() {
+            return Err(format!("node {node} already has line {line} outstanding"));
+        }
+        let copy = self.caches[ni][li];
+        if write {
+            if self.writes[li] >= cfg.max_writes {
+                return Err(format!("write budget for line {line} exhausted"));
+            }
+            self.writes[li] += 1;
+            if let CopyState::Modified(_) = copy {
+                self.version[li] += 1;
+                self.caches[ni][li] = CopyState::Modified(self.version[li]);
+                return Ok(format!(
+                    "node {node} write hit on line {line}: now holds M(v{})",
+                    self.version[li]
+                ));
+            }
+        } else if copy != CopyState::Invalid {
+            return Err(format!("node {node} read of line {line} would hit"));
+        }
+        let kind = match (write, copy) {
+            (false, _) => DirRequestKind::Read,
+            (true, CopyState::Invalid) => DirRequestKind::ReadExcl,
+            (true, CopyState::Shared(_)) => DirRequestKind::Upgrade,
+            (true, CopyState::Modified(_)) => unreachable!("write hits return above"),
+        };
+        self.mshrs[ni][li] = Some(Mshr::new(kind));
+        let home = cfg.home_of(line);
+        let mut note = format!("node {node} issues {kind:?} for line {line}");
+        if home.0 == node {
+            note.push_str(": presented to the home directory");
+            let sub = self.home_request(cfg, line, kind, NodeId(node));
+            note.push_str(&sub);
+            let d = self.drain_pending(cfg, line);
+            note.push_str(&d);
+        } else {
+            let mk = match kind {
+                DirRequestKind::Read => MsgKind::ReadReq,
+                DirRequestKind::ReadExcl => MsgKind::ReadExclReq,
+                DirRequestKind::Upgrade => MsgKind::UpgradeReq,
+            };
+            self.send(cfg, mk, line, NodeId(node), home, NodeId(node), 0, 0);
+            note.push_str(&format!(" -> {mk:?} to home node {}", home.0));
+        }
+        Ok(note)
+    }
+
+    fn evict(&mut self, cfg: &ModelConfig, node: u16, line: u8) -> Result<String, String> {
+        let li = line as usize;
+        let ni = node as usize;
+        let copy = self.caches[ni][li];
+        self.caches[ni][li] = CopyState::Invalid;
+        let home = cfg.home_of(line);
+        match copy {
+            CopyState::Invalid => Err(format!("node {node} holds no copy of line {line}")),
+            CopyState::Shared(_) => Ok(format!(
+                "node {node} silently drops its clean copy of line {line}"
+            )),
+            CopyState::Modified(v) => {
+                if home.0 == node {
+                    self.memory[li] = v;
+                    Ok(format!(
+                        "node {node} (home) writes line {line} v{v} back to its local memory"
+                    ))
+                } else {
+                    self.send(
+                        cfg,
+                        MsgKind::WritebackReq,
+                        line,
+                        NodeId(node),
+                        home,
+                        NodeId(node),
+                        0,
+                        v,
+                    );
+                    Ok(format!(
+                        "node {node} evicts dirty line {line}: WritebackReq(v{v}) to home node {}",
+                        home.0
+                    ))
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send(
+        &mut self,
+        _cfg: &ModelConfig,
+        kind: MsgKind,
+        line: u8,
+        from: NodeId,
+        to: NodeId,
+        requester: NodeId,
+        acks_pending: u16,
+        payload: u64,
+    ) {
+        let msg = Msg {
+            kind,
+            line: LineAddr(line as u64),
+            from,
+            to,
+            requester,
+            acks_pending,
+            payload,
+        };
+        self.flights.push(Flight {
+            seq: self.next_seq,
+            msg,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Presents a request to the home directory and performs the action it
+    /// prescribes (mirrors `Machine::handle_home_request`).
+    fn home_request(
+        &mut self,
+        cfg: &ModelConfig,
+        line: u8,
+        kind: DirRequestKind,
+        requester: NodeId,
+    ) -> String {
+        let home = cfg.home_of(line);
+        let la = cfg.addr(line);
+        let outcome = self.dirs[home.index()].request(la, DirRequest { kind, requester });
+        match outcome {
+            DirOutcome::Busy => "; line busy, request buffered at home".into(),
+            DirOutcome::Act(DirAction::AwaitWriteback) => {
+                "; home waits for the requester's in-flight write-back".into()
+            }
+            DirOutcome::Act(DirAction::Forward { owner }) => {
+                let fwd = if kind == DirRequestKind::Read {
+                    MsgKind::ReadFwd
+                } else {
+                    MsgKind::ReadExclFwd
+                };
+                self.send(cfg, fwd, line, home, owner, requester, 0, 0);
+                format!("; forwarded as {fwd:?} to owner node {}", owner.0)
+            }
+            DirOutcome::Act(DirAction::Supply {
+                exclusive,
+                invalidate,
+            }) => self.home_supply(cfg, line, kind, requester, exclusive, invalidate, false),
+            DirOutcome::Act(DirAction::GrantUpgrade { invalidate }) => {
+                self.home_supply(cfg, line, kind, requester, true, invalidate, true)
+            }
+        }
+    }
+
+    /// Supplies a line (or upgrade permission) from the home: local-copy
+    /// side effects, invalidation fan-out, response or local completion
+    /// (mirrors `Machine::home_supply`).
+    #[allow(clippy::too_many_arguments)]
+    fn home_supply(
+        &mut self,
+        cfg: &ModelConfig,
+        line: u8,
+        kind: DirRequestKind,
+        requester: NodeId,
+        exclusive: bool,
+        invalidate: NodeBitmap,
+        grant_only: bool,
+    ) -> String {
+        let home = cfg.home_of(line);
+        let hi = home.index();
+        let li = line as usize;
+        let local_req = requester == home;
+        let mut note = String::new();
+        if exclusive {
+            if !local_req {
+                if let CopyState::Modified(v) = self.caches[hi][li] {
+                    self.memory[li] = v;
+                }
+                if self.caches[hi][li] != CopyState::Invalid {
+                    note.push_str("; home invalidates its own copy");
+                    self.caches[hi][li] = CopyState::Invalid;
+                }
+            }
+        } else if let CopyState::Modified(v) = self.caches[hi][li] {
+            self.memory[li] = v;
+            self.caches[hi][li] = CopyState::Shared(v);
+            note.push_str("; home downgrades its dirty copy");
+        }
+        let payload = self.memory[li];
+        let sharers: Vec<NodeId> = invalidate.iter().collect();
+        let acks = sharers.len() as u16;
+        for (i, sharer) in sharers.iter().enumerate() {
+            if cfg.mutation == Mutation::HomeDropsInv && i + 1 == sharers.len() {
+                note.push_str(&format!(
+                    "; home DROPS the invalidation to node {} [mutation]",
+                    sharer.0
+                ));
+                continue;
+            }
+            self.send(cfg, MsgKind::InvReq, line, home, *sharer, requester, 0, 0);
+            note.push_str(&format!("; InvReq to sharer node {}", sharer.0));
+        }
+        if local_req {
+            if acks == 0 {
+                note.push_str(&self.complete(cfg, home, line, payload));
+            } else {
+                note.push_str(&format!("; home waits for {acks} invalidation ack(s)"));
+            }
+        } else {
+            let mk = if grant_only {
+                MsgKind::UpgradeAck
+            } else if exclusive {
+                MsgKind::DataExclResp
+            } else {
+                MsgKind::DataResp
+            };
+            self.send(cfg, mk, line, home, requester, requester, acks, payload);
+            note.push_str(&format!(
+                "; {mk:?}(v{payload}) to node {} ({} ack(s) pending)",
+                requester.0, acks
+            ));
+        }
+        let _ = kind;
+        note
+    }
+
+    /// Completes a node's outstanding transaction: fill or write commit
+    /// (mirrors `Machine::complete_mshr` plus the store retire).
+    fn complete(&mut self, _cfg: &ModelConfig, node: NodeId, line: u8, payload: u64) -> String {
+        let li = line as usize;
+        let m = self.mshrs[node.index()][li]
+            .take()
+            .expect("completion without an outstanding transaction");
+        match m.kind {
+            DirRequestKind::Read => {
+                self.caches[node.index()][li] = CopyState::Shared(payload);
+                format!("; node {} read completes with S(v{payload})", node.0)
+            }
+            DirRequestKind::ReadExcl | DirRequestKind::Upgrade => {
+                self.version[li] += 1;
+                self.caches[node.index()][li] = CopyState::Modified(self.version[li]);
+                format!(
+                    "; node {} write completes: commits v{}",
+                    node.0, self.version[li]
+                )
+            }
+        }
+    }
+
+    /// Replays directory-buffered requests while the line is idle
+    /// (mirrors `Machine::drain_pending`).
+    fn drain_pending(&mut self, cfg: &ModelConfig, line: u8) -> String {
+        let home = cfg.home_of(line);
+        let la = cfg.addr(line);
+        let mut note = String::new();
+        while let Some(req) = self.dirs[home.index()].pop_pending_if_idle(la) {
+            note.push_str(&format!(
+                "; home replays buffered {:?} from node {}",
+                req.kind, req.requester.0
+            ));
+            let sub = self.home_request(cfg, line, req.kind, req.requester);
+            note.push_str(&sub);
+        }
+        note
+    }
+
+    /// Runs a risky directory entry point, converting its panics (states
+    /// the real machine would assert out on) into a wedge. Mutated
+    /// protocols can reach these; the faithful protocol must not.
+    fn guard<T>(
+        &mut self,
+        what: &str,
+        f: impl FnOnce(&mut Directory) -> T + std::panic::UnwindSafe,
+        dir: usize,
+    ) -> Result<T, String> {
+        let d = &mut self.dirs[dir];
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(d)));
+        res.map_err(|e| {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panic".into());
+            let why = format!("{what}: {msg}");
+            self.wedged = Some(why.clone());
+            why
+        })
+    }
+
+    /// Consumes one delivered message and runs the receiving handler
+    /// (mirrors `Machine::handle_net`).
+    fn deliver(&mut self, cfg: &ModelConfig, msg: Msg) -> String {
+        let line = msg.line.0 as u8;
+        let li = line as usize;
+        let to = msg.to;
+        let ti = to.index();
+        let home = cfg.home_of(line);
+        let head = format!(
+            "deliver {:?} node {} -> node {}",
+            msg.kind, msg.from.0, to.0
+        );
+        let tail = match msg.kind {
+            MsgKind::ReadReq | MsgKind::ReadExclReq | MsgKind::UpgradeReq => {
+                let kind = match msg.kind {
+                    MsgKind::ReadReq => DirRequestKind::Read,
+                    MsgKind::ReadExclReq => DirRequestKind::ReadExcl,
+                    _ => DirRequestKind::Upgrade,
+                };
+                let mut s = self.home_request(cfg, line, kind, msg.requester);
+                s.push_str(&self.drain_pending(cfg, line));
+                s
+            }
+            MsgKind::WritebackReq => {
+                self.memory[li] = msg.payload;
+                let out = self.guard("write-back", move |d| d.writeback(msg.line, msg.from), ti);
+                let mut s = match out {
+                    Err(why) => format!("; WEDGE: {why}"),
+                    Ok(WritebackOutcome::Applied) => "; write-back applied".into(),
+                    Ok(WritebackOutcome::RacedWithForward) => {
+                        "; write-back raced with a forward; home waits for FwdMiss".into()
+                    }
+                    Ok(WritebackOutcome::ReleasesWaiter { request }) => {
+                        let mut s = format!(
+                            "; write-back releases the waiting {:?} from node {}",
+                            request.kind, request.requester.0
+                        );
+                        s.push_str(&self.home_request(cfg, line, request.kind, request.requester));
+                        s
+                    }
+                };
+                if self.wedged.is_none() {
+                    s.push_str(&self.drain_pending(cfg, line));
+                }
+                s
+            }
+            MsgKind::ReadFwd | MsgKind::ReadExclFwd => self.handle_forward(cfg, msg),
+            MsgKind::InvReq => {
+                let mut s = String::new();
+                if cfg.mutation == Mutation::SharerIgnoresInv {
+                    s.push_str("; node KEEPS its copy [mutation]");
+                } else {
+                    if self.caches[ti][li] == CopyState::Invalid {
+                        s.push_str("; copy already gone (useless invalidation)");
+                    }
+                    self.caches[ti][li] = CopyState::Invalid;
+                }
+                if cfg.mutation == Mutation::SharerDropsInvAck {
+                    s.push_str("; node DROPS the InvAck [mutation]");
+                } else {
+                    self.send(cfg, MsgKind::InvAck, line, to, home, msg.requester, 0, 0);
+                    s.push_str("; InvAck to home");
+                }
+                s
+            }
+            MsgKind::InvAck => {
+                let out = self.guard("inv-ack", move |d| d.inv_ack(msg.line), ti);
+                match out {
+                    Err(why) => format!("; WEDGE: {why}"),
+                    Ok(None) => "; more acks outstanding".into(),
+                    Ok(Some(done)) => {
+                        let mut s = String::from("; last invalidation ack");
+                        if done.requester == home {
+                            let payload = self.memory[li];
+                            s.push_str(&self.complete(cfg, home, line, payload));
+                        } else {
+                            self.send(
+                                cfg,
+                                MsgKind::InvDone,
+                                line,
+                                home,
+                                done.requester,
+                                done.requester,
+                                0,
+                                0,
+                            );
+                            s.push_str(&format!("; InvDone to node {}", done.requester.0));
+                        }
+                        s.push_str(&self.drain_pending(cfg, line));
+                        s
+                    }
+                }
+            }
+            MsgKind::DataResp => {
+                if to == home {
+                    // Home requested a dirty-remote line: the response
+                    // doubles as the sharing write-back.
+                    let out = self.guard(
+                        "sharing write-back",
+                        move |d| d.sharing_writeback(msg.line, msg.from),
+                        ti,
+                    );
+                    match out {
+                        Err(why) => format!("; WEDGE: {why}"),
+                        Ok(()) => {
+                            self.memory[li] = msg.payload;
+                            let mut s = self.complete(cfg, home, line, msg.payload);
+                            s.push_str(&self.drain_pending(cfg, line));
+                            s
+                        }
+                    }
+                } else if self.mshrs[ti][li].is_some() {
+                    self.complete(cfg, to, line, msg.payload)
+                } else {
+                    let why = format!("DataResp at node {} without an outstanding read", to.0);
+                    self.wedged = Some(why.clone());
+                    format!("; WEDGE: {why}")
+                }
+            }
+            MsgKind::DataExclResp | MsgKind::UpgradeAck => {
+                if to == home && msg.kind == MsgKind::DataExclResp {
+                    let out = self.guard(
+                        "ownership ack",
+                        move |d| d.ownership_ack(msg.line, msg.from),
+                        ti,
+                    );
+                    match out {
+                        Err(why) => format!("; WEDGE: {why}"),
+                        Ok(()) => {
+                            let mut s = self.complete(cfg, home, line, msg.payload);
+                            s.push_str(&self.drain_pending(cfg, line));
+                            s
+                        }
+                    }
+                } else {
+                    let payload = if msg.kind == MsgKind::UpgradeAck {
+                        match self.caches[ti][li] {
+                            CopyState::Shared(v) => v,
+                            _ => 0, // copy displaced while the upgrade waited
+                        }
+                    } else {
+                        msg.payload
+                    };
+                    match self.mshrs[ti][li].as_mut() {
+                        None => {
+                            let why =
+                                format!("exclusive grant at node {} without a transaction", to.0);
+                            self.wedged = Some(why.clone());
+                            format!("; WEDGE: {why}")
+                        }
+                        Some(m) => {
+                            m.has_data = true;
+                            m.payload = payload;
+                            if msg.acks_pending > 0 {
+                                m.needs_inv_done = true;
+                            }
+                            if !m.needs_inv_done || m.inv_done {
+                                self.complete(cfg, to, line, payload)
+                            } else {
+                                "; grant noted; awaiting InvDone".into()
+                            }
+                        }
+                    }
+                }
+            }
+            MsgKind::InvDone => match self.mshrs[ti][li].as_mut() {
+                None => {
+                    let why = format!("InvDone at node {} without a transaction", to.0);
+                    self.wedged = Some(why.clone());
+                    format!("; WEDGE: {why}")
+                }
+                Some(m) => {
+                    m.inv_done = true;
+                    if m.has_data {
+                        let payload = m.payload;
+                        self.complete(cfg, to, line, payload)
+                    } else {
+                        "; invalidations done; awaiting data".into()
+                    }
+                }
+            },
+            MsgKind::SharingWriteback => {
+                let out = self.guard(
+                    "sharing write-back",
+                    move |d| d.sharing_writeback(msg.line, msg.from),
+                    ti,
+                );
+                match out {
+                    Err(why) => format!("; WEDGE: {why}"),
+                    Ok(()) => {
+                        self.memory[li] = msg.payload;
+                        let mut s = format!("; memory takes v{}", msg.payload);
+                        s.push_str(&self.drain_pending(cfg, line));
+                        s
+                    }
+                }
+            }
+            MsgKind::OwnershipAck => {
+                let out = self.guard(
+                    "ownership ack",
+                    move |d| d.ownership_ack(msg.line, msg.from),
+                    ti,
+                );
+                match out {
+                    Err(why) => format!("; WEDGE: {why}"),
+                    Ok(()) => {
+                        let mut s = String::from("; ownership transfer recorded");
+                        s.push_str(&self.drain_pending(cfg, line));
+                        s
+                    }
+                }
+            }
+            MsgKind::FwdMiss => {
+                let out = self.guard("fwd-miss", move |d| d.fwd_miss(msg.line, msg.from), ti);
+                match out {
+                    Err(why) => format!("; WEDGE: {why}"),
+                    Ok(request) => {
+                        let payload = self.memory[li];
+                        let exclusive = request.kind != DirRequestKind::Read;
+                        let mut s = format!(
+                            "; forward missed; home re-supplies {:?} from memory",
+                            request.kind
+                        );
+                        if request.requester == home {
+                            s.push_str(&self.complete(cfg, home, line, payload));
+                        } else {
+                            let mk = if exclusive {
+                                MsgKind::DataExclResp
+                            } else {
+                                MsgKind::DataResp
+                            };
+                            self.send(
+                                cfg,
+                                mk,
+                                line,
+                                home,
+                                request.requester,
+                                request.requester,
+                                0,
+                                payload,
+                            );
+                            s.push_str(&format!(
+                                "; {mk:?}(v{payload}) to node {}",
+                                request.requester.0
+                            ));
+                        }
+                        s.push_str(&self.drain_pending(cfg, line));
+                        s
+                    }
+                }
+            }
+            MsgKind::ReplacementHint => {
+                self.dirs[ti].remove_sharer_hint(msg.line, msg.from);
+                "; advisory sharer removal".into()
+            }
+        };
+        format!("{head}{tail}")
+    }
+
+    /// A forwarded request arrives at the (believed) dirty owner
+    /// (mirrors `Machine::handle_forward`).
+    fn handle_forward(&mut self, cfg: &ModelConfig, msg: Msg) -> String {
+        let line = msg.line.0 as u8;
+        let li = line as usize;
+        let owner = msg.to;
+        let oi = owner.index();
+        let home = cfg.home_of(line);
+        let exclusive = msg.kind == MsgKind::ReadExclFwd;
+        match self.caches[oi][li] {
+            CopyState::Invalid => {
+                self.send(
+                    cfg,
+                    MsgKind::FwdMiss,
+                    line,
+                    owner,
+                    home,
+                    msg.requester,
+                    0,
+                    0,
+                );
+                "; owner no longer holds the line: FwdMiss to home".into()
+            }
+            CopyState::Shared(_) => {
+                let why = format!(
+                    "forwarded owner node {} holds line {line} Shared (ownership lost)",
+                    owner.0
+                );
+                self.wedged = Some(why.clone());
+                format!("; WEDGE: {why}")
+            }
+            CopyState::Modified(v) => {
+                let mut s;
+                if exclusive {
+                    if cfg.mutation == Mutation::OwnerKeepsCopy {
+                        s = String::from("; owner KEEPS its modified copy [mutation]");
+                    } else {
+                        self.caches[oi][li] = CopyState::Invalid;
+                        s = String::from("; owner invalidates its copy");
+                    }
+                    self.send(
+                        cfg,
+                        MsgKind::DataExclResp,
+                        line,
+                        owner,
+                        msg.requester,
+                        msg.requester,
+                        0,
+                        v,
+                    );
+                    s.push_str(&format!("; DataExclResp(v{v}) to node {}", msg.requester.0));
+                    if msg.requester != home {
+                        self.send(
+                            cfg,
+                            MsgKind::OwnershipAck,
+                            line,
+                            owner,
+                            home,
+                            msg.requester,
+                            0,
+                            v,
+                        );
+                        s.push_str("; OwnershipAck to home");
+                    }
+                } else {
+                    self.caches[oi][li] = CopyState::Shared(v);
+                    s = String::from("; owner downgrades to Shared");
+                    self.send(
+                        cfg,
+                        MsgKind::DataResp,
+                        line,
+                        owner,
+                        msg.requester,
+                        msg.requester,
+                        0,
+                        v,
+                    );
+                    s.push_str(&format!("; DataResp(v{v}) to node {}", msg.requester.0));
+                    if msg.requester != home {
+                        self.send(
+                            cfg,
+                            MsgKind::SharingWriteback,
+                            line,
+                            owner,
+                            home,
+                            msg.requester,
+                            0,
+                            v,
+                        );
+                        s.push_str("; SharingWriteback to home");
+                    }
+                }
+                s
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Invariants
+    // -----------------------------------------------------------------
+
+    /// Checks the every-state invariants. Returns `(kind, detail)` of the
+    /// first violation.
+    ///
+    /// * `protocol-wedge` — a handler hit a state the machine asserts out
+    ///   on (lost ownership, unexpected ack, ...).
+    /// * `swmr` — two writable copies, or a writable copy concurrent with
+    ///   a readable one (single-writer / multiple-reader broken).
+    /// * `stale-data` — a cached copy holds a version other than the
+    ///   latest committed write.
+    pub fn check(&self, cfg: &ModelConfig) -> Option<(&'static str, String)> {
+        if let Some(w) = &self.wedged {
+            return Some(("protocol-wedge", w.clone()));
+        }
+        for line in 0..cfg.lines {
+            let li = line as usize;
+            let mut owner: Option<u16> = None;
+            let mut readers: Vec<u16> = Vec::new();
+            for node in 0..cfg.nodes {
+                match self.caches[node as usize][li] {
+                    CopyState::Invalid => {}
+                    CopyState::Shared(_) => readers.push(node),
+                    CopyState::Modified(_) => {
+                        if let Some(prev) = owner {
+                            return Some((
+                                "swmr",
+                                format!("nodes {prev} and {node} both hold line {line} Modified"),
+                            ));
+                        }
+                        owner = Some(node);
+                    }
+                }
+            }
+            if let (Some(o), Some(r)) = (owner, readers.first()) {
+                return Some((
+                    "swmr",
+                    format!(
+                        "node {o} holds line {line} Modified while node {r} still \
+                         holds a readable copy"
+                    ),
+                ));
+            }
+            for node in 0..cfg.nodes {
+                let v = match self.caches[node as usize][li] {
+                    CopyState::Invalid => continue,
+                    CopyState::Shared(v) | CopyState::Modified(v) => v,
+                };
+                if v != self.version[li] {
+                    return Some((
+                        "stale-data",
+                        format!(
+                            "node {node} holds line {line} at v{v} but the latest \
+                             committed write is v{}",
+                            self.version[li]
+                        ),
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks the quiescent-state invariants (call only when
+    /// [`ModelState::is_quiescent`]): memory currency and directory/cache
+    /// agreement.
+    pub fn check_quiescent(&self, cfg: &ModelConfig) -> Option<(&'static str, String)> {
+        for line in 0..cfg.lines {
+            let li = line as usize;
+            let home = cfg.home_of(line);
+            let state = self.dirs[home.index()].state_of(cfg.addr(line));
+            let mut remote_owner: Option<u16> = None;
+            let mut any_owner = false;
+            let mut remote_readers: Vec<u16> = Vec::new();
+            for node in 0..cfg.nodes {
+                match self.caches[node as usize][li] {
+                    CopyState::Modified(_) => {
+                        any_owner = true;
+                        if node != home.0 {
+                            remote_owner = Some(node);
+                        }
+                    }
+                    CopyState::Shared(_) if node != home.0 => remote_readers.push(node),
+                    _ => {}
+                }
+            }
+            if !any_owner && self.memory[li] != self.version[li] {
+                return Some((
+                    "lost-write",
+                    format!(
+                        "quiescent with no dirty copy, but memory holds line {line} v{} \
+                         while the latest committed write is v{}",
+                        self.memory[li], self.version[li]
+                    ),
+                ));
+            }
+            match (remote_owner, state) {
+                (Some(o), DirState::Dirty(d)) if d.0 == o => {}
+                (Some(o), other) => {
+                    return Some((
+                        "directory-disagreement",
+                        format!(
+                            "node {o} holds line {line} Modified but the directory says \
+                             {other:?}"
+                        ),
+                    ));
+                }
+                (None, DirState::Dirty(d)) => {
+                    return Some((
+                        "directory-disagreement",
+                        format!(
+                            "directory says node {} owns line {line} but it holds no \
+                             dirty copy",
+                            d.0
+                        ),
+                    ));
+                }
+                (None, DirState::Shared(bm)) => {
+                    // Stale bits from silent evictions are legal; missing
+                    // bits are not.
+                    for r in &remote_readers {
+                        if !bm.contains(NodeId(*r)) {
+                            return Some((
+                                "directory-disagreement",
+                                format!(
+                                    "node {r} holds line {line} Shared but is missing \
+                                     from the directory's sharer set"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                (None, DirState::Uncached) => {
+                    if let Some(r) = remote_readers.first() {
+                        return Some((
+                            "directory-disagreement",
+                            format!(
+                                "node {r} holds line {line} Shared but the directory \
+                                 says Uncached"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    // -----------------------------------------------------------------
+    // Canonical encoding and rendering
+    // -----------------------------------------------------------------
+
+    /// Canonical byte encoding of the state, used for visited-set
+    /// deduplication. Two states encode equally iff they are
+    /// behaviorally identical under the configured ordering (in-flight
+    /// message sequence numbers are rank-normalized).
+    pub fn encode(&self, cfg: &ModelConfig) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.push(u8::from(self.wedged.is_some()));
+        for node in 0..cfg.nodes as usize {
+            for line in 0..cfg.lines as usize {
+                match self.caches[node][line] {
+                    CopyState::Invalid => out.push(0),
+                    CopyState::Shared(v) => {
+                        out.push(1);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    CopyState::Modified(v) => {
+                        out.push(2);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                match self.mshrs[node][line] {
+                    None => out.push(0),
+                    Some(m) => {
+                        out.push(match m.kind {
+                            DirRequestKind::Read => 1,
+                            DirRequestKind::ReadExcl => 2,
+                            DirRequestKind::Upgrade => 3,
+                        });
+                        out.push(u8::from(m.has_data));
+                        out.extend_from_slice(&m.payload.to_le_bytes());
+                        out.push(u8::from(m.needs_inv_done));
+                        out.push(u8::from(m.inv_done));
+                    }
+                }
+            }
+        }
+        for li in 0..cfg.lines as usize {
+            out.extend_from_slice(&self.memory[li].to_le_bytes());
+            out.extend_from_slice(&self.version[li].to_le_bytes());
+            out.extend_from_slice(&self.writes[li].to_le_bytes());
+        }
+        for dir in &self.dirs {
+            dir.encode_canonical(&mut out);
+        }
+        // In-flight messages: sort by the ordering-relevant key, stable in
+        // send order, so irrelevant cross-group interleavings collapse.
+        let mut idx: Vec<usize> = (0..self.flights.len()).collect();
+        match cfg.ordering {
+            Ordering::Causal => idx.sort_by_key(|&i| {
+                let m = &self.flights[i].msg;
+                (m.to.0, m.line.0, self.flights[i].seq)
+            }),
+            Ordering::PairFifo => idx.sort_by_key(|&i| {
+                let m = &self.flights[i].msg;
+                (
+                    m.to.0,
+                    m.line.0,
+                    m.from.0,
+                    m.kind.class() == MsgClass::NetResponse,
+                    self.flights[i].seq,
+                )
+            }),
+        }
+        for i in idx {
+            let m = &self.flights[i].msg;
+            out.push(kind_code(m.kind));
+            out.extend_from_slice(&m.line.0.to_le_bytes());
+            out.extend_from_slice(&m.from.0.to_le_bytes());
+            out.extend_from_slice(&m.to.0.to_le_bytes());
+            out.extend_from_slice(&m.requester.0.to_le_bytes());
+            out.extend_from_slice(&m.acks_pending.to_le_bytes());
+            out.extend_from_slice(&m.payload.to_le_bytes());
+        }
+        out
+    }
+
+    /// Multi-line human-readable dump of the state (used at the end of a
+    /// counterexample trace).
+    pub fn render(&self, cfg: &ModelConfig) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for line in 0..cfg.lines {
+            let li = line as usize;
+            let home = cfg.home_of(line);
+            let _ = writeln!(
+                out,
+                "line {line} (home node {}): committed v{}, memory v{}, dir {:?}{}",
+                home.0,
+                self.version[li],
+                self.memory[li],
+                self.dirs[home.index()].state_of(cfg.addr(line)),
+                if self.dirs[home.index()].is_busy(cfg.addr(line)) {
+                    " (busy)"
+                } else {
+                    ""
+                }
+            );
+            for node in 0..cfg.nodes {
+                let c = self.caches[node as usize][li];
+                let m = self.mshrs[node as usize][li];
+                if c == CopyState::Invalid && m.is_none() {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  node {node}: cache {c:?}{}",
+                    match m {
+                        None => String::new(),
+                        Some(m) => format!(", outstanding {:?}", m.kind),
+                    }
+                );
+            }
+        }
+        for f in &self.flights {
+            let _ = writeln!(
+                out,
+                "in flight: {:?} node {} -> node {} (line {}, v{})",
+                f.msg.kind, f.msg.from.0, f.msg.to.0, f.msg.line.0, f.msg.payload
+            );
+        }
+        if let Some(w) = &self.wedged {
+            let _ = writeln!(out, "WEDGED: {w}");
+        }
+        out
+    }
+}
+
+fn kind_code(kind: MsgKind) -> u8 {
+    use MsgKind::*;
+    match kind {
+        ReadReq => 0,
+        ReadExclReq => 1,
+        UpgradeReq => 2,
+        WritebackReq => 3,
+        ReadFwd => 4,
+        ReadExclFwd => 5,
+        InvReq => 6,
+        DataResp => 7,
+        DataExclResp => 8,
+        UpgradeAck => 9,
+        InvDone => 10,
+        SharingWriteback => 11,
+        OwnershipAck => 12,
+        InvAck => 13,
+        FwdMiss => 14,
+        ReplacementHint => 15,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_nodes() -> ModelConfig {
+        ModelConfig::default()
+    }
+
+    fn deliver_all(cfg: &ModelConfig, st: &mut ModelState) {
+        for _ in 0..1000 {
+            let labels: Vec<Label> = st
+                .enabled(cfg)
+                .into_iter()
+                .filter(|l| matches!(l, Label::Deliver { .. }))
+                .collect();
+            match labels.first() {
+                None => return,
+                Some(&l) => {
+                    st.apply(cfg, l).expect("enabled label applies");
+                }
+            }
+        }
+        panic!("message drain did not terminate");
+    }
+
+    #[test]
+    fn remote_read_fills_shared_and_registers_in_directory() {
+        let cfg = two_nodes();
+        let mut st = ModelState::new(&cfg);
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 0,
+                write: false,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        assert_eq!(st.copy(1, 0), CopyState::Shared(0));
+        assert_eq!(
+            st.dirs[0].state_of(LineAddr(0)),
+            DirState::Shared(NodeBitmap::just(NodeId(1)))
+        );
+        assert!(st.is_quiescent(&cfg));
+        assert!(st.check(&cfg).is_none());
+        assert!(st.check_quiescent(&cfg).is_none());
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharer() {
+        let cfg = two_nodes();
+        let mut st = ModelState::new(&cfg);
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 0,
+                write: false,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 0,
+                line: 0,
+                write: true,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        assert_eq!(st.copy(0, 0), CopyState::Modified(1));
+        assert_eq!(st.copy(1, 0), CopyState::Invalid);
+        assert_eq!(st.version_of(0), 1);
+        assert!(st.check(&cfg).is_none());
+        assert!(st.is_quiescent(&cfg));
+    }
+
+    #[test]
+    fn dirty_remote_owner_serves_a_forwarded_read() {
+        let cfg = two_nodes();
+        let mut st = ModelState::new(&cfg);
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 0,
+                write: true,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        assert_eq!(st.copy(1, 0), CopyState::Modified(1));
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 0,
+                line: 0,
+                write: false,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        assert_eq!(st.copy(0, 0), CopyState::Shared(1));
+        assert_eq!(st.copy(1, 0), CopyState::Shared(1));
+        assert!(st.check_quiescent(&cfg).is_none());
+    }
+
+    #[test]
+    fn writeback_fwdmiss_race_resolves_from_memory() {
+        let cfg = two_nodes();
+        let mut st = ModelState::new(&cfg);
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 0,
+                write: true,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        // Owner evicts; the write-back is in flight when home forwards.
+        st.apply(&cfg, Label::Evict { node: 1, line: 0 }).unwrap();
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 0,
+                line: 0,
+                write: false,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        assert_eq!(st.copy(0, 0), CopyState::Shared(1));
+        assert!(st.is_quiescent(&cfg));
+        assert!(st.check_quiescent(&cfg).is_none());
+    }
+
+    #[test]
+    fn encoding_is_stable_across_equivalent_interleavings() {
+        let cfg = two_nodes();
+        let mut a = ModelState::new(&cfg);
+        let mut b = ModelState::new(&cfg);
+        a.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 0,
+                write: false,
+            },
+        )
+        .unwrap();
+        b.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 0,
+                write: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(a.encode(&cfg), b.encode(&cfg));
+        deliver_all(&cfg, &mut a);
+        assert_ne!(a.encode(&cfg), b.encode(&cfg));
+    }
+
+    #[test]
+    fn mutated_sharer_produces_a_swmr_violation() {
+        let cfg = ModelConfig {
+            mutation: Mutation::SharerIgnoresInv,
+            ..two_nodes()
+        };
+        let mut st = ModelState::new(&cfg);
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 0,
+                write: false,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 0,
+                line: 0,
+                write: true,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        let (kind, _) = st.check(&cfg).expect("mutation must violate coherence");
+        assert_eq!(kind, "swmr");
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`ccn_sim`] / [`ccn_mem`] / [`ccn_bus`] / [`ccn_net`] — the
 //!   discrete-event, cache/memory, bus and network substrates;
 //! * [`ccn_harness`] — the parallel sweep orchestrator behind
-//!   `repro --jobs N` (worker pool, checkpointing, telemetry).
+//!   `repro --jobs N` (worker pool, checkpointing, telemetry);
+//! * [`ccn_verify`] — bounded exhaustive model checking of the protocol
+//!   and cross-architecture differential conformance (see
+//!   `docs/VERIFY.md`).
 //!
 //! # Example
 //!
@@ -34,5 +37,6 @@ pub use ccn_mem;
 pub use ccn_net;
 pub use ccn_protocol;
 pub use ccn_sim;
+pub use ccn_verify;
 pub use ccn_workloads;
 pub use ccnuma;

@@ -7,7 +7,7 @@
 //!
 //! targets: table1 table2 table3 table4 table5 table6 table7
 //!          fig6 fig7 fig8 fig9 fig10 fig11 fig12
-//!          ablations summary validate verify golden all
+//!          ablations summary validate verify golden bench all
 //! ```
 //!
 //! `verify` runs the protocol verification suite: bounded exhaustive
@@ -18,6 +18,14 @@
 //! cross-architecture differential conformance (`--conf-cases K`).
 //! `golden` compares the deterministic anchor outputs against the
 //! snapshots under `tests/golden/`; `golden --bless` regenerates them.
+//!
+//! `bench` runs the hot-path benchmark suite (event-queue churn, cache
+//! probe storm, directory handler mix, end-to-end reference sweep) and
+//! writes a JSON artifact (`--bench-json FILE`, default
+//! `BENCH_sim.json`). With `--baseline FILE` it gates each case's
+//! throughput against the baseline's `per_sec` at a 25% tolerance and
+//! exits non-zero on a regression; `--quick` shrinks the workloads to
+//! CI-smoke size. See `docs/PERF.md`.
 //!
 //! The default scale runs the full 16×4 machine with scaled-down data sets
 //! (minutes); `--paper` uses the paper's Table 5 sizes (hours); `--quick`
@@ -114,6 +122,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--mutate",
     "--ordering",
     "--conf-cases",
+    "--baseline",
+    "--bench-json",
 ];
 
 /// The non-flag arguments, with every value flag's value skipped.
@@ -312,6 +322,13 @@ fn render_target(
                 *failed = true;
             }
         }
+        "bench" => {
+            let (report, ok) = run_bench_target(args);
+            render(&mut out, report);
+            if !ok {
+                *failed = true;
+            }
+        }
         "golden" => {
             if args.iter().any(|a| a == "--bless") {
                 render(&mut out, golden::bless_all());
@@ -437,6 +454,36 @@ fn validate(opts: Options) -> (String, bool) {
         let _ = writeln!(out, "\nall anchors hold");
     } else {
         let _ = writeln!(out, "\n{failures} anchor(s) FAILED");
+    }
+    (out, ok)
+}
+
+/// The `bench` target: the hot-path benchmark suite. Writes the JSON
+/// artifact (default `BENCH_sim.json`, override with `--bench-json FILE`)
+/// and, with `--baseline FILE`, gates on >25% throughput regressions
+/// against the checked-in baseline.
+fn run_bench_target(args: &[String]) -> (String, bool) {
+    use ccn_bench::perf;
+    let quick = args.iter().any(|a| a == "--quick");
+    let revision = git_describe();
+    let report = perf::run_bench(quick, &revision);
+    let mut out = report.render();
+    let mut ok = true;
+    let json_path = flag_value(args, "--bench-json").unwrap_or_else(|| "BENCH_sim.json".into());
+    std::fs::write(&json_path, report.to_json().render_pretty())
+        .expect("can write the benchmark artifact");
+    let _ = writeln!(out, "wrote {json_path}");
+    if let Some(path) = flag_value(args, "--baseline") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = ccn_harness::json::parse(&text)
+            .unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e:?}"));
+        let (lines, pass) = report.check_against(&baseline, 0.25);
+        let _ = writeln!(out, "\nregression gate vs {path} (25% tolerance):");
+        for line in lines {
+            let _ = writeln!(out, "{line}");
+        }
+        ok = pass;
     }
     (out, ok)
 }

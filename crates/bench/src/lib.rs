@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod golden;
+pub mod perf;
 pub mod timing;
 
 use ccn_workloads::suite::Scale;
@@ -44,6 +45,7 @@ pub const TARGETS: &[&str] = &[
     "validate",
     "verify",
     "golden",
+    "bench",
     "all",
 ];
 
@@ -55,6 +57,7 @@ pub const EXTRA_TARGETS: &[&str] = &[
     "validate",
     "verify",
     "golden",
+    "bench",
     "all",
 ];
 

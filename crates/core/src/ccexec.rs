@@ -222,14 +222,14 @@ impl Machine {
         let except = if local_req {
             self.nodes[n]
                 .mshr
-                .get(&line)
+                .get(line)
                 .map(|m| self.procs[m.initiator].slot)
         } else {
             None
         };
         let pres = self.nodes[n]
             .presence
-            .get(&line)
+            .get(line)
             .copied()
             .unwrap_or_default();
         let has_other_local = match except {
@@ -244,14 +244,14 @@ impl Machine {
             if let Some(dirty) = self.invalidate_local_copies(n, line, except) {
                 self.memory.insert(line, dirty);
             }
-            *self.memory.get(&line).unwrap_or(&0)
+            *self.memory.get(line).unwrap_or(&0)
         } else {
             if pres.owner.is_some() {
                 if let Some(dirty) = self.downgrade_local_owner(n, line) {
                     self.memory.insert(line, dirty);
                 }
             }
-            *self.memory.get(&line).unwrap_or(&0)
+            *self.memory.get(line).unwrap_or(&0)
         };
 
         let fan = Fanout {
@@ -373,7 +373,7 @@ impl Machine {
         let line = msg.line;
         let pres = self.nodes[n]
             .presence
-            .get(&line)
+            .get(line)
             .copied()
             .unwrap_or_default();
         if !pres.any() {
@@ -427,7 +427,7 @@ impl Machine {
     fn handle_inv_req(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
         let spec = HandlerSpec::build(HandlerKind::InvReqAtSharer, Fanout::NONE);
         let run = self.run_spec(n, &spec, msg.line, now);
-        if !self.nodes[n].presence.contains_key(&msg.line) {
+        if !self.nodes[n].presence.contains_key(msg.line) {
             // A stale directory bit: the copy was silently dropped.
             self.useless_invalidations += 1;
         }
@@ -448,7 +448,7 @@ impl Machine {
                 if done.requester.index() == n {
                     let spec = HandlerSpec::build(HandlerKind::HomeInvAckLastLocal, Fanout::NONE);
                     let run = self.run_spec(n, &spec, msg.line, now);
-                    let payload = *self.memory.get(&msg.line).unwrap_or(&0);
+                    let payload = *self.memory.get(msg.line).unwrap_or(&0);
                     self.complete_mshr(
                         n,
                         msg.line,
@@ -509,11 +509,11 @@ impl Machine {
         }
         let initiator_slot = self.nodes[n]
             .mshr
-            .get(&msg.line)
+            .get(msg.line)
             .map(|m| self.procs[m.initiator].slot);
         let pres = self.nodes[n]
             .presence
-            .get(&msg.line)
+            .get(msg.line)
             .copied()
             .unwrap_or_default();
         let local_inv = match initiator_slot {
@@ -540,11 +540,11 @@ impl Machine {
     fn handle_upgrade_ack(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
         let initiator_slot = self.nodes[n]
             .mshr
-            .get(&msg.line)
+            .get(msg.line)
             .map(|m| self.procs[m.initiator].slot);
         let pres = self.nodes[n]
             .presence
-            .get(&msg.line)
+            .get(msg.line)
             .copied()
             .unwrap_or_default();
         let local_inv = match initiator_slot {
@@ -565,7 +565,10 @@ impl Machine {
         // Permission grant: the payload stays whatever the cache holds.
         let payload = initiator_slot
             .and_then(|_| {
-                let m = &self.nodes[n].mshr[&msg.line];
+                let m = self.nodes[n]
+                    .mshr
+                    .get(msg.line)
+                    .expect("UpgradeAck without an MSHR");
                 self.procs[m.initiator].l2.payload_of(msg.line)
             })
             .unwrap_or(0);
@@ -585,7 +588,7 @@ impl Machine {
         needs_inv_done: bool,
     ) -> Result<(), ()> {
         {
-            let mshr = self.nodes[n].mshr.get_mut(&line).ok_or(())?;
+            let mshr = self.nodes[n].mshr.get_mut(line).ok_or(())?;
             mshr.has_data = true;
             mshr.payload = payload;
             mshr.data_time = at;
@@ -607,7 +610,7 @@ impl Machine {
         let ready = {
             let mshr = self.nodes[n]
                 .mshr
-                .get_mut(&msg.line)
+                .get_mut(msg.line)
                 .expect("InvDone without an MSHR");
             mshr.inv_done_received = true;
             mshr.has_data.then_some((mshr.payload, mshr.data_time))
@@ -639,7 +642,7 @@ impl Machine {
         let request = self.nodes[n].dir.fwd_miss(msg.line, msg.from);
         let spec = HandlerSpec::build(HandlerKind::HomeFwdMiss, Fanout::NONE);
         let run = self.run_spec(n, &spec, msg.line, now);
-        let payload = *self.memory.get(&msg.line).unwrap_or(&0);
+        let payload = *self.memory.get(msg.line).unwrap_or(&0);
         let exclusive = request.kind != DirRequestKind::Read;
         if request.requester.index() == n {
             let at = run.mem_data.unwrap_or(run.end) + self.cfg.lat.fill_overhead;

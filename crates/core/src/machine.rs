@@ -6,15 +6,13 @@
 //! protocol handlers and message deliveries are discrete events; bandwidth
 //! resources are FIFO reservation servers.
 
-use std::collections::HashMap;
-
 use ccn_mem::{
-    AccessKind, AddressMap, LineAddr, LineState, NodeId, PageMap, ProcId, SetAssocCache,
+    AccessKind, AddressMap, LineAddr, LineState, LineTable, NodeId, PageMap, ProcId, SetAssocCache,
 };
 use ccn_net::Network;
 use ccn_protocol::directory::{DirRequestKind, DirState};
 use ccn_protocol::{Msg, MsgClass};
-use ccn_sim::{Cycle, EventQueue};
+use ccn_sim::{Cycle, EventQueue, FxHashMap, FxHashSet};
 use ccn_workloads::{Application, MachineShape, Op, SegmentProgram};
 
 use ccn_controller::EngineRole;
@@ -165,15 +163,15 @@ pub struct Machine {
     pub(crate) net: Network,
     pub(crate) sync: SyncState,
     /// Next write version per line (global write serial numbers).
-    pub(crate) versions: HashMap<LineAddr, u64>,
+    pub(crate) versions: LineTable<u64>,
     /// Payload (version) currently stored in home memory.
-    pub(crate) memory: HashMap<LineAddr, u64>,
+    pub(crate) memory: LineTable<u64>,
     marker_count: usize,
     measure_start: Cycle,
     done_count: usize,
     workload_name: String,
     /// Pages already assigned under the first-touch policy.
-    touched_pages: std::collections::HashSet<u64>,
+    touched_pages: FxHashSet<u64>,
     /// End-to-end latency of every completed L2 miss (block to fill),
     /// in cycles.
     miss_latency: ccn_sim::stats::Accumulator,
@@ -183,7 +181,7 @@ pub struct Machine {
     /// bits from silent clean drops).
     pub(crate) useless_invalidations: u64,
     /// Handlers executed, by kind (measured phase).
-    pub(crate) handler_counts: HashMap<ccn_protocol::HandlerKind, u64>,
+    pub(crate) handler_counts: FxHashMap<ccn_protocol::HandlerKind, u64>,
 }
 
 impl Machine {
@@ -218,7 +216,10 @@ impl Machine {
             pages.place(page, NodeId(node));
         }
         let map = AddressMap::new(cfg.line_bytes, cfg.page_bytes, pages);
-        let mut queue = EventQueue::new();
+        // Warm-up schedules one resume per processor at cycle zero, and
+        // each processor keeps only a handful of events in flight after
+        // that (a blocked miss plus its protocol messages).
+        let mut queue = EventQueue::with_capacity(cfg.nprocs() * 4);
         let procs: Vec<Proc> = build
             .programs
             .into_iter()
@@ -261,17 +262,17 @@ impl Machine {
             nodes,
             net,
             sync,
-            versions: HashMap::new(),
-            memory: HashMap::new(),
+            versions: LineTable::with_capacity(1024),
+            memory: LineTable::with_capacity(1024),
             marker_count: 0,
             measure_start: 0,
             done_count: 0,
             workload_name: app.name(),
-            touched_pages: std::collections::HashSet::new(),
+            touched_pages: FxHashSet::default(),
             miss_latency: ccn_sim::stats::Accumulator::new(),
             trace: None,
             useless_invalidations: 0,
-            handler_counts: HashMap::new(),
+            handler_counts: FxHashMap::default(),
         })
     }
 
@@ -332,6 +333,12 @@ impl Machine {
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Total number of events scheduled over the run's lifetime (the
+    /// denominator of events-per-second throughput measurements).
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.total_scheduled()
     }
 
     /// Records the first `capacity` protocol-handler executions for
@@ -502,7 +509,7 @@ impl Machine {
     /// Stamps a completed store: bumps the line's global version and
     /// updates the writing processor's cached payload.
     fn commit_write(&mut self, p: usize, line: LineAddr) {
-        let version = self.versions.entry(line).or_insert(0);
+        let version = self.versions.get_or_insert_with(line, || 0);
         *version += 1;
         let v = *version;
         let proc = &mut self.procs[p];
@@ -556,7 +563,7 @@ impl Machine {
                 self.map.pages_mut().place(page, NodeId(n as u16));
             }
         }
-        if let Some(mshr) = self.nodes[n].mshr.get_mut(&line) {
+        if let Some(mshr) = self.nodes[n].mshr.get_mut(line) {
             mshr.waiters.push(p);
             return;
         }
@@ -566,7 +573,7 @@ impl Machine {
         let local_home = home.index() == n;
         let pres = self.nodes[n]
             .presence
-            .get(&line)
+            .get(line)
             .copied()
             .unwrap_or_default();
         let slot = self.procs[p].slot;
@@ -595,7 +602,10 @@ impl Machine {
                     self.memory.insert(line, payload);
                 }
                 self.procs[owner_proc].l2.set_state(line, LineState::Shared);
-                self.nodes[n].presence.entry(line).or_default().owner = None;
+                self.nodes[n]
+                    .presence
+                    .get_or_insert_with(line, Presence::default)
+                    .owner = None;
                 self.fill_proc(p, line, LineState::Shared, payload, c2c_fill);
             } else {
                 // Ownership migrates between local caches (remote lines
@@ -637,7 +647,7 @@ impl Machine {
                 let xfer = self.nodes[n].bus.data_transfer(first, self.cfg.line_bytes);
                 let fill_at = xfer.critical + self.cfg.lat.fill_overhead;
                 let exclusive = dir_state == DirState::Uncached && !pres.any();
-                let payload = *self.memory.get(&line).unwrap_or(&0);
+                let payload = self.memory.get(line).copied().unwrap_or(0);
                 let state = if exclusive {
                     LineState::Exclusive
                 } else {
@@ -659,7 +669,7 @@ impl Machine {
                         .access(line, strobe + self.cfg.bus.address_slot_cycles);
                     let first = bank + self.cfg.lat.mem_access;
                     let xfer = self.nodes[n].bus.data_transfer(first, self.cfg.line_bytes);
-                    let payload = *self.memory.get(&line).unwrap_or(&0);
+                    let payload = self.memory.get(line).copied().unwrap_or(0);
                     self.fill_proc(
                         p,
                         line,
@@ -795,7 +805,9 @@ impl Machine {
         if let Some(ev) = eviction {
             self.handle_eviction(p, ev.line, ev.state, ev.payload, at);
         }
-        let entry = self.nodes[n].presence.entry(line).or_default();
+        let entry = self.nodes[n]
+            .presence
+            .get_or_insert_with(line, Presence::default);
         entry.add(slot);
         if state.writable() {
             entry.owner = Some(slot);
@@ -829,10 +841,10 @@ impl Machine {
             .l2
             .invalidate(line)
             .map(|(_, payload)| payload);
-        if let Some(entry) = self.nodes[n].presence.get_mut(&line) {
+        if let Some(entry) = self.nodes[n].presence.get_mut(line) {
             entry.remove(slot);
             if !entry.any() {
-                self.nodes[n].presence.remove(&line);
+                self.nodes[n].presence.remove(line);
             }
         }
         out
@@ -847,7 +859,7 @@ impl Machine {
         line: LineAddr,
         except: Option<u8>,
     ) -> Option<u64> {
-        let pres = match self.nodes[n].presence.get(&line) {
+        let pres = match self.nodes[n].presence.get(line) {
             Some(p) => *p,
             None => return None,
         };
@@ -870,13 +882,13 @@ impl Machine {
     /// Downgrades the local Modified owner of `line` to Shared and returns
     /// its payload (the caller updates memory).
     pub(crate) fn downgrade_local_owner(&mut self, n: usize, line: LineAddr) -> Option<u64> {
-        let owner_slot = self.nodes[n].presence.get(&line)?.owner?;
+        let owner_slot = self.nodes[n].presence.get(line)?.owner?;
         let p = self.proc_index(n, owner_slot);
         let payload = self.procs[p].l2.payload_of(line)?;
         self.procs[p].l2.set_state(line, LineState::Shared);
         self.nodes[n]
             .presence
-            .get_mut(&line)
+            .get_mut(line)
             .expect("presence")
             .owner = None;
         Some(payload)
@@ -896,10 +908,10 @@ impl Machine {
         let n = self.procs[p].node;
         let slot = self.procs[p].slot;
         self.procs[p].l1.invalidate(line);
-        if let Some(entry) = self.nodes[n].presence.get_mut(&line) {
+        if let Some(entry) = self.nodes[n].presence.get_mut(line) {
             entry.remove(slot);
             if !entry.any() {
-                self.nodes[n].presence.remove(&line);
+                self.nodes[n].presence.remove(line);
             }
         }
         if state != LineState::Modified {
@@ -908,7 +920,7 @@ impl Machine {
             let home = self.map.home_of(line);
             if self.cfg.replacement_hints
                 && home.index() != n
-                && !self.nodes[n].presence.contains_key(&line)
+                && !self.nodes[n].presence.contains_key(line)
             {
                 let msg = Msg {
                     kind: ccn_protocol::MsgKind::ReplacementHint,
@@ -979,7 +991,7 @@ impl Machine {
     ) {
         let mshr = self.nodes[n]
             .mshr
-            .remove(&line)
+            .remove(line)
             .unwrap_or_else(|| panic!("response for {line} without an MSHR on node {n}"));
         debug_assert!(
             mshr.kind == DirRequestKind::Read || exclusive,
@@ -1088,7 +1100,9 @@ impl Machine {
                     .iter()
                     .map(|(k, &v)| (k.paper_label().to_string(), v))
                     .collect();
-                counts.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+                // Sort by label as the tie-break so the report order is
+                // fully deterministic, not an artifact of map iteration.
+                counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                 counts
             },
             miss_latency_ns: (
@@ -1133,7 +1147,7 @@ impl Machine {
             if !node.mshr.is_empty() {
                 return Err(format!(
                     "node {n} has outstanding MSHRs: {:?}",
-                    node.mshr.keys()
+                    node.mshr.iter().map(|(l, _)| l).collect::<Vec<_>>()
                 ));
             }
             if !node.cc.is_drained() {
@@ -1148,7 +1162,7 @@ impl Machine {
             }
         }
         // Gather global copies per line.
-        let mut copies: HashMap<LineAddr, Vec<(usize, LineState, u64)>> = HashMap::new();
+        let mut copies: FxHashMap<LineAddr, Vec<(usize, LineState, u64)>> = FxHashMap::default();
         for (i, proc) in self.procs.iter().enumerate() {
             for (line, state, payload) in proc.l2.iter_resident() {
                 copies.entry(line).or_default().push((i, state, payload));
@@ -1166,7 +1180,7 @@ impl Machine {
                 return Err(format!("line {line} mixes writable and shared copies"));
             }
             let home = self.map.home_of(*line);
-            let latest = self.versions.get(line).copied().unwrap_or(0);
+            let latest = self.versions.get(*line).copied().unwrap_or(0);
             let dir_state = self.nodes[home.index()].dir.state_of(*line);
             for &(p, state, payload) in holders {
                 let holder_node = self.procs[p].node;
@@ -1192,7 +1206,7 @@ impl Machine {
             // If nobody holds the line dirty, memory must have the latest
             // version.
             if writable.is_empty() && latest > 0 {
-                let mem = self.memory.get(line).copied().unwrap_or(0);
+                let mem = self.memory.get(*line).copied().unwrap_or(0);
                 if mem != latest {
                     return Err(format!(
                         "line {line}: memory has version {mem}, latest write was {latest}"
@@ -1211,11 +1225,13 @@ impl Machine {
     /// identical snapshots. This is what the `ccn-verify` differential
     /// conformance layer compares across HWC/PPC/2HWC/2PPC.
     pub fn functional_snapshot(&self) -> FunctionalSnapshot {
-        let mut versions: Vec<(u64, u64)> = self.versions.iter().map(|(l, &v)| (l.0, v)).collect();
+        let mut versions: Vec<(u64, u64)> = Vec::with_capacity(self.versions.len());
+        versions.extend(self.versions.iter().map(|(l, &v)| (l.0, v)));
         versions.sort_unstable();
-        let mut memory: Vec<(u64, u64)> = self.memory.iter().map(|(l, &v)| (l.0, v)).collect();
+        let mut memory: Vec<(u64, u64)> = Vec::with_capacity(self.memory.len());
+        memory.extend(self.memory.iter().map(|(l, &v)| (l.0, v)));
         memory.sort_unstable();
-        let mut directory: Vec<(u64, u16, String)> = Vec::new();
+        let mut directory: Vec<(u64, u16, String)> = Vec::with_capacity(64);
         for (n, node) in self.nodes.iter().enumerate() {
             for (line, state, busy) in node.dir.iter_states() {
                 if state != DirState::Uncached || busy {
@@ -1352,7 +1368,7 @@ mod tests {
         // Every line's version counter must equal at least the number of
         // sweeps that wrote it (3 RW sweeps + 0 init writes... the init
         // writes count too: versions strictly positive for written lines).
-        assert!(machine.versions.values().all(|&v| v > 0));
+        assert!(machine.versions.iter().all(|(_, &v)| v > 0));
         machine.check_quiescent().unwrap();
     }
 }

@@ -2,13 +2,12 @@
 
 use ccn_bus::SmpBus;
 use ccn_controller::{CoherenceController, DirCache};
-use ccn_mem::{LineAddr, MemoryBanks};
+use ccn_mem::{LineAddr, LineTable, MemoryBanks};
 use ccn_net::Network;
 use ccn_protocol::directory::Directory;
 use ccn_protocol::handlers::{HandlerSpec, Step};
 use ccn_protocol::subop::{OccupancyTable, SubOp};
 use ccn_sim::{Cycle, Server};
-use std::collections::HashMap;
 
 use crate::config::SystemConfig;
 use crate::machine::{Mshr, Presence};
@@ -47,9 +46,9 @@ pub(crate) struct NodeState {
     pub dir_dram: Server,
     /// Which local processors cache each line (bus-side duplicate
     /// directory + L2 snoop state, folded together).
-    pub presence: HashMap<LineAddr, Presence>,
+    pub presence: LineTable<Presence>,
     /// Outstanding node-level transactions by line.
-    pub mshr: HashMap<LineAddr, Mshr>,
+    pub mshr: LineTable<Mshr>,
 }
 
 /// Timing results of executing a handler's step list.
@@ -154,15 +153,22 @@ pub(crate) fn run_steps(
 
 /// Builds the hardware of one node.
 pub(crate) fn new_node(cfg: &SystemConfig, node_id: ccn_mem::NodeId) -> NodeState {
+    // Pre-size the hot per-line tables so the steady state never pays a
+    // rehash: the directory tracks a slice of the node's remotely-cached
+    // home lines (an eighth of the directory cache is comfortably past
+    // every reference working set without bloating small machines), the
+    // presence table at most the local L2 contents, and the MSHR table
+    // one outstanding miss per local processor plus forwarded traffic.
+    let dir_lines = (cfg.dir_cache_entries as usize / 8).max(64);
     NodeState {
         bus: SmpBus::new(cfg.bus),
         memory: MemoryBanks::new(cfg.lat.mem_banks, cfg.lat.mem_bank_occupancy),
         cc: CoherenceController::new(cfg.engines),
-        dir: Directory::new(node_id),
+        dir: Directory::with_capacity(node_id, dir_lines),
         dircache: DirCache::new(cfg.dir_cache_entries),
         dir_dram: Server::new("directory dram"),
-        presence: HashMap::new(),
-        mshr: HashMap::new(),
+        presence: LineTable::with_capacity(dir_lines),
+        mshr: LineTable::with_capacity(cfg.procs_per_node * 4),
     }
 }
 

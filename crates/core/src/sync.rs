@@ -5,10 +5,10 @@
 //! release all arrivals after a fixed overhead; locks grant in FIFO order
 //! with an acquisition cost when free and a hand-off cost when contended.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use ccn_mem::ProcId;
-use ccn_sim::Cycle;
+use ccn_sim::{Cycle, FxHashMap};
 
 /// Outcome of a processor arriving at a barrier.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,8 +56,8 @@ pub struct SyncState {
     barrier_cost: Cycle,
     lock_cost: Cycle,
     handoff_cost: Cycle,
-    barriers: HashMap<u32, BarrierState>,
-    locks: HashMap<u32, LockState>,
+    barriers: FxHashMap<u32, BarrierState>,
+    locks: FxHashMap<u32, LockState>,
     barrier_episodes: u64,
     lock_acquisitions: u64,
     lock_contended: u64,
@@ -71,8 +71,8 @@ impl SyncState {
             barrier_cost,
             lock_cost,
             handoff_cost,
-            barriers: HashMap::new(),
-            locks: HashMap::new(),
+            barriers: FxHashMap::default(),
+            locks: FxHashMap::default(),
             barrier_episodes: 0,
             lock_acquisitions: 0,
             lock_contended: 0,

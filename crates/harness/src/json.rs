@@ -72,6 +72,48 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Multi-line, two-space-indented rendering, for artifacts meant to be
+    /// read (and diffed) by humans. Parses back to the same value.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.pretty_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn pretty_into(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write as _;
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{:1$}", "", (indent + 1) * 2);
+                    item.pretty_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{:1$}]", "", indent * 2);
+            }
+            Json::Obj(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "{:1$}{2}: ",
+                        "",
+                        (indent + 1) * 2,
+                        Json::Str(k.clone())
+                    );
+                    v.pretty_into(out, indent + 1);
+                    out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{:1$}}}", "", indent * 2);
+            }
+            other => {
+                let _ = write!(out, "{other}");
+            }
+        }
+    }
 }
 
 impl fmt::Display for Json {
@@ -377,6 +419,26 @@ mod tests {
         ]);
         let text = v.to_string();
         assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_rendering_parses_back_to_the_same_value() {
+        let v = Json::obj([
+            ("name", Json::Str("bench \"quote\"".into())),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(std::collections::BTreeMap::new())),
+            (
+                "nested",
+                Json::obj([(
+                    "cases",
+                    Json::Arr(vec![Json::UInt(1), Json::Num(0.5), Json::Null]),
+                )]),
+            ),
+        ]);
+        let pretty = v.render_pretty();
+        assert!(pretty.contains('\n'), "pretty output is multi-line");
+        assert!(pretty.ends_with('\n'), "artifact files end with a newline");
+        assert_eq!(parse(&pretty).unwrap(), v);
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Set-associative LRU cache with MESI line states.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! The tag store is a single flat `Vec` of ways; a probe compares the
+//! tags of one set's ways (at most the associativity, typically 4)
+//! directly in that array. There are no side maps: residency is the tag
+//! match itself and the eviction pin is a bit in the way, so the probe
+//! and fill paths — the hottest in the whole simulator — allocate
+//! nothing and touch one cache-resident run of memory.
 
 use crate::addr::LineAddr;
 
@@ -131,6 +136,9 @@ struct Way {
     last_use: u64,
     /// Data payload carried for protocol checking (a write version number).
     payload: u64,
+    /// Excluded from victim selection while an outstanding transaction
+    /// depends on the line staying resident.
+    pinned: bool,
 }
 
 const EMPTY_WAY: Way = Way {
@@ -138,6 +146,7 @@ const EMPTY_WAY: Way = Way {
     state: LineState::Invalid,
     last_use: 0,
     payload: 0,
+    pinned: false,
 };
 
 /// Outcome of [`SetAssocCache::fill`]: the line that had to be displaced, if
@@ -172,15 +181,13 @@ pub struct Eviction {
 pub struct SetAssocCache {
     geometry: CacheGeometry,
     set_mask: u64,
+    set_bits: u32,
     ways_per_set: usize,
     ways: Vec<Way>,
     tick: u64,
     stats: CacheStats,
-    /// Map from resident line to way index, for O(1) probes at scale.
-    resident: HashMap<LineAddr, u32>,
-    /// Lines that must not be chosen as eviction victims (lines with an
-    /// outstanding upgrade transaction pin themselves until it completes).
-    pinned: HashSet<LineAddr>,
+    /// Number of non-Invalid ways, maintained incrementally.
+    resident: usize,
 }
 
 impl SetAssocCache {
@@ -195,12 +202,12 @@ impl SetAssocCache {
         SetAssocCache {
             geometry,
             set_mask: sets - 1,
+            set_bits: (sets - 1).count_ones(),
             ways_per_set,
             ways: vec![EMPTY_WAY; (sets as usize) * ways_per_set],
             tick: 0,
             stats: CacheStats::default(),
-            resident: HashMap::new(),
-            pinned: HashSet::new(),
+            resident: 0,
         }
     }
 
@@ -223,8 +230,16 @@ impl SetAssocCache {
         (line.0 & self.set_mask) as usize
     }
 
+    /// Index of the way holding `line`, found by comparing the tags of
+    /// its set's ways (a handful of adjacent words — no hashing).
+    #[inline]
     fn slot(&self, line: LineAddr) -> Option<usize> {
-        self.resident.get(&line).map(|&w| w as usize)
+        let tag = line.0 >> self.set_bits;
+        let base = self.set_of(line) * self.ways_per_set;
+        self.ways[base..base + self.ways_per_set]
+            .iter()
+            .position(|w| w.state != LineState::Invalid && w.tag == tag)
+            .map(|i| base + i)
     }
 
     /// The MESI state of `line` (Invalid if not resident). Does not touch
@@ -296,8 +311,7 @@ impl SetAssocCache {
                 victim = i;
                 break;
             }
-            let resident_line = self.line_in_way(i, self.ways[i].tag);
-            if self.ways[i].last_use < best && !self.pinned.contains(&resident_line) {
+            if self.ways[i].last_use < best && !self.ways[i].pinned {
                 best = self.ways[i].last_use;
                 victim = i;
             }
@@ -309,7 +323,7 @@ impl SetAssocCache {
         let evicted = if self.ways[victim].state != LineState::Invalid {
             let old = self.ways[victim];
             let old_line = self.line_in_way(victim, old.tag);
-            self.resident.remove(&old_line);
+            self.resident -= 1;
             if old.state.dirty() {
                 self.stats.dirty_evictions += 1;
             } else {
@@ -324,22 +338,19 @@ impl SetAssocCache {
             None
         };
         self.ways[victim] = Way {
-            tag: line.0 >> self.set_bits(),
+            tag: line.0 >> self.set_bits,
             state,
             last_use: self.tick,
             payload,
+            pinned: false,
         };
-        self.resident.insert(line, victim as u32);
+        self.resident += 1;
         evicted
-    }
-
-    fn set_bits(&self) -> u32 {
-        self.set_mask.count_ones()
     }
 
     fn line_in_way(&self, way_index: usize, tag: u64) -> LineAddr {
         let set = (way_index / self.ways_per_set) as u64;
-        LineAddr((tag << self.set_bits()) | set)
+        LineAddr((tag << self.set_bits) | set)
     }
 
     /// Changes the state of a resident line (upgrade, downgrade, or snoop
@@ -354,7 +365,8 @@ impl SetAssocCache {
             .unwrap_or_else(|| panic!("set_state on non-resident line {line}"));
         if state == LineState::Invalid {
             self.ways[i].state = LineState::Invalid;
-            self.resident.remove(&line);
+            self.ways[i].pinned = false;
+            self.resident -= 1;
         } else {
             self.ways[i].state = state;
         }
@@ -367,7 +379,8 @@ impl SetAssocCache {
         let i = self.slot(line)?;
         let old = self.ways[i];
         self.ways[i].state = LineState::Invalid;
-        self.resident.remove(&line);
+        self.ways[i].pinned = false;
+        self.resident -= 1;
         Some((old.state, old.payload))
     }
 
@@ -386,29 +399,32 @@ impl SetAssocCache {
     /// Pins a resident line against eviction (an outstanding transaction
     /// depends on it staying resident).
     pub fn pin(&mut self, line: LineAddr) {
-        debug_assert!(self.slot(line).is_some(), "pin of non-resident {line}");
-        self.pinned.insert(line);
+        let i = self.slot(line);
+        debug_assert!(i.is_some(), "pin of non-resident {line}");
+        if let Some(i) = i {
+            self.ways[i].pinned = true;
+        }
     }
 
-    /// Releases a pin. Idempotent.
+    /// Releases a pin. Idempotent (a no-op on non-resident lines).
     pub fn unpin(&mut self, line: LineAddr) {
-        self.pinned.remove(&line);
+        if let Some(i) = self.slot(line) {
+            self.ways[i].pinned = false;
+        }
     }
 
     /// Iterates over all resident lines as `(line, state, payload)`.
     pub fn iter_resident(&self) -> impl Iterator<Item = (LineAddr, LineState, u64)> + '_ {
-        self.resident.iter().map(move |(&line, &w)| {
-            (
-                line,
-                self.ways[w as usize].state,
-                self.ways[w as usize].payload,
-            )
-        })
+        self.ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.state != LineState::Invalid)
+            .map(|(i, w)| (self.line_in_way(i, w.tag), w.state, w.payload))
     }
 
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.resident.len()
+        self.resident
     }
 }
 

@@ -19,7 +19,9 @@
 pub mod addr;
 pub mod cache;
 pub mod memory;
+pub mod table;
 
 pub use addr::{AddressMap, LineAddr, NodeId, PageMap, ProcId};
 pub use cache::{AccessKind, CacheGeometry, CacheStats, Eviction, LineState, SetAssocCache};
 pub use memory::MemoryBanks;
+pub use table::LineTable;

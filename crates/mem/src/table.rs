@@ -1,0 +1,295 @@
+//! A flat open-addressed table keyed by cache-line address.
+//!
+//! The directory and the per-node coherence bookkeeping (presence
+//! vectors, MSHRs, line versions) are all maps from [`LineAddr`] to a
+//! small value, hit on every memory reference the simulator executes.
+//! A general-purpose `HashMap` pays for that generality twice on this
+//! path: SipHash on a key that is already a well-distributed integer,
+//! and a heap indirection per bucket group. [`LineTable`] strips both
+//! away — one multiply to mix the address, linear probing in a flat
+//! `Vec`, and backward-shift deletion so lookups never wade through
+//! tombstones.
+//!
+//! Iteration order is the table's probe order, which depends on
+//! insertion history — exactly like `HashMap`, anything canonical must
+//! sort. The simulator's digest and artifact paths already do.
+
+use crate::addr::LineAddr;
+
+/// Multiplicative mixer (same odd constant as the sim-side fast hash):
+/// spreads sequential line addresses across the table.
+const MIX: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A flat open-addressed map from [`LineAddr`] to `V`.
+///
+/// Capacity is always a power of two and the table grows at 3/4 load,
+/// so probe chains stay short. Use [`with_capacity`](Self::with_capacity)
+/// to pre-size from the machine configuration and avoid rehashing during
+/// a run.
+#[derive(Clone, Debug)]
+pub struct LineTable<V> {
+    /// `None` = empty slot; `Some((line, value))` = occupied.
+    slots: Vec<Option<(u64, V)>>,
+    /// Occupied count.
+    len: usize,
+    /// `slots.len() - 1`; capacity is a power of two.
+    mask: usize,
+}
+
+impl<V> LineTable<V> {
+    /// An empty table with a minimal footprint.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty table pre-sized to hold `entries` lines without growing.
+    pub fn with_capacity(entries: usize) -> Self {
+        // 3/4 load factor: size so `entries` fits below the growth
+        // threshold, with a floor of 8 slots.
+        let cap = (entries * 4 / 3 + 1).next_power_of_two().max(8);
+        let mut slots = Vec::new();
+        slots.resize_with(cap, || None);
+        LineTable {
+            slots,
+            len: 0,
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, line: LineAddr) -> usize {
+        (line.0.wrapping_mul(MIX) >> 32) as usize & self.mask
+    }
+
+    /// Number of lines in the table.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index of the slot holding `line`, if present.
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let mut i = self.slot_of(line);
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == line.0 => return Some(i),
+                Some(_) => i = (i + 1) & self.mask,
+                None => return None,
+            }
+        }
+    }
+
+    /// The value stored for `line`, if any.
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> Option<&V> {
+        self.find(line)
+            .map(|i| &self.slots[i].as_ref().expect("occupied slot").1)
+    }
+
+    /// Mutable access to the value stored for `line`, if any.
+    #[inline]
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut V> {
+        let i = self.find(line)?;
+        Some(&mut self.slots[i].as_mut().expect("occupied slot").1)
+    }
+
+    /// Whether `line` has an entry.
+    #[inline]
+    pub fn contains_key(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Inserts or replaces the value for `line`, returning the previous
+    /// value if there was one.
+    pub fn insert(&mut self, line: LineAddr, value: V) -> Option<V> {
+        self.grow_if_needed();
+        let mut i = self.slot_of(line);
+        loop {
+            match &mut self.slots[i] {
+                Some((k, v)) if *k == line.0 => {
+                    return Some(std::mem::replace(v, value));
+                }
+                Some(_) => i = (i + 1) & self.mask,
+                None => {
+                    self.slots[i] = Some((line.0, value));
+                    self.len += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// The value for `line`, inserting `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, line: LineAddr, default: impl FnOnce() -> V) -> &mut V {
+        self.grow_if_needed();
+        let mut i = self.slot_of(line);
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == line.0 => break,
+                Some(_) => i = (i + 1) & self.mask,
+                None => {
+                    self.slots[i] = Some((line.0, default()));
+                    self.len += 1;
+                    break;
+                }
+            }
+        }
+        &mut self.slots[i].as_mut().expect("occupied slot").1
+    }
+
+    /// Removes and returns the value for `line`, if present.
+    ///
+    /// Uses backward-shift deletion: subsequent entries of the probe
+    /// chain slide back over the hole, so the table never accumulates
+    /// tombstones and lookup cost stays proportional to load.
+    pub fn remove(&mut self, line: LineAddr) -> Option<V> {
+        let mut hole = self.find(line)?;
+        let (_, value) = self.slots[hole].take().expect("occupied slot");
+        self.len -= 1;
+        // Slide the rest of the cluster back.
+        let mut i = (hole + 1) & self.mask;
+        while let Some((k, _)) = &self.slots[i] {
+            let home = self.slot_of(LineAddr(*k));
+            // `i` is movable into `hole` iff its home slot does not sit
+            // strictly between the hole and `i` (cyclically): moving it
+            // would otherwise break its own probe chain.
+            let between = if hole <= i {
+                home > hole && home <= i
+            } else {
+                home > hole || home <= i
+            };
+            if !between {
+                self.slots[hole] = self.slots[i].take();
+                hole = i;
+            }
+            i = (i + 1) & self.mask;
+        }
+        Some(value)
+    }
+
+    /// Iterates over `(line, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (LineAddr(*k), v)))
+    }
+
+    fn grow_if_needed(&mut self) {
+        if self.len * 4 < self.slots.len() * 3 {
+            return;
+        }
+        let new_cap = self.slots.len() * 2;
+        let mut bigger = Vec::new();
+        bigger.resize_with(new_cap, || None);
+        let old = std::mem::replace(&mut self.slots, bigger);
+        self.mask = new_cap - 1;
+        for entry in old.into_iter().flatten() {
+            let mut i = self.slot_of(LineAddr(entry.0));
+            while self.slots[i].is_some() {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = Some(entry);
+        }
+    }
+}
+
+impl<V> Default for LineTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = LineTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(LineAddr(0x40), "a"), None);
+        assert_eq!(t.insert(LineAddr(0x80), "b"), None);
+        assert_eq!(t.insert(LineAddr(0x40), "a2"), Some("a"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(LineAddr(0x40)), Some(&"a2"));
+        assert!(t.contains_key(LineAddr(0x80)));
+        assert_eq!(t.remove(LineAddr(0x40)), Some("a2"));
+        assert_eq!(t.remove(LineAddr(0x40)), None);
+        assert_eq!(t.get(LineAddr(0x40)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_or_insert_with_inserts_once() {
+        let mut t = LineTable::new();
+        *t.get_or_insert_with(LineAddr(7), || 10) += 1;
+        *t.get_or_insert_with(LineAddr(7), || 10) += 1;
+        assert_eq!(t.get(LineAddr(7)), Some(&12));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn with_capacity_does_not_grow_below_requested_size() {
+        let mut t = LineTable::with_capacity(1000);
+        let initial_slots = t.slots.len();
+        for i in 0..1000u64 {
+            t.insert(LineAddr(i * 64), i);
+        }
+        assert_eq!(t.slots.len(), initial_slots, "pre-sized table regrew");
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn zero_capacity_table_still_works() {
+        let mut t = LineTable::with_capacity(0);
+        for i in 0..100u64 {
+            t.insert(LineAddr(i), i);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(LineAddr(99)), Some(&99));
+    }
+
+    /// Differential check against `HashMap` under a mixed workload, with
+    /// sequential line addresses (the adversarial case for a weak mixer
+    /// plus linear probing) and heavy deletion (exercising the
+    /// backward-shift path, including clusters that wrap the table end).
+    #[test]
+    fn matches_hashmap_under_churn() {
+        let mut t: LineTable<u64> = LineTable::new();
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        for step in 0..50_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Small key space forces constant collisions and re-insertion
+            // over freshly deleted slots.
+            let line = (state >> 33) % 512;
+            match state % 3 {
+                0 => {
+                    assert_eq!(t.insert(LineAddr(line), step), m.insert(line, step));
+                }
+                1 => {
+                    assert_eq!(t.remove(LineAddr(line)), m.remove(&line));
+                }
+                _ => {
+                    assert_eq!(t.get(LineAddr(line)), m.get(&line));
+                    if let Some(v) = t.get_mut(LineAddr(line)) {
+                        *v += 1;
+                        *m.get_mut(&line).unwrap() += 1;
+                    }
+                }
+            }
+            assert_eq!(t.len(), m.len());
+        }
+        let mut got: Vec<(u64, u64)> = t.iter().map(|(k, v)| (k.0, *v)).collect();
+        let mut want: Vec<(u64, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

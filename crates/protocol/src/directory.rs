@@ -12,9 +12,9 @@
 //! completes (the paper's protocol serializes at the home; we buffer
 //! instead of NACK-retrying — see DESIGN.md).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use ccn_mem::{LineAddr, NodeId};
+use ccn_mem::{LineAddr, LineTable, NodeId};
 
 /// A set of nodes, stored as a 64-bit presence bitmap (the machine tops out
 /// at 64 nodes, paper systems use 8–64).
@@ -229,7 +229,10 @@ impl Entry {
 #[derive(Debug, Clone)]
 pub struct Directory {
     home: NodeId,
-    entries: HashMap<LineAddr, Entry>,
+    /// Per-line entries in a flat open-addressed table: directory lookup
+    /// is the hot edge of every remote miss, so it must not hash-and-chase
+    /// through a general-purpose map.
+    entries: LineTable<Entry>,
     /// Requests buffered because the line was busy (for statistics).
     buffered: u64,
 }
@@ -237,9 +240,15 @@ pub struct Directory {
 impl Directory {
     /// Creates the directory for home node `home`.
     pub fn new(home: NodeId) -> Self {
+        Self::with_capacity(home, 0)
+    }
+
+    /// Creates the directory pre-sized for about `lines` tracked lines, so
+    /// the steady-state working set never pays a rehash.
+    pub fn with_capacity(home: NodeId, lines: usize) -> Self {
         Directory {
             home,
-            entries: HashMap::new(),
+            entries: LineTable::with_capacity(lines),
             buffered: 0,
         }
     }
@@ -252,13 +261,13 @@ impl Directory {
     /// Stable state of `line` (`Uncached` if never touched).
     pub fn state_of(&self, line: LineAddr) -> DirState {
         self.entries
-            .get(&line)
+            .get(line)
             .map_or(DirState::Uncached, |e| e.state)
     }
 
     /// Whether `line` has an outstanding transaction.
     pub fn is_busy(&self, line: LineAddr) -> bool {
-        self.entries.get(&line).is_some_and(|e| e.busy.is_some())
+        self.entries.get(line).is_some_and(|e| e.busy.is_some())
     }
 
     /// Number of requests that were buffered behind busy lines.
@@ -267,7 +276,7 @@ impl Directory {
     }
 
     fn entry(&mut self, line: LineAddr) -> &mut Entry {
-        self.entries.entry(line).or_insert_with(Entry::new)
+        self.entries.get_or_insert_with(line, Entry::new)
     }
 
     /// Presents a request. See [`DirOutcome`].
@@ -544,7 +553,7 @@ impl Directory {
 
     /// Whether invalidation acks remain outstanding for `line`.
     pub fn acks_outstanding(&self, line: LineAddr) -> u16 {
-        match self.entries.get(&line).and_then(|e| e.busy.as_ref()) {
+        match self.entries.get(line).and_then(|e| e.busy.as_ref()) {
             Some(Busy::AcksPending { remaining, .. }) => *remaining,
             _ => 0,
         }
@@ -554,7 +563,7 @@ impl Directory {
     /// line is idle and `node` really is a sharer — hints can race with
     /// anything and must never affect correctness.
     pub fn remove_sharer_hint(&mut self, line: LineAddr, node: NodeId) {
-        let Some(entry) = self.entries.get_mut(&line) else {
+        let Some(entry) = self.entries.get_mut(line) else {
             return;
         };
         if entry.busy.is_some() {
@@ -575,7 +584,7 @@ impl Directory {
     /// If `line` is idle and has buffered requests, removes and returns the
     /// oldest one so the machine can replay it.
     pub fn pop_pending_if_idle(&mut self, line: LineAddr) -> Option<DirRequest> {
-        let entry = self.entries.get_mut(&line)?;
+        let entry = self.entries.get_mut(line)?;
         if entry.busy.is_none() {
             entry.pending.pop_front()
         } else {
@@ -588,7 +597,7 @@ impl Directory {
     pub fn iter_states(&self) -> impl Iterator<Item = (LineAddr, DirState, bool)> + '_ {
         self.entries
             .iter()
-            .map(|(&l, e)| (l, e.state, e.busy.is_some()))
+            .map(|(l, e)| (l, e.state, e.busy.is_some()))
     }
 
     /// Appends a canonical byte encoding of the directory's *complete*
@@ -616,19 +625,20 @@ impl Directory {
             push_node(out, r.requester);
         }
 
-        let mut lines: Vec<&LineAddr> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| {
-                e.state != DirState::Uncached || e.busy.is_some() || !e.pending.is_empty()
-            })
-            .map(|(l, _)| l)
-            .collect();
-        lines.sort();
+        // One exactly-sized allocation for the sort scratch; the encoding
+        // itself is ~20 bytes per line, reserved up front so `out` does
+        // not regrow while the lines are appended.
+        let mut lines: Vec<LineAddr> = Vec::with_capacity(self.entries.len());
+        lines.extend(self.entries.iter().filter_map(|(l, e)| {
+            (e.state != DirState::Uncached || e.busy.is_some() || !e.pending.is_empty())
+                .then_some(l)
+        }));
+        lines.sort_unstable_by_key(|l| l.0);
         push_node(out, self.home);
+        out.reserve(4 + lines.len() * 20);
         out.extend_from_slice(&(lines.len() as u32).to_le_bytes());
         for line in lines {
-            let e = &self.entries[line];
+            let e = self.entries.get(line).expect("line came from the table");
             out.extend_from_slice(&line.0.to_le_bytes());
             match e.state {
                 DirState::Uncached => out.push(0),

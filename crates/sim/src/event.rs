@@ -1,9 +1,26 @@
 //! Deterministic time-ordered event queue.
+//!
+//! Implemented as a calendar queue: a fixed wheel of per-cycle buckets
+//! covering the near future, with a binary-heap overflow for events
+//! scheduled beyond the wheel's horizon. Discrete-event simulators
+//! schedule almost exclusively a few tens to hundreds of cycles ahead
+//! (component latencies), so nearly every event takes the O(1)
+//! bucket path; the heap only sees rare far-future timers.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::Cycle;
+
+/// Log2 of the wheel size. 1024 cycles comfortably covers every
+/// component latency in the simulated machine (the slowest single hop,
+/// uncontended DRAM plus network, is well under 300 CPU cycles), so the
+/// overflow heap is cold in practice.
+const WHEEL_BITS: u32 = 10;
+/// Cycles (and buckets) covered by the wheel window `[base, base+SPAN)`.
+const WHEEL_SPAN: Cycle = 1 << WHEEL_BITS;
+/// Maps an absolute cycle to its bucket index.
+const WHEEL_MASK: Cycle = WHEEL_SPAN - 1;
 
 /// A deterministic discrete-event queue.
 ///
@@ -26,32 +43,56 @@ use crate::Cycle;
 /// assert_eq!(q.pop(), Some((20, "c")));
 /// assert_eq!(q.pop(), None);
 /// ```
+///
+/// # Invariants
+///
+/// * Every bucketed event's timestamp lies in `[base, base + SPAN)`, so a
+///   bucket only ever holds events of a single absolute cycle and needs no
+///   per-event timestamp or ordering key — insertion order *is* FIFO order.
+/// * Every overflow event's timestamp is `>= base + SPAN` (restored by
+///   migration at the top of each [`pop`](Self::pop)). Because migration
+///   runs before any later `schedule` call can add a same-cycle event to a
+///   bucket, migrated (earlier-scheduled) events always land in front:
+///   global FIFO order is preserved without storing sequence numbers in
+///   the wheel.
+/// * `now <= `(every pending timestamp), enforced by the scheduling
+///   assertion, so sliding `base` up to `now` never strands an event
+///   behind the window.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// `SPAN` buckets; bucket `t & MASK` holds the events for cycle `t`.
+    wheel: Box<[VecDeque<E>]>,
+    /// Events in the wheel (the buckets' total length).
+    wheel_len: usize,
+    /// Start of the wheel's window; only ever advances.
+    base: Cycle,
+    /// Events at or beyond `base + SPAN`, ordered by `(time, seq)`.
+    overflow: BinaryHeap<Far<E>>,
+    /// Scheduling sequence number; doubles as the lifetime event count.
     seq: u64,
     now: Cycle,
-    scheduled: u64,
 }
 
+/// An overflow (far-future) event. The sequence number breaks timestamp
+/// ties so same-cycle events migrate to their bucket in FIFO order.
 #[derive(Debug)]
-struct Entry<E> {
+struct Far<E> {
     key: Reverse<(Cycle, u64)>,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl<E> PartialEq for Far<E> {
     fn eq(&self, other: &Self) -> bool {
         self.key == other.key
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl<E> Eq for Far<E> {}
+impl<E> PartialOrd for Far<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl<E> Ord for Far<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.key.cmp(&other.key)
     }
@@ -60,11 +101,26 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at cycle zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue pre-sized for about `events` concurrently
+    /// pending events, so warm-up (e.g. scheduling every processor's
+    /// initial resume at cycle zero) never reallocates.
+    pub fn with_capacity(events: usize) -> Self {
+        let mut wheel = Vec::with_capacity(WHEEL_SPAN as usize);
+        // Warm-up schedules everything at cycle zero: give that bucket
+        // its capacity up front. The other buckets allocate lazily on
+        // first use.
+        wheel.push(VecDeque::with_capacity(events));
+        wheel.resize_with(WHEEL_SPAN as usize, VecDeque::new);
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: wheel.into_boxed_slice(),
+            wheel_len: 0,
+            base: 0,
+            overflow: BinaryHeap::new(),
             seq: 0,
             now: 0,
-            scheduled: 0,
         }
     }
 
@@ -82,26 +138,81 @@ impl<E> EventQueue<E> {
             self.now
         );
         self.seq += 1;
-        self.scheduled += 1;
-        self.heap.push(Entry {
-            key: Reverse((time, self.seq)),
-            event,
-        });
+        // `time >= now >= base` outside of `pop`, so this subtraction
+        // cannot wrap.
+        if time - self.base < WHEEL_SPAN {
+            self.wheel[(time & WHEEL_MASK) as usize].push_back(event);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Far {
+                key: Reverse((time, self.seq)),
+                event,
+            });
+        }
     }
 
     /// Removes and returns the next event as `(time, event)`, advancing the
     /// clock to its timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let entry = self.heap.pop()?;
-        let Reverse((time, _)) = entry.key;
-        debug_assert!(time >= self.now);
-        self.now = time;
-        Some((time, entry.event))
+        if self.wheel_len == 0 {
+            // Either empty, or everything pending is far-future: jump the
+            // window straight to the earliest overflow timestamp.
+            let &Far {
+                key: Reverse((first, _)),
+                ..
+            } = self.overflow.peek()?;
+            self.base = first;
+        } else if self.base < self.now {
+            // Slide the window forward. Buckets for cycles before `now`
+            // are necessarily empty (their events would be in the past),
+            // so no wheel entry is stranded.
+            self.base = self.now;
+        }
+        // Pull newly-in-window overflow events into their buckets. Heap
+        // order is (time, seq), so same-cycle events arrive FIFO.
+        while let Some(&Far {
+            key: Reverse((t, _)),
+            ..
+        }) = self.overflow.peek()
+        {
+            if t - self.base >= WHEEL_SPAN {
+                break;
+            }
+            let far = self.overflow.pop().expect("peeked entry");
+            self.wheel[(t & WHEEL_MASK) as usize].push_back(far.event);
+            self.wheel_len += 1;
+        }
+        // The earliest pending event is now in the wheel, at or after
+        // max(base, now) and before base + SPAN. Empty buckets behind
+        // `now` are never rescanned, so the scan cost amortizes to
+        // O(time advanced) across a run.
+        let mut t = self.base.max(self.now);
+        loop {
+            debug_assert!(t < self.base + WHEEL_SPAN, "scan ran past the window");
+            if let Some(event) = self.wheel[(t & WHEEL_MASK) as usize].pop_front() {
+                self.wheel_len -= 1;
+                self.now = t;
+                return Some((t, event));
+            }
+            t += 1;
+        }
     }
 
     /// The timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.key.0 .0)
+        if self.wheel_len > 0 {
+            // The wheel's minimum beats everything in overflow (which is
+            // entirely at or beyond base + SPAN).
+            let mut t = self.base.max(self.now);
+            loop {
+                debug_assert!(t < self.base + WHEEL_SPAN, "peek ran past the window");
+                if !self.wheel[(t & WHEEL_MASK) as usize].is_empty() {
+                    return Some(t);
+                }
+                t += 1;
+            }
+        }
+        self.overflow.peek().map(|far| far.key.0 .0)
     }
 
     /// The current simulation time: the timestamp of the last popped event.
@@ -111,17 +222,17 @@ impl<E> EventQueue<E> {
 
     /// Number of events currently pending.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.overflow.len()
     }
 
     /// Whether the queue has no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel_len == 0 && self.overflow.is_empty()
     }
 
     /// Total number of events scheduled over the queue's lifetime.
     pub fn total_scheduled(&self) -> u64 {
-        self.scheduled
+        self.seq
     }
 }
 
@@ -194,5 +305,51 @@ mod tests {
         q.pop();
         assert_eq!(q.total_scheduled(), 2);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_survive_the_overflow_path() {
+        let mut q = EventQueue::new();
+        // Far beyond the wheel window, plus a near event.
+        q.schedule(5, "near");
+        q.schedule(1_000_000, "far-b");
+        q.schedule(1_000_000, "far-c"); // same-cycle tie across overflow
+        q.schedule(999_999, "far-a");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((5, "near")));
+        // The wheel is empty: the window must jump, not scan a million slots.
+        assert_eq!(q.peek_time(), Some(999_999));
+        assert_eq!(q.pop(), Some((999_999, "far-a")));
+        assert_eq!(q.pop(), Some((1_000_000, "far-b")));
+        assert_eq!(q.pop(), Some((1_000_000, "far-c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn migrated_and_direct_events_interleave_fifo() {
+        let mut q = EventQueue::new();
+        let target = 3 * WHEEL_SPAN; // starts out beyond the window
+        q.schedule(target, "scheduled-first");
+        // Walk the clock forward until `target` is inside the window,
+        // then schedule a same-cycle event directly into the bucket.
+        let mut t = 0;
+        while t + WHEEL_SPAN <= target {
+            q.schedule(t + 1, "tick");
+            let (pt, _) = q.pop().unwrap();
+            t = pt;
+        }
+        q.schedule(target, "scheduled-second");
+        assert_eq!(q.pop(), Some((target, "scheduled-first")));
+        assert_eq!(q.pop(), Some((target, "scheduled-second")));
+    }
+
+    #[test]
+    fn window_boundary_events_classify_correctly() {
+        let mut q = EventQueue::new();
+        q.schedule(WHEEL_SPAN - 1, "last-in-window");
+        q.schedule(WHEEL_SPAN, "first-beyond");
+        assert_eq!(q.pop(), Some((WHEEL_SPAN - 1, "last-in-window")));
+        assert_eq!(q.pop(), Some((WHEEL_SPAN, "first-beyond")));
+        assert_eq!(q.pop(), None);
     }
 }

@@ -1,0 +1,155 @@
+//! Deterministic fast hashing for simulator-side maps.
+//!
+//! The standard library's default hasher (SipHash with a per-process
+//! random key) is a sound default for data structures exposed to
+//! untrusted input, but every map in this workspace is keyed by values
+//! the simulator itself produces — line addresses, node ids, handler
+//! kinds. For those, SipHash costs more per lookup than the lookup
+//! itself, and its random seed makes iteration order vary from run to
+//! run, which is hostile to a simulator whose whole contract is
+//! determinism.
+//!
+//! [`FxHasher`] is the multiply-rotate hash used by the Rust compiler's
+//! own tables: a few ALU ops per word, zero setup, and fully
+//! deterministic. It offers no DoS resistance, so it must only ever see
+//! simulator-generated keys. Anything that feeds a digest or artifact
+//! must remain sort-based (see `encode_canonical` and
+//! `functional_snapshot`), never hash-iteration based, so reported
+//! results are independent of the hasher in use.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The odd multiplier from the Firefox/rustc "Fx" hash: close to
+/// 2^64 / phi, so consecutive keys spread across the table.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher for trusted keys.
+///
+/// State is folded one word at a time with rotate-xor-multiply. The
+/// rotate guarantees every input bit reaches every output bit after a
+/// couple of rounds; the multiply mixes within the word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold full words, then the tail. `chunks_exact` keeps this
+        // branch-light for the common 8-byte keys.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(word) | ((tail.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// Builds [`FxHasher`]s; stateless, so every map starts from the same
+/// (deterministic) hash state.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. For simulator-generated keys only.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`]. For simulator-generated keys only.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // Two independently-built hashers agree — no per-process seed.
+        assert_eq!(hash_of(&0xdead_beef_u64), hash_of(&0xdead_beef_u64));
+        assert_eq!(hash_of(&"line"), hash_of(&"line"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let a = hash_of(&1u64);
+        let b = hash_of(&2u64);
+        assert_ne!(a, b);
+        // Byte strings that differ only in length must not collide
+        // (the tail fold tags the length into the top byte).
+        assert_ne!(hash_of(&b"ab".as_slice()), hash_of(&b"ab\0".as_slice()));
+    }
+
+    #[test]
+    fn consecutive_u64_keys_spread_across_low_bits() {
+        // Hash tables index by the low bits; make sure sequential line
+        // addresses don't all land in one bucket.
+        let mut low_bits = std::collections::HashSet::new();
+        for k in 0u64..64 {
+            low_bits.insert(hash_of(&k) & 0x3f);
+        }
+        assert!(
+            low_bits.len() > 32,
+            "only {} distinct buckets",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn maps_and_sets_behave() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(7, 1);
+        m.insert(7, 2);
+        assert_eq!(m.get(&7), Some(&2));
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        assert!(s.insert("x"));
+        assert!(!s.insert("x"));
+    }
+}

@@ -40,11 +40,13 @@
 #![forbid(unsafe_code)]
 
 mod event;
+pub mod hash;
 mod rng;
 mod server;
 pub mod stats;
 
 pub use event::EventQueue;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SplitMix64;
 pub use server::Server;
 

@@ -8,7 +8,9 @@
 //! the system can always reach quiescence and that, once quiescent, the
 //! directory, the caches and memory agree.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use ccn_sim::FxHashMap;
 
 use crate::model::{Label, ModelConfig, ModelState};
 use crate::shrink;
@@ -124,7 +126,7 @@ impl Report {
 /// coverage report.
 pub fn explore(cfg: &ModelConfig, bounds: &Bounds) -> Report {
     let init = ModelState::new(cfg);
-    let mut visited: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut visited: FxHashMap<Vec<u8>, u32> = FxHashMap::default();
     // meta[id] = (parent id, label+note that produced the state)
     let mut meta: Vec<(u32, Option<Label>)> = Vec::new();
     let mut frontier: VecDeque<(u32, u32, ModelState)> = VecDeque::new();

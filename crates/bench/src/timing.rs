@@ -2,7 +2,7 @@
 //!
 //! The workspace builds with no registry dependencies, so the benches
 //! under `benches/` use this module instead of an external framework:
-//! each bench is a plain `fn main()` that calls [`bench`] per case and
+//! each bench is a plain `fn main()` that calls [`bench()`] per case and
 //! prints one summary line. Results are indicative (no outlier rejection
 //! or statistical testing) — they exist to catch order-of-magnitude
 //! regressions in the simulator's host-side cost, not to referee

@@ -19,7 +19,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use ccn_sim::{Cycle, Server, CPU_CYCLES_PER_BUS_CYCLE};
+use ccn_sim::{Component, ComponentStats, Cycle, Server, CPU_CYCLES_PER_BUS_CYCLE};
 
 /// The kind of transaction driven on a node's SMP bus.
 ///
@@ -165,6 +165,24 @@ impl SmpBus {
         self.address.reset_stats();
         self.data.reset_stats();
         self.transactions = 0;
+    }
+}
+
+impl Component for SmpBus {
+    fn component_name(&self) -> &'static str {
+        "bus"
+    }
+
+    fn stats_snapshot(&self) -> ComponentStats {
+        ComponentStats::named("bus")
+            .counter("transactions", self.transactions)
+            .gauge("mean_address_delay", self.mean_address_delay())
+            .child(self.address.stats_snapshot())
+            .child(self.data.stats_snapshot())
+    }
+
+    fn reset_stats(&mut self) {
+        SmpBus::reset_stats(self);
     }
 }
 

@@ -11,6 +11,7 @@
 //! background and never cause dirty evictions; only reads allocate.
 
 use ccn_mem::LineAddr;
+use ccn_sim::{Component, ComponentStats};
 
 /// Direct-mapped, write-through directory-entry cache (tags only).
 ///
@@ -103,6 +104,23 @@ impl DirCache {
     pub fn reset_stats(&mut self) {
         self.hits = 0;
         self.misses = 0;
+    }
+}
+
+impl Component for DirCache {
+    fn component_name(&self) -> &'static str {
+        "dircache"
+    }
+
+    fn stats_snapshot(&self) -> ComponentStats {
+        ComponentStats::named("dircache")
+            .counter("hits", self.hits)
+            .counter("misses", self.misses)
+            .gauge("hit_ratio", self.hit_ratio())
+    }
+
+    fn reset_stats(&mut self) {
+        DirCache::reset_stats(self);
     }
 }
 

@@ -283,6 +283,39 @@ impl<R> CoherenceController<R> {
     }
 }
 
+impl<R> ccn_sim::Component for CoherenceController<R> {
+    fn component_name(&self) -> &'static str {
+        "cc"
+    }
+
+    fn stats_snapshot(&self) -> ccn_sim::ComponentStats {
+        let agg = self.stats();
+        let mut snap = ccn_sim::ComponentStats::named("cc")
+            .counter("arrivals", agg.arrivals)
+            .counter("handled", agg.handled)
+            .counter("occupancy_cycles", agg.occupancy)
+            .gauge("mean_queue_delay", agg.queue_delay.mean());
+        for (idx, e) in self.engines.iter().enumerate() {
+            snap.children.push(
+                ccn_sim::ComponentStats::named(format!(
+                    "engine{idx}.{}",
+                    self.policy.role_label(idx)
+                ))
+                .counter("arrivals", e.stats.arrivals)
+                .counter("handled", e.stats.handled)
+                .counter("occupancy_cycles", e.stats.occupancy)
+                .gauge("mean_queue_delay", e.stats.queue_delay.mean())
+                .gauge("mean_interarrival", e.stats.interarrival.mean()),
+            );
+        }
+        snap
+    }
+
+    fn reset_stats(&mut self) {
+        CoherenceController::reset_stats(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

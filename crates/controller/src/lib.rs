@@ -15,10 +15,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arch;
 pub mod dircache;
 pub mod dispatch;
 pub mod policy;
 
+pub use arch::{arch_by_name, ControllerArch, ARCHITECTURES};
 pub use dircache::DirCache;
 pub use dispatch::{
     CoherenceController, ControllerStats, EngineRole, EngineStats, NUM_ENGINE_ROLES,

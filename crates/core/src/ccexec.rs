@@ -15,7 +15,7 @@ use ccn_protocol::subop::SubOp;
 use ccn_protocol::{Msg, MsgClass, MsgKind, NodeBitmap};
 use ccn_sim::Cycle;
 
-use crate::machine::{Event, Machine};
+use crate::machine::{Machine, CC_WORK};
 use crate::steps::{run_steps, send_msg, CcRequest, StepRun};
 
 impl Machine {
@@ -46,13 +46,7 @@ impl Machine {
         };
         self.nodes[n].cc.complete_handler(engine, now, end);
         if self.nodes[n].cc.has_work(engine) {
-            self.queue.schedule(
-                end,
-                Event::CcWork {
-                    node: n as u16,
-                    engine: engine as u8,
-                },
-            );
+            CC_WORK.send(&mut self.queue, end, (n as u16, engine as u8));
         }
     }
 
@@ -107,7 +101,7 @@ impl Machine {
     /// After a directory transaction completes, replay one buffered
     /// request if the line is idle.
     fn drain_pending(&mut self, n: usize, line: LineAddr, at: Cycle) {
-        if let Some(req) = self.nodes[n].dir.pop_pending_if_idle(line) {
+        if let Some(req) = self.nodes[n].mem.dir.pop_pending_if_idle(line) {
             let class = if req.requester.index() == n {
                 MsgClass::BusRequest
             } else {
@@ -164,6 +158,7 @@ impl Machine {
         now: Cycle,
     ) -> Cycle {
         let outcome = self.nodes[n]
+            .mem
             .dir
             .request(line, DirRequest { kind, requester });
         match outcome {
@@ -333,7 +328,7 @@ impl Machine {
             MsgKind::ReplacementHint => {
                 let spec = HandlerSpec::build(HandlerKind::HomeReplacementHint, Fanout::NONE);
                 let run = self.run_spec(n, &spec, msg.line, now);
-                self.nodes[n].dir.remove_sharer_hint(msg.line, msg.from);
+                self.nodes[n].mem.dir.remove_sharer_hint(msg.line, msg.from);
                 run.end
             }
         }
@@ -343,7 +338,7 @@ impl Machine {
         let spec = HandlerSpec::build(HandlerKind::HomeWritebackEviction, Fanout::NONE);
         let run = self.run_spec(n, &spec, msg.line, now);
         self.memory.insert(msg.line, msg.payload);
-        match self.nodes[n].dir.writeback(msg.line, msg.from) {
+        match self.nodes[n].mem.dir.writeback(msg.line, msg.from) {
             WritebackOutcome::Applied | WritebackOutcome::RacedWithForward => {}
             WritebackOutcome::ReleasesWaiter { request } => {
                 let class = if request.requester.index() == n {
@@ -439,7 +434,7 @@ impl Machine {
     }
 
     fn handle_inv_ack(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
-        match self.nodes[n].dir.inv_ack(msg.line) {
+        match self.nodes[n].mem.dir.inv_ack(msg.line) {
             None => {
                 let spec = HandlerSpec::build(HandlerKind::HomeInvAckMore, Fanout::NONE);
                 self.run_spec(n, &spec, msg.line, now).end
@@ -482,7 +477,7 @@ impl Machine {
             // this response doubles as the sharing write-back.
             let spec = HandlerSpec::build(HandlerKind::HomeDataRespOwnerRead, Fanout::NONE);
             let run = self.run_spec(n, &spec, msg.line, now);
-            self.nodes[n].dir.sharing_writeback(msg.line, msg.from);
+            self.nodes[n].mem.dir.sharing_writeback(msg.line, msg.from);
             self.memory.insert(msg.line, msg.payload);
             let at = run.deliver.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
             self.complete_mshr(n, msg.line, false, msg.payload, at);
@@ -501,7 +496,7 @@ impl Machine {
         if self.home_index(msg.line) == n {
             let spec = HandlerSpec::build(HandlerKind::HomeDataRespOwnerReadExcl, Fanout::NONE);
             let run = self.run_spec(n, &spec, msg.line, now);
-            self.nodes[n].dir.ownership_ack(msg.line, msg.from);
+            self.nodes[n].mem.dir.ownership_ack(msg.line, msg.from);
             let at = run.deliver.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
             self.complete_mshr(n, msg.line, true, msg.payload, at);
             self.drain_pending(n, msg.line, run.end);
@@ -624,7 +619,7 @@ impl Machine {
     fn handle_sharing_writeback(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
         let spec = HandlerSpec::build(HandlerKind::HomeSharingWriteback, Fanout::NONE);
         let run = self.run_spec(n, &spec, msg.line, now);
-        self.nodes[n].dir.sharing_writeback(msg.line, msg.from);
+        self.nodes[n].mem.dir.sharing_writeback(msg.line, msg.from);
         self.memory.insert(msg.line, msg.payload);
         self.drain_pending(n, msg.line, run.end);
         run.end
@@ -633,13 +628,13 @@ impl Machine {
     fn handle_ownership_ack(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
         let spec = HandlerSpec::build(HandlerKind::HomeOwnershipAck, Fanout::NONE);
         let run = self.run_spec(n, &spec, msg.line, now);
-        self.nodes[n].dir.ownership_ack(msg.line, msg.from);
+        self.nodes[n].mem.dir.ownership_ack(msg.line, msg.from);
         self.drain_pending(n, msg.line, run.end);
         run.end
     }
 
     fn handle_fwd_miss(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
-        let request = self.nodes[n].dir.fwd_miss(msg.line, msg.from);
+        let request = self.nodes[n].mem.dir.fwd_miss(msg.line, msg.from);
         let spec = HandlerSpec::build(HandlerKind::HomeFwdMiss, Fanout::NONE);
         let run = self.run_spec(n, &spec, msg.line, now);
         let payload = *self.memory.get(msg.line).unwrap_or(&0);

@@ -1,7 +1,7 @@
 //! System configuration: the paper's Section 2 parameters.
 
 use ccn_bus::BusConfig;
-use ccn_controller::EnginePolicy;
+use ccn_controller::{ControllerArch, EnginePolicy};
 use ccn_mem::CacheGeometry;
 use ccn_net::NetConfig;
 use ccn_protocol::EngineKind;
@@ -322,30 +322,31 @@ impl Architecture {
         ]
     }
 
+    /// The architecture definition behind this selector — the single
+    /// source of truth for engine kind, engine policy, and label (see
+    /// [`ccn_controller::arch`]).
+    pub fn controller(self) -> &'static dyn ControllerArch {
+        match self {
+            Architecture::Hwc => &ccn_controller::arch::HWC,
+            Architecture::Ppc => &ccn_controller::arch::PPC,
+            Architecture::TwoHwc => &ccn_controller::arch::TWO_HWC,
+            Architecture::TwoPpc => &ccn_controller::arch::TWO_PPC,
+        }
+    }
+
     /// The engine implementation.
     pub fn engine(self) -> EngineKind {
-        match self {
-            Architecture::Hwc | Architecture::TwoHwc => EngineKind::Hwc,
-            Architecture::Ppc | Architecture::TwoPpc => EngineKind::Ppc,
-        }
+        self.controller().engine()
     }
 
     /// The engine policy.
     pub fn engines(self) -> EnginePolicy {
-        match self {
-            Architecture::Hwc | Architecture::Ppc => EnginePolicy::Single,
-            Architecture::TwoHwc | Architecture::TwoPpc => EnginePolicy::LocalRemote,
-        }
+        self.controller().engines()
     }
 
     /// The paper's label.
     pub fn name(self) -> &'static str {
-        match self {
-            Architecture::Hwc => "HWC",
-            Architecture::Ppc => "PPC",
-            Architecture::TwoHwc => "2HWC",
-            Architecture::TwoPpc => "2PPC",
-        }
+        self.controller().name()
     }
 }
 

@@ -38,6 +38,7 @@ mod ccexec;
 pub mod config;
 pub mod experiments;
 pub mod machine;
+mod node;
 pub mod probe;
 pub mod report;
 mod steps;

@@ -12,14 +12,15 @@ use ccn_mem::{
 use ccn_net::Network;
 use ccn_protocol::directory::{DirRequestKind, DirState};
 use ccn_protocol::{Msg, MsgClass};
-use ccn_sim::{Cycle, EventQueue, FxHashMap, FxHashSet};
+use ccn_sim::{Component, ComponentStats, Cycle, EventQueue, FxHashMap, FxHashSet, Port};
 use ccn_workloads::{Application, MachineShape, Op, SegmentProgram};
 
 use ccn_controller::EngineRole;
 
 use crate::config::{ConfigError, PlacementPolicy, SystemConfig};
+use crate::node::Node;
 use crate::report::{EngineReport, NodeReport, SimReport};
-use crate::steps::{new_node, CcRequest, NodeState};
+use crate::steps::CcRequest;
 use crate::sync::{BarrierOutcome, LockOutcome, SyncState};
 
 /// One recorded protocol-handler execution (see [`Machine::enable_trace`]).
@@ -48,6 +49,28 @@ pub(crate) enum Event {
     MsgArrive(Msg),
 }
 
+// ---------------------------------------------------------------
+// Ports
+//
+// Components never schedule raw events at each other; every
+// cross-component interaction goes through one of these named, typed
+// endpoints. A port is a zero-cost wrapper over the calendar queue (same
+// timestamp, same insertion order), so routing through it cannot change
+// simulated behavior — it only makes the machine's wiring explicit and
+// greppable.
+// ---------------------------------------------------------------
+
+/// Wakes (or retries) a processor: bus/controller/sync → processor.
+pub(crate) const PROC_RESUME: Port<u32, Event> = Port::new("proc.resume", Event::ProcResume);
+
+/// Kicks a protocol engine's dispatch loop: bus/NI → coherence controller.
+pub(crate) const CC_WORK: Port<(u16, u8), Event> = Port::new("node.cc.work", |(node, engine)| {
+    Event::CcWork { node, engine }
+});
+
+/// Delivers a message at its destination: network → network interface.
+pub(crate) const MSG_ARRIVE: Port<Msg, Event> = Port::new("net.deliver", Event::MsgArrive);
+
 /// Which local processors cache a line (the machine-side view that backs
 /// both bus snooping and the bus-side duplicate directory).
 #[derive(Debug, Clone, Copy, Default)]
@@ -73,6 +96,37 @@ impl Presence {
     }
     pub(crate) fn other_than(&self, slot: u8) -> bool {
         self.sharers & !(1 << slot) != 0
+    }
+}
+
+/// A bounded protocol-trace buffer: keeps the most recent `capacity`
+/// events, dropping the oldest (and counting the drops) once full.
+#[derive(Debug)]
+struct TraceRing {
+    capacity: usize,
+    events: std::collections::VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity,
+            events: std::collections::VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
     }
 }
 
@@ -159,7 +213,7 @@ pub struct Machine {
     pub(crate) map: AddressMap,
     pub(crate) queue: EventQueue<Event>,
     pub(crate) procs: Vec<Proc>,
-    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) nodes: Vec<Node>,
     pub(crate) net: Network,
     pub(crate) sync: SyncState,
     /// Next write version per line (global write serial numbers).
@@ -175,8 +229,12 @@ pub struct Machine {
     /// End-to-end latency of every completed L2 miss (block to fill),
     /// in cycles.
     miss_latency: ccn_sim::stats::Accumulator,
-    /// Optional protocol trace: `(capacity, events)`.
-    trace: Option<(usize, Vec<TraceEvent>)>,
+    /// Optional bounded protocol trace (oldest events dropped).
+    trace: Option<TraceRing>,
+    /// Observer called on every recorded handler execution; for external
+    /// tracing tools that want the full stream, not the bounded ring.
+    #[cfg(feature = "component-trace")]
+    trace_hook: Option<fn(&TraceEvent)>,
     /// Invalidation requests that found no local copy (stale directory
     /// bits from silent clean drops).
     pub(crate) useless_invalidations: u64,
@@ -225,7 +283,7 @@ impl Machine {
             .into_iter()
             .enumerate()
             .map(|(i, segments)| {
-                queue.schedule(0, Event::ProcResume(i as u32));
+                PROC_RESUME.send(&mut queue, 0, i as u32);
                 Proc {
                     node: i / cfg.procs_per_node,
                     slot: (i % cfg.procs_per_node) as u8,
@@ -245,7 +303,7 @@ impl Machine {
             })
             .collect();
         let nodes = (0..cfg.nodes)
-            .map(|n| new_node(&cfg, NodeId(n as u16)))
+            .map(|n| Node::new(&cfg, NodeId(n as u16)))
             .collect();
         let net = Network::new(cfg.nodes, cfg.net);
         let sync = SyncState::new(
@@ -271,6 +329,8 @@ impl Machine {
             touched_pages: FxHashSet::default(),
             miss_latency: ccn_sim::stats::Accumulator::new(),
             trace: None,
+            #[cfg(feature = "component-trace")]
+            trace_hook: None,
             useless_invalidations: 0,
             handler_counts: FxHashMap::default(),
         })
@@ -341,20 +401,37 @@ impl Machine {
         self.queue.total_scheduled()
     }
 
-    /// Records the first `capacity` protocol-handler executions for
-    /// post-mortem inspection (protocol debugging, tutorials). Call before
+    /// Records protocol-handler executions for post-mortem inspection
+    /// (protocol debugging, tutorials) in a bounded ring holding the most
+    /// recent `capacity` events — once full, the oldest event is dropped
+    /// for each new one and counted in
+    /// [`trace_dropped`](Machine::trace_dropped). Call before
     /// [`run`](Machine::run).
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some((capacity, Vec::new()));
+        self.trace = Some(TraceRing::new(capacity));
     }
 
-    /// The recorded protocol trace (empty unless
+    /// The recorded protocol trace, oldest first (empty unless
     /// [`enable_trace`](Machine::enable_trace) was called).
-    pub fn trace(&self) -> &[TraceEvent] {
+    pub fn trace(&self) -> Vec<TraceEvent> {
         self.trace
             .as_ref()
-            .map(|(_, t)| t.as_slice())
-            .unwrap_or(&[])
+            .map(|ring| ring.events.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// How many trace events the bounded ring has discarded (zero until
+    /// more than `capacity` handlers have run).
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map(|ring| ring.dropped).unwrap_or(0)
+    }
+
+    /// Registers an observer called on *every* handler execution,
+    /// independent of the bounded ring — for external tools that want the
+    /// full stream.
+    #[cfg(feature = "component-trace")]
+    pub fn set_trace_hook(&mut self, hook: fn(&TraceEvent)) {
+        self.trace_hook = Some(hook);
     }
 
     pub(crate) fn record_trace(
@@ -365,16 +442,24 @@ impl Machine {
         line: LineAddr,
         occupancy: Cycle,
     ) {
-        if let Some((cap, events)) = &mut self.trace {
-            if events.len() < *cap {
-                events.push(TraceEvent {
-                    time,
-                    node,
-                    handler,
-                    line,
-                    occupancy,
-                });
-            }
+        #[cfg(feature = "component-trace")]
+        if let Some(hook) = self.trace_hook {
+            hook(&TraceEvent {
+                time,
+                node,
+                handler,
+                line,
+                occupancy,
+            });
+        }
+        if let Some(ring) = &mut self.trace {
+            ring.push(TraceEvent {
+                time,
+                node,
+                handler,
+                line,
+                occupancy,
+            });
         }
     }
 
@@ -397,7 +482,7 @@ impl Machine {
         loop {
             if t >= horizon {
                 self.procs[p].local_time = t;
-                self.queue.schedule(t, Event::ProcResume(p as u32));
+                PROC_RESUME.send(&mut self.queue, t, p as u32);
                 return;
             }
             // An op taken from `pending` is a *retry* of a blocked access:
@@ -474,7 +559,7 @@ impl Machine {
                     }
                     BarrierOutcome::Release { waiters, at } => {
                         for w in waiters {
-                            self.queue.schedule(at.max(now), Event::ProcResume(w.0));
+                            PROC_RESUME.send(&mut self.queue, at.max(now), w.0);
                         }
                         t = at.max(t);
                     }
@@ -490,7 +575,7 @@ impl Machine {
                 Op::Unlock(id) => {
                     t += 1;
                     if let Some((next, at)) = self.sync.unlock(id, t) {
-                        self.queue.schedule(at.max(now), Event::ProcResume(next.0));
+                        PROC_RESUME.send(&mut self.queue, at.max(now), next.0);
                     }
                 }
                 Op::StartMeasurement => {
@@ -529,14 +614,10 @@ impl Machine {
             proc.l2.reset_stats();
         }
         for node in &mut self.nodes {
-            node.cc.reset_stats();
-            node.bus.reset_stats();
-            node.memory.reset_stats();
-            node.dircache.reset_stats();
-            node.dir_dram.reset_stats();
+            Component::reset_stats(node);
         }
-        self.net.reset_stats();
-        self.sync.reset_stats();
+        Component::reset_stats(&mut self.net);
+        SyncState::reset_stats(&mut self.sync);
         self.useless_invalidations = 0;
         self.handler_counts.clear();
         self.miss_latency = ccn_sim::stats::Accumulator::new();
@@ -635,13 +716,14 @@ impl Machine {
             return;
         }
         if local_home {
-            let busy = self.nodes[n].dir.is_busy(line);
-            let dir_state = self.nodes[n].dir.state_of(line);
+            let busy = self.nodes[n].mem.dir.is_busy(line);
+            let dir_state = self.nodes[n].mem.dir.state_of(line);
             if !write && !busy && !matches!(dir_state, DirState::Dirty(_)) {
                 // Memory supplies; the duplicate directory answers on the
                 // bus without occupying a protocol engine.
                 let bank = self.nodes[n]
-                    .memory
+                    .mem
+                    .banks
                     .access(line, strobe + self.cfg.bus.address_slot_cycles);
                 let first = bank + self.cfg.lat.mem_access;
                 let xfer = self.nodes[n].bus.data_transfer(first, self.cfg.line_bytes);
@@ -665,7 +747,8 @@ impl Machine {
                     self.fill_proc(p, line, LineState::Exclusive, payload, snoop + 2);
                 } else {
                     let bank = self.nodes[n]
-                        .memory
+                        .mem
+                        .banks
                         .access(line, strobe + self.cfg.bus.address_slot_cycles);
                     let first = bank + self.cfg.lat.mem_access;
                     let xfer = self.nodes[n].bus.data_transfer(first, self.cfg.line_bytes);
@@ -735,13 +818,8 @@ impl Machine {
         } else {
             self.nodes[n].cc.busy_until(engine).max(time)
         };
-        self.queue.schedule(
-            wake.max(self.queue.now()),
-            Event::CcWork {
-                node: n as u16,
-                engine: engine as u8,
-            },
-        );
+        let at = wake.max(self.queue.now());
+        CC_WORK.send(&mut self.queue, at, (n as u16, engine as u8));
     }
 
     fn cc_work(&mut self, n: usize, engine: usize, now: Cycle) {
@@ -752,13 +830,7 @@ impl Machine {
                 // work is pending.
                 let busy_until = self.nodes[n].cc.busy_until(engine);
                 if busy_until > now && self.nodes[n].cc.has_work(engine) {
-                    self.queue.schedule(
-                        busy_until,
-                        Event::CcWork {
-                            node: n as u16,
-                            engine: engine as u8,
-                        },
-                    );
+                    CC_WORK.send(&mut self.queue, busy_until, (n as u16, engine as u8));
                 }
             }
         }
@@ -827,8 +899,8 @@ impl Machine {
         if consumed {
             self.procs[p].pending = None;
         }
-        self.queue
-            .schedule(at.max(self.queue.now()), Event::ProcResume(p as u32));
+        let wake = at.max(self.queue.now());
+        PROC_RESUME.send(&mut self.queue, wake, p as u32);
     }
 
     /// Removes one processor's copy (L1 + L2 + presence + pin).
@@ -945,7 +1017,8 @@ impl Machine {
             // Local write-back: memory captures the data on the bus.
             self.memory.insert(line, payload);
             self.nodes[n]
-                .memory
+                .mem
+                .banks
                 .access(line, strobe + self.cfg.bus.address_slot_cycles);
         } else if self.cfg.direct_data_path {
             // Direct data path: bus interface forwards straight to the
@@ -1007,14 +1080,32 @@ impl Machine {
         };
         self.fill_proc(mshr.initiator, line, state, payload, at);
         for w in mshr.waiters {
-            self.queue
-                .schedule(at.max(self.queue.now()), Event::ProcResume(w as u32));
+            let wake = at.max(self.queue.now());
+            PROC_RESUME.send(&mut self.queue, wake, w as u32);
         }
     }
 
     // ---------------------------------------------------------------
     // Reporting and invariants
     // ---------------------------------------------------------------
+
+    /// One canonical walk over every component's statistics: the machine
+    /// at the root, one subtree per node (bus, coherence controller,
+    /// memory controller), then the network and the synchronization
+    /// runtime. This is the same spine the measured-phase reset walks and
+    /// `build_report` aggregates — a debugging/analysis view that needs no
+    /// per-counter plumbing to stay complete.
+    pub fn component_stats(&self) -> ComponentStats {
+        let mut root = ComponentStats::named("machine");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut snap = node.stats_snapshot();
+            snap.name = format!("node{i}");
+            root.children.push(snap);
+        }
+        root.children.push(self.net.stats_snapshot());
+        root.children.push(self.sync.stats_snapshot());
+        root
+    }
 
     fn build_report(&self) -> SimReport {
         let end = self.procs.iter().map(|p| p.finish_time).max().unwrap_or(0);
@@ -1074,13 +1165,8 @@ impl Machine {
         } else {
             ccn_sim::cycles_to_ns(1) * delay_sum / delay_n as f64
         };
-        let engines_label = match self.cfg.engines {
-            ccn_controller::EnginePolicy::Single => String::new(),
-            ccn_controller::EnginePolicy::LocalRemote => "2".to_string(),
-            other => format!("{}e-", other.name()),
-        };
         SimReport {
-            architecture: format!("{engines_label}{}", self.cfg.engine.name()),
+            architecture: ccn_controller::arch::report_label(self.cfg.engines, self.cfg.engine),
             workload: self.workload_name.clone(),
             exec_cycles,
             instructions,
@@ -1110,6 +1196,7 @@ impl Machine {
                 ccn_sim::cycles_to_ns(1) * self.miss_latency.max().unwrap_or(0.0),
             ),
             useless_invalidations: self.useless_invalidations,
+            trace_dropped: self.trace_dropped(),
             arrival_cv: {
                 let mut inter = ccn_sim::stats::Accumulator::new();
                 for node in &self.nodes {
@@ -1122,8 +1209,8 @@ impl Machine {
             dir_cache_hit_ratio: {
                 let (hits, total) = self.nodes.iter().fold((0u64, 0u64), |(h, t), n| {
                     (
-                        h + n.dircache.hits(),
-                        t + n.dircache.hits() + n.dircache.misses(),
+                        h + n.mem.dircache.hits(),
+                        t + n.mem.dircache.hits() + n.mem.dircache.misses(),
                     )
                 });
                 if total == 0 {
@@ -1155,7 +1242,7 @@ impl Machine {
                     "node {n}'s coherence controller still has queued requests"
                 ));
             }
-            for (line, _state, busy) in node.dir.iter_states() {
+            for (line, _state, busy) in node.mem.dir.iter_states() {
                 if busy {
                     return Err(format!("directory entry {line} on node {n} still busy"));
                 }
@@ -1181,7 +1268,7 @@ impl Machine {
             }
             let home = self.map.home_of(*line);
             let latest = self.versions.get(*line).copied().unwrap_or(0);
-            let dir_state = self.nodes[home.index()].dir.state_of(*line);
+            let dir_state = self.nodes[home.index()].mem.dir.state_of(*line);
             for &(p, state, payload) in holders {
                 let holder_node = self.procs[p].node;
                 if holder_node != home.index() {
@@ -1233,7 +1320,7 @@ impl Machine {
         memory.sort_unstable();
         let mut directory: Vec<(u64, u16, String)> = Vec::with_capacity(64);
         for (n, node) in self.nodes.iter().enumerate() {
-            for (line, state, busy) in node.dir.iter_states() {
+            for (line, state, busy) in node.mem.dir.iter_states() {
                 if state != DirState::Uncached || busy {
                     let rendered = if busy {
                         format!("{state:?} (busy)")

@@ -1,0 +1,169 @@
+//! One SMP node as an explicit composition of hardware components.
+//!
+//! The machine is a grid of identical [`Node`]s connected by the network.
+//! Each node owns the components the paper's block diagram draws as
+//! separate bus agents: the split-transaction [`SmpBus`], the coherence
+//! controller ([`CoherenceController`]) with its protocol engines, and a
+//! memory controller ([`MemCtrl`]) that fronts both the interleaved data
+//! DRAM and the directory storage. Components never call each other
+//! directly — cross-component interactions are either resource
+//! reservations (handled by each component's `Server`s) or messages sent
+//! through the typed ports in [`machine`](crate::machine).
+//!
+//! Every component implements [`Component`], so one canonical walk
+//! snapshots or resets the whole node — this is the stats spine that
+//! feeds `SimReport` and keeps the measured-phase reset in one place.
+
+use ccn_bus::SmpBus;
+use ccn_controller::{CoherenceController, DirCache};
+use ccn_mem::{LineTable, MemoryBanks, NodeId};
+use ccn_protocol::directory::Directory;
+use ccn_sim::{Component, ComponentStats, Server};
+
+use crate::config::SystemConfig;
+use crate::machine::{Mshr, Presence};
+use crate::steps::CcRequest;
+
+/// The node's memory controller: interleaved data-DRAM banks plus the
+/// directory storage stack (full directory state, the write-through
+/// directory cache, and the directory DRAM behind it).
+///
+/// The paper models the memory controller as a bus agent separate from
+/// the coherence controller; grouping the directory with it reflects
+/// that the directory lives in (and contends for) node memory, not in
+/// the protocol engines.
+#[derive(Debug)]
+pub(crate) struct MemCtrl {
+    /// Interleaved main-memory banks.
+    pub banks: MemoryBanks,
+    /// Full directory state for lines homed on this node.
+    pub dir: Directory,
+    /// Write-through directory cache (8 K entries in the paper).
+    pub dircache: DirCache,
+    /// Directory DRAM behind the cache.
+    pub dir_dram: Server,
+}
+
+impl Component for MemCtrl {
+    fn component_name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn stats_snapshot(&self) -> ComponentStats {
+        ComponentStats::named("mem")
+            .child(self.banks.stats_snapshot())
+            .child(self.dircache.stats_snapshot())
+            .child(self.dir_dram.stats_snapshot())
+    }
+
+    fn reset_stats(&mut self) {
+        Component::reset_stats(&mut self.banks);
+        Component::reset_stats(&mut self.dircache);
+        self.dir_dram.reset_stats();
+    }
+}
+
+/// One SMP node's hardware.
+#[derive(Debug)]
+pub(crate) struct Node {
+    /// Split-transaction SMP bus (separate address and data buses).
+    pub bus: SmpBus,
+    /// Memory controller: data DRAM + directory storage.
+    pub mem: MemCtrl,
+    /// Coherence controller: dispatch queues and protocol engines.
+    pub cc: CoherenceController<CcRequest>,
+    /// Which local processors cache each line (bus-side duplicate
+    /// directory + L2 snoop state, folded together).
+    pub presence: LineTable<Presence>,
+    /// Outstanding node-level transactions by line.
+    pub mshr: LineTable<Mshr>,
+}
+
+impl Node {
+    /// Builds the hardware of one node.
+    pub(crate) fn new(cfg: &SystemConfig, node_id: NodeId) -> Node {
+        // Pre-size the hot per-line tables so the steady state never pays a
+        // rehash: the directory tracks a slice of the node's remotely-cached
+        // home lines (an eighth of the directory cache is comfortably past
+        // every reference working set without bloating small machines), the
+        // presence table at most the local L2 contents, and the MSHR table
+        // one outstanding miss per local processor plus forwarded traffic.
+        let dir_lines = (cfg.dir_cache_entries as usize / 8).max(64);
+        Node {
+            bus: SmpBus::new(cfg.bus),
+            mem: MemCtrl {
+                banks: MemoryBanks::new(cfg.lat.mem_banks, cfg.lat.mem_bank_occupancy),
+                dir: Directory::with_capacity(node_id, dir_lines),
+                dircache: DirCache::new(cfg.dir_cache_entries),
+                dir_dram: Server::new("directory dram"),
+            },
+            cc: CoherenceController::new(cfg.engines),
+            presence: LineTable::with_capacity(dir_lines),
+            mshr: LineTable::with_capacity(cfg.procs_per_node * 4),
+        }
+    }
+}
+
+impl Component for Node {
+    fn component_name(&self) -> &'static str {
+        "node"
+    }
+
+    fn stats_snapshot(&self) -> ComponentStats {
+        ComponentStats::named("node")
+            .child(self.bus.stats_snapshot())
+            .child(self.cc.stats_snapshot())
+            .child(self.mem.stats_snapshot())
+    }
+
+    /// Resets every component's statistics for the measured phase.
+    /// Simulated state — bus/bank reservations, directory contents and
+    /// the directory-cache tags, queued requests, MSHRs — survives.
+    fn reset_stats(&mut self) {
+        Component::reset_stats(&mut self.bus);
+        Component::reset_stats(&mut self.cc);
+        Component::reset_stats(&mut self.mem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccn_mem::LineAddr;
+
+    #[test]
+    fn node_snapshot_walks_all_components() {
+        let mut node = Node::new(&SystemConfig::small(), NodeId(0));
+        node.bus.address_phase(0);
+        node.mem.banks.access(LineAddr(0), 0);
+        node.mem.dircache.read(LineAddr(0));
+        let snap = node.stats_snapshot();
+        assert_eq!(
+            snap.find("bus").unwrap().get_counter("transactions"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.find("memory").unwrap().get_counter("accesses"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.find("dircache").unwrap().get_counter("misses"),
+            Some(1)
+        );
+        assert!(snap.find("cc").is_some());
+    }
+
+    #[test]
+    fn node_reset_preserves_simulated_state() {
+        let mut node = Node::new(&SystemConfig::small(), NodeId(0));
+        node.mem.dircache.read(LineAddr(7));
+        let busy = node.bus.address_phase(0);
+        Component::reset_stats(&mut node);
+        assert_eq!(node.bus.transactions(), 0);
+        assert_eq!(node.mem.dircache.misses(), 0);
+        // Contents and reservations survive: the next read hits, the next
+        // address phase queues behind the pre-reset strobe.
+        assert!(node.mem.dircache.read(LineAddr(7)));
+        assert!(node.bus.address_phase(0) > busy);
+    }
+}

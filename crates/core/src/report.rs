@@ -87,6 +87,9 @@ pub struct SimReport {
     /// Invalidation requests that found no cached copy (stale directory
     /// bits caused by silent clean evictions).
     pub useless_invalidations: u64,
+    /// Protocol-trace events discarded by the bounded trace ring (zero
+    /// when tracing is off or the ring never filled).
+    pub trace_dropped: u64,
     /// Coefficient of variation of request inter-arrival times at the
     /// controllers (1 ≈ Poisson; larger = bursty, the paper's explanation
     /// for FFT's outsized queueing delay).
@@ -328,6 +331,7 @@ mod tests {
             miss_latency_ns: (0.0, 0.0),
             dir_cache_hit_ratio: 0.0,
             useless_invalidations: 0,
+            trace_dropped: 0,
             arrival_cv: 0.0,
         }
     }

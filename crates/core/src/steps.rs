@@ -1,16 +1,13 @@
-//! Per-node hardware state and protocol-handler step execution.
+//! Protocol-handler step execution against one node's components.
 
-use ccn_bus::SmpBus;
-use ccn_controller::{CoherenceController, DirCache};
-use ccn_mem::{LineAddr, LineTable, MemoryBanks};
+use ccn_mem::LineAddr;
 use ccn_net::Network;
-use ccn_protocol::directory::Directory;
 use ccn_protocol::handlers::{HandlerSpec, Step};
 use ccn_protocol::subop::{OccupancyTable, SubOp};
-use ccn_sim::{Cycle, Server};
+use ccn_sim::Cycle;
 
 use crate::config::SystemConfig;
-use crate::machine::{Mshr, Presence};
+use crate::node::Node;
 
 /// The request record stored in a controller's input queues.
 #[derive(Debug, Clone)]
@@ -35,22 +32,6 @@ pub(crate) enum CcRequest {
     Writeback { line: LineAddr, payload: u64 },
 }
 
-/// One SMP node's hardware.
-#[derive(Debug)]
-pub(crate) struct NodeState {
-    pub bus: SmpBus,
-    pub memory: MemoryBanks,
-    pub cc: CoherenceController<CcRequest>,
-    pub dir: Directory,
-    pub dircache: DirCache,
-    pub dir_dram: Server,
-    /// Which local processors cache each line (bus-side duplicate
-    /// directory + L2 snoop state, folded together).
-    pub presence: LineTable<Presence>,
-    /// Outstanding node-level transactions by line.
-    pub mshr: LineTable<Mshr>,
-}
-
 /// Timing results of executing a handler's step list.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct StepRun {
@@ -68,7 +49,7 @@ pub(crate) struct StepRun {
 /// memory, and directory resources as it goes. The engine is considered
 /// occupied for the whole interval (the paper's occupancy definition).
 pub(crate) fn run_steps(
-    node: &mut NodeState,
+    node: &mut Node,
     cfg: &SystemConfig,
     spec: &HandlerSpec,
     line: LineAddr,
@@ -84,22 +65,23 @@ pub(crate) fn run_steps(
             Step::Extra { hwc, ppc } => t += cfg.engine.extra_cost(hwc, ppc),
             Step::DirRead => {
                 t += table.cost(SubOp::DirCacheRead);
-                if !node.dircache.read(line) {
-                    let grant = node.dir_dram.acquire(t, lat.dir_dram_occupancy);
+                if !node.mem.dircache.read(line) {
+                    let grant = node.mem.dir_dram.acquire(t, lat.dir_dram_occupancy);
                     t = grant + lat.dir_dram_latency;
                 }
             }
             Step::DirUpdate => {
                 t += table.cost(SubOp::DirWrite);
-                node.dircache.write(line);
+                node.mem.dircache.write(line);
                 // Write-through to directory DRAM is posted: reserve the
                 // DRAM but do not hold the engine.
-                node.dir_dram.acquire(t, lat.dir_dram_occupancy);
+                node.mem.dir_dram.acquire(t, lat.dir_dram_occupancy);
             }
             Step::MemRead => {
                 let strobe = node.bus.address_phase(t);
                 let bank = node
-                    .memory
+                    .mem
+                    .banks
                     .access(line, strobe + cfg.bus.address_slot_cycles);
                 let first_data = bank + lat.mem_access;
                 // The full line streams over the data bus into the bus
@@ -112,7 +94,8 @@ pub(crate) fn run_steps(
             Step::MemWrite => {
                 let strobe = node.bus.address_phase(t);
                 let bank = node
-                    .memory
+                    .mem
+                    .banks
                     .access(line, strobe + cfg.bus.address_slot_cycles);
                 node.bus.data_transfer(bank.max(strobe + 4), cfg.line_bytes);
                 // Posted: the engine only initiates the write.
@@ -151,28 +134,8 @@ pub(crate) fn run_steps(
     run
 }
 
-/// Builds the hardware of one node.
-pub(crate) fn new_node(cfg: &SystemConfig, node_id: ccn_mem::NodeId) -> NodeState {
-    // Pre-size the hot per-line tables so the steady state never pays a
-    // rehash: the directory tracks a slice of the node's remotely-cached
-    // home lines (an eighth of the directory cache is comfortably past
-    // every reference working set without bloating small machines), the
-    // presence table at most the local L2 contents, and the MSHR table
-    // one outstanding miss per local processor plus forwarded traffic.
-    let dir_lines = (cfg.dir_cache_entries as usize / 8).max(64);
-    NodeState {
-        bus: SmpBus::new(cfg.bus),
-        memory: MemoryBanks::new(cfg.lat.mem_banks, cfg.lat.mem_bank_occupancy),
-        cc: CoherenceController::new(cfg.engines),
-        dir: Directory::with_capacity(node_id, dir_lines),
-        dircache: DirCache::new(cfg.dir_cache_entries),
-        dir_dram: Server::new("directory dram"),
-        presence: LineTable::with_capacity(dir_lines),
-        mshr: LineTable::with_capacity(cfg.procs_per_node * 4),
-    }
-}
-
-/// Sends `msg` at `time` and schedules its arrival event.
+/// Sends `msg` at `time` and schedules its arrival through the network
+/// delivery port.
 pub(crate) fn send_msg(
     net: &mut Network,
     queue: &mut ccn_sim::EventQueue<crate::machine::Event>,
@@ -181,7 +144,7 @@ pub(crate) fn send_msg(
     msg: ccn_protocol::Msg,
 ) {
     let arrival = net.send(time, msg.from, msg.to, msg.size_bytes(line_bytes));
-    queue.schedule(arrival, crate::machine::Event::MsgArrive(msg));
+    crate::machine::MSG_ARRIVE.send(queue, arrival, msg);
 }
 
 #[cfg(test)]
@@ -189,8 +152,8 @@ mod tests {
     use super::*;
     use ccn_protocol::handlers::{Fanout, HandlerKind};
 
-    fn node() -> NodeState {
-        new_node(&SystemConfig::small(), ccn_mem::NodeId(0))
+    fn node() -> Node {
+        Node::new(&SystemConfig::small(), ccn_mem::NodeId(0))
     }
 
     #[test]
@@ -199,7 +162,7 @@ mod tests {
         let spec = HandlerSpec::build(HandlerKind::HomeReadClean, Fanout::NONE);
         let mut n = node();
         // Warm the directory cache: Table 4 occupancies assume a hit.
-        n.dircache.read(LineAddr(0));
+        n.mem.dircache.read(LineAddr(0));
         let run = run_steps(&mut n, &cfg, &spec, LineAddr(0), 1000);
         let static_occ = spec.occupancy(
             cfg.engine,
@@ -221,7 +184,7 @@ mod tests {
         let mut n = node();
         // Saturate the memory bank the line maps to.
         for _ in 0..10 {
-            n.memory.access(LineAddr(0), 0);
+            n.mem.banks.access(LineAddr(0), 0);
         }
         let idle = run_steps(&mut node(), &cfg, &spec, LineAddr(0), 0).end;
         let busy = run_steps(&mut n, &cfg, &spec, LineAddr(0), 0).end;

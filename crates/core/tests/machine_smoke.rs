@@ -120,7 +120,7 @@ fn trace_records_handler_executions() {
     let cfg = SystemConfig::small().with_architecture(Architecture::Hwc);
     let mut machine = Machine::new(cfg, &app).unwrap();
     machine.enable_trace(64);
-    machine.run();
+    let report = machine.run();
     let trace = machine.trace();
     assert_eq!(trace.len(), 64, "trace must fill to its capacity");
     for w in trace.windows(2) {
@@ -128,4 +128,81 @@ fn trace_records_handler_executions() {
     }
     assert!(trace.iter().all(|e| e.occupancy > 0));
     assert!(trace.iter().any(|e| e.handler.contains("read")));
+    assert!(
+        machine.trace_dropped() > 0,
+        "this workload runs far more than 64 handlers"
+    );
+    assert_eq!(report.trace_dropped, machine.trace_dropped());
+}
+
+#[test]
+fn component_stats_agrees_with_the_report() {
+    let app = UniformSharing {
+        touches_per_proc: 2_000,
+        ..UniformSharing::default()
+    };
+    let cfg = SystemConfig::small().with_architecture(Architecture::TwoPpc);
+    let nodes = cfg.nodes;
+    let mut machine = Machine::new(cfg, &app).unwrap();
+    let report = machine.run();
+    let spine = machine.component_stats();
+
+    // One subtree per node, plus the network and the sync runtime.
+    assert_eq!(spine.children.len(), nodes + 2);
+    for i in 0..nodes {
+        let node = spine.find(&format!("node{i}")).expect("node subtree");
+        for part in ["bus", "cc", "mem", "memory", "dircache"] {
+            assert!(node.find(part).is_some(), "node{i} must expose {part}");
+        }
+    }
+
+    // The canonical walk and the report aggregate the same counters.
+    assert_eq!(
+        spine.total("arrivals"),
+        report.cc_arrivals * 2, // cc + its engines
+        "cc arrivals appear once on the controller and once in its engine children"
+    );
+    assert_eq!(
+        spine.find("net").unwrap().get_counter("messages"),
+        Some(report.messages)
+    );
+    assert_eq!(
+        spine.find("sync").unwrap().get_counter("barrier_episodes"),
+        Some(report.barriers)
+    );
+    assert_eq!(
+        spine.find("sync").unwrap().get_counter("lock_acquisitions"),
+        Some(report.locks.0)
+    );
+}
+
+#[test]
+fn trace_ring_keeps_the_most_recent_events() {
+    let app = UniformSharing {
+        touches_per_proc: 500,
+        ..UniformSharing::default()
+    };
+    let cfg = SystemConfig::small().with_architecture(Architecture::Hwc);
+
+    // Reference run with a ring big enough to never drop.
+    let mut full = Machine::new(cfg.clone(), &app).unwrap();
+    full.enable_trace(1 << 20);
+    full.run();
+    assert_eq!(full.trace_dropped(), 0);
+    let all = full.trace();
+
+    // Bounded run: the ring must hold exactly the tail of the full trace.
+    let mut bounded = Machine::new(cfg, &app).unwrap();
+    bounded.enable_trace(8);
+    bounded.run();
+    let tail = bounded.trace();
+    assert_eq!(tail.len(), 8);
+    assert_eq!(bounded.trace_dropped() as usize, all.len() - 8);
+    for (kept, expected) in tail.iter().zip(&all[all.len() - 8..]) {
+        assert_eq!(kept.time, expected.time);
+        assert_eq!(kept.node, expected.node);
+        assert_eq!(kept.handler, expected.handler);
+        assert_eq!(kept.line, expected.line);
+        assert_eq!(kept.occupancy, expected.occupancy);
+    }
 }

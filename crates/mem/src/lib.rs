@@ -22,6 +22,6 @@ pub mod memory;
 pub mod table;
 
 pub use addr::{AddressMap, LineAddr, NodeId, PageMap, ProcId};
-pub use cache::{AccessKind, CacheGeometry, CacheStats, Eviction, LineState, SetAssocCache};
+pub use cache::{AccessKind, CacheGeometry, Eviction, LineState, SetAssocCache};
 pub use memory::MemoryBanks;
 pub use table::LineTable;

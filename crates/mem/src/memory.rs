@@ -1,6 +1,6 @@
 //! Interleaved memory-bank timing model.
 
-use ccn_sim::{Cycle, Server};
+use ccn_sim::{Component, ComponentStats, Cycle, Server};
 
 use crate::addr::LineAddr;
 
@@ -99,6 +99,26 @@ impl MemoryBanks {
             b.reset_stats();
         }
         self.accesses = 0;
+    }
+}
+
+impl Component for MemoryBanks {
+    fn component_name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn stats_snapshot(&self) -> ComponentStats {
+        let mut snap = ComponentStats::named("memory")
+            .counter("accesses", self.accesses)
+            .gauge("mean_queue_delay", self.mean_queue_delay());
+        for bank in &self.banks {
+            snap.children.push(bank.stats_snapshot());
+        }
+        snap
+    }
+
+    fn reset_stats(&mut self) {
+        MemoryBanks::reset_stats(self);
     }
 }
 

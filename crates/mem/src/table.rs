@@ -292,4 +292,122 @@ mod tests {
         want.sort_unstable();
         assert_eq!(got, want);
     }
+
+    /// The first `count` line addresses whose home slot in a table with
+    /// `mask` is exactly `slot` (brute-force; tables in these tests are
+    /// tiny).
+    fn lines_homed_at(mask: usize, slot: usize, count: usize) -> Vec<LineAddr> {
+        (0u64..)
+            .map(LineAddr)
+            .filter(|l| (l.0.wrapping_mul(MIX) >> 32) as usize & mask == slot)
+            .take(count)
+            .collect()
+    }
+
+    /// Every entry must be reachable by linear probing from its home slot
+    /// without crossing an empty slot — the invariant backward-shift
+    /// deletion exists to maintain. A violation means an entry was
+    /// stranded behind a hole and is silently lost to `get`.
+    fn assert_no_stranded_entries<V>(t: &LineTable<V>) {
+        for (i, s) in t.slots.iter().enumerate() {
+            let Some((k, _)) = s else { continue };
+            let mut j = t.slot_of(LineAddr(*k));
+            loop {
+                assert!(
+                    t.slots[j].is_some(),
+                    "line {k:#x} at slot {i} unreachable: empty slot {j} in its probe chain"
+                );
+                if j == i {
+                    break;
+                }
+                j = (j + 1) & t.mask;
+            }
+        }
+    }
+
+    /// A probe cluster that starts in the last slot and wraps past index
+    /// 0: removing its head must slide the wrapped entries back across
+    /// the boundary.
+    #[test]
+    fn backward_shift_across_the_wraparound_boundary() {
+        let mut t: LineTable<u32> = LineTable::with_capacity(0); // 8 slots
+        let mask = t.mask;
+        // Three lines all homed in the last slot: they occupy slots
+        // mask, 0 and 1.
+        let lines = lines_homed_at(mask, mask, 3);
+        for (i, &l) in lines.iter().enumerate() {
+            t.insert(l, i as u32);
+        }
+        assert_eq!(t.find(lines[0]), Some(mask));
+        assert_eq!(t.find(lines[1]), Some(0));
+        assert_eq!(t.find(lines[2]), Some(1));
+        // Removing the head leaves a hole at `mask`; both wrapped entries
+        // must slide back over it or they become unreachable.
+        assert_eq!(t.remove(lines[0]), Some(0));
+        assert_no_stranded_entries(&t);
+        assert_eq!(t.get(lines[1]), Some(&1));
+        assert_eq!(t.get(lines[2]), Some(&2));
+        assert_eq!(t.len(), 2);
+    }
+
+    /// Removing a wrapped entry (one sitting below its home slot) must
+    /// not drag entries that are already in their home slots out of
+    /// position.
+    #[test]
+    fn wrapped_removal_respects_home_slots_below_zero() {
+        let mut t: LineTable<u32> = LineTable::with_capacity(0); // 8 slots
+        let mask = t.mask;
+        let tail = lines_homed_at(mask, mask, 2);
+        let head = lines_homed_at(mask, 0, 1)[0];
+        // tail[0] lands at mask, tail[1] wraps to 0, pushing `head` (whose
+        // home IS slot 0) to slot 1.
+        t.insert(tail[0], 10);
+        t.insert(tail[1], 11);
+        t.insert(head, 12);
+        assert_eq!(t.find(tail[1]), Some(0));
+        assert_eq!(t.find(head), Some(1));
+        // Deleting the wrapped entry at slot 0 must let `head` slide home,
+        // not leave it stranded behind the hole.
+        assert_eq!(t.remove(tail[1]), Some(11));
+        assert_no_stranded_entries(&t);
+        assert_eq!(t.find(head), Some(0));
+        assert_eq!(t.get(tail[0]), Some(&10));
+        // And deleting across the boundary again from the cluster head.
+        assert_eq!(t.remove(tail[0]), Some(10));
+        assert_no_stranded_entries(&t);
+        assert_eq!(t.get(head), Some(&12));
+    }
+
+    /// Churn confined to homes in the last two slots and slot 0 so every
+    /// probe sequence straddles index 0, mirrored against `HashMap`. The
+    /// table never grows, so clusters repeatedly form, wrap, and break up
+    /// at the boundary.
+    #[test]
+    fn wraparound_churn_matches_hashmap() {
+        let mut t: LineTable<u64> = LineTable::with_capacity(0); // 8 slots
+        let mask = t.mask;
+        let mut pool = Vec::new();
+        for slot in [mask - 1, mask, 0] {
+            pool.extend(lines_homed_at(mask, slot, 2));
+        }
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        let mut state: u64 = 0x243f_6a88_85a3_08d3;
+        for step in 0..20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let line = pool[(state >> 33) as usize % pool.len()];
+            match state % 3 {
+                0 => {
+                    assert_eq!(t.insert(line, step), m.insert(line.0, step));
+                }
+                1 => {
+                    assert_eq!(t.remove(line), m.remove(&line.0));
+                }
+                _ => {
+                    assert_eq!(t.get(line), m.get(&line.0));
+                }
+            }
+            assert_eq!(t.len(), m.len());
+            assert_no_stranded_entries(&t);
+        }
+    }
 }

@@ -17,7 +17,7 @@
 #![forbid(unsafe_code)]
 
 use ccn_mem::NodeId;
-use ccn_sim::{Cycle, Server};
+use ccn_sim::{Component, ComponentStats, Cycle, Server};
 
 /// Network timing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -133,22 +133,6 @@ impl Network {
         self.egress[node.index()].utilization(elapsed)
     }
 
-    /// Mean queueing delay across all ports, in cycles.
-    pub fn mean_port_delay(&self) -> f64 {
-        let all = self.egress.iter().chain(self.ingress.iter());
-        let (sum, n) = all.fold((0.0, 0u64), |(s, n), p| {
-            (
-                s + p.mean_queue_delay() * p.requests() as f64,
-                n + p.requests(),
-            )
-        });
-        if n == 0 {
-            0.0
-        } else {
-            sum / n as f64
-        }
-    }
-
     /// Resets statistics, keeping port reservations.
     pub fn reset_stats(&mut self) {
         for p in self.egress.iter_mut().chain(self.ingress.iter_mut()) {
@@ -156,6 +140,26 @@ impl Network {
         }
         self.messages = 0;
         self.bytes = 0;
+    }
+}
+
+impl Component for Network {
+    fn component_name(&self) -> &'static str {
+        "net"
+    }
+
+    fn stats_snapshot(&self) -> ComponentStats {
+        let mut snap = ComponentStats::named("net")
+            .counter("messages", self.messages)
+            .counter("bytes", self.bytes);
+        for port in self.egress.iter().chain(self.ingress.iter()) {
+            snap.children.push(port.stats_snapshot());
+        }
+        snap
+    }
+
+    fn reset_stats(&mut self) {
+        Network::reset_stats(self);
     }
 }
 

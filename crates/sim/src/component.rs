@@ -1,0 +1,198 @@
+//! The unified statistics spine.
+//!
+//! Every hardware model in the workspace (bus, memory banks, protocol
+//! engines, network ports, …) keeps its own counters; [`Component`] is
+//! the one interface through which the machine walks them. A component
+//! answers two questions — "what have you counted?"
+//! ([`Component::stats_snapshot`])
+//! and "start counting afresh" ([`Component::reset_stats`]) — and a
+//! composite component (a node, the whole machine) answers them by
+//! aggregating its children into one [`ComponentStats`] tree.
+//!
+//! The walk is *observational*: taking a snapshot never mutates the
+//! component, and resetting statistics never touches simulated state
+//! (reservations, queue contents, busy times). That is what makes the
+//! spine safe to thread through a calibrated simulator — reports are
+//! derived from the same counters the components already keep, collected
+//! in one canonical pass instead of ad-hoc per-field plumbing.
+
+use crate::Cycle;
+
+/// A named snapshot of one component's statistics, with child components
+/// nested beneath it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ComponentStats {
+    /// Component name, unique among its siblings (e.g. `"bus"`).
+    pub name: String,
+    /// Monotonic event counts, e.g. `("transactions", 1024)`.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Derived point-in-time values, e.g. `("mean_queue_delay", 3.5)`.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Sub-component snapshots.
+    pub children: Vec<ComponentStats>,
+}
+
+impl ComponentStats {
+    /// An empty snapshot named `name`.
+    pub fn named(name: impl Into<String>) -> Self {
+        ComponentStats {
+            name: name.into(),
+            ..ComponentStats::default()
+        }
+    }
+
+    /// Adds a counter (builder style).
+    #[must_use]
+    pub fn counter(mut self, key: &'static str, value: u64) -> Self {
+        self.counters.push((key, value));
+        self
+    }
+
+    /// Adds a gauge (builder style).
+    #[must_use]
+    pub fn gauge(mut self, key: &'static str, value: f64) -> Self {
+        self.gauges.push((key, value));
+        self
+    }
+
+    /// Adds a child snapshot (builder style).
+    #[must_use]
+    pub fn child(mut self, child: ComponentStats) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// The value of counter `key` on this node, if present.
+    pub fn get_counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Sums counter `key` over this node and every descendant.
+    pub fn total(&self, key: &str) -> u64 {
+        self.get_counter(key).unwrap_or(0) + self.children.iter().map(|c| c.total(key)).sum::<u64>()
+    }
+
+    /// The first descendant (depth-first, including `self`) named `name`.
+    pub fn find(&self, name: &str) -> Option<&ComponentStats> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Renders the tree as indented `name: counter=value …` lines, one
+    /// component per line — a debugging view, not a stable artifact
+    /// format.
+    pub fn render(&self) -> String {
+        fn walk(node: &ComponentStats, depth: usize, out: &mut String) {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{:indent$}{}:", "", node.name, indent = depth * 2);
+            for (k, v) in &node.counters {
+                let _ = write!(out, " {k}={v}");
+            }
+            for (k, v) in &node.gauges {
+                let _ = write!(out, " {k}={v:.3}");
+            }
+            out.push('\n');
+            for child in &node.children {
+                walk(child, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out
+    }
+}
+
+/// A hardware model that participates in the statistics spine.
+pub trait Component {
+    /// The component's name within its parent (e.g. `"bus"`, `"net"`).
+    fn component_name(&self) -> &'static str;
+
+    /// A snapshot of the component's statistics, children included.
+    fn stats_snapshot(&self) -> ComponentStats;
+
+    /// Resets statistics without disturbing simulated state (pending
+    /// reservations, queue contents, busy intervals all survive).
+    fn reset_stats(&mut self);
+}
+
+impl Component for crate::Server {
+    fn component_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn stats_snapshot(&self) -> ComponentStats {
+        ComponentStats::named(self.name())
+            .counter("requests", self.requests())
+            .counter("busy_cycles", self.busy_cycles())
+            .gauge("mean_queue_delay", self.mean_queue_delay())
+    }
+
+    fn reset_stats(&mut self) {
+        crate::Server::reset_stats(self);
+    }
+}
+
+/// Convenience: utilization of a `busy_cycles` counter over `elapsed`.
+pub fn utilization(busy: Cycle, elapsed: Cycle) -> f64 {
+    if elapsed == 0 {
+        0.0
+    } else {
+        busy as f64 / elapsed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Server;
+
+    #[test]
+    fn tree_totals_and_lookup() {
+        let tree = ComponentStats::named("machine")
+            .counter("events", 5)
+            .child(ComponentStats::named("node0").counter("events", 2))
+            .child(
+                ComponentStats::named("node1")
+                    .counter("events", 3)
+                    .child(ComponentStats::named("bus").counter("events", 7)),
+            );
+        assert_eq!(tree.total("events"), 17);
+        assert_eq!(tree.get_counter("events"), Some(5));
+        assert_eq!(tree.find("bus").unwrap().total("events"), 7);
+        assert!(tree.find("node2").is_none());
+    }
+
+    #[test]
+    fn server_component_snapshot_and_reset() {
+        let mut s = Server::new("bank");
+        s.acquire(0, 10);
+        let snap = s.stats_snapshot();
+        assert_eq!(snap.name, "bank");
+        assert_eq!(snap.get_counter("requests"), Some(1));
+        assert_eq!(snap.get_counter("busy_cycles"), Some(10));
+        Component::reset_stats(&mut s);
+        assert_eq!(s.stats_snapshot().get_counter("requests"), Some(0));
+        // Reservations survive the reset: the server is still busy.
+        assert_eq!(s.next_free(), 10);
+    }
+
+    #[test]
+    fn render_is_indented_by_depth() {
+        let tree = ComponentStats::named("m")
+            .child(ComponentStats::named("c").counter("x", 1).gauge("g", 0.5));
+        let text = tree.render();
+        assert!(text.contains("m:\n"));
+        assert!(text.contains("  c: x=1 g=0.500"));
+    }
+
+    #[test]
+    fn utilization_guards_zero_elapsed() {
+        assert_eq!(utilization(10, 0), 0.0);
+        assert!((utilization(25, 100) - 0.25).abs() < 1e-12);
+    }
+}

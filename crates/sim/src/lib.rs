@@ -11,8 +11,14 @@
 //!   network ports). A client asks for the resource at time `t` for `d`
 //!   cycles and receives the grant time; the server records utilization and
 //!   queueing-delay statistics as a side effect.
-//! * [`stats`] — counters, running means and fixed-bucket histograms used to
-//!   produce the paper's communication statistics (Tables 6 and 7).
+//! * [`Port`] — a typed message endpoint that wraps a payload into the
+//!   queue's event type, so components talk to each other through named
+//!   channels instead of scheduling raw events ad hoc.
+//! * [`Component`] — the statistics spine: one interface through which a
+//!   machine model walks every hardware component for snapshots
+//!   ([`ComponentStats`]) and measurement-window resets.
+//! * [`stats`] — counters and running means used to produce the paper's
+//!   communication statistics (Tables 6 and 7).
 //! * [`SplitMix64`] — a tiny deterministic RNG for components that need
 //!   reproducible pseudo-randomness without pulling in an external crate.
 //!
@@ -39,14 +45,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod component;
 mod event;
 pub mod hash;
+mod port;
 mod rng;
 mod server;
 pub mod stats;
 
+pub use component::{Component, ComponentStats};
 pub use event::EventQueue;
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{FxHashMap, FxHashSet};
+pub use port::Port;
 pub use rng::SplitMix64;
 pub use server::Server;
 

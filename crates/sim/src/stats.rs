@@ -1,4 +1,4 @@
-//! Statistics primitives: counters, running means, histograms.
+//! Statistics primitives: counters and running means.
 //!
 //! These are deliberately simple — everything the paper reports is a count,
 //! a mean, a ratio, or a rate — but they are used pervasively, so they live
@@ -117,94 +117,6 @@ impl fmt::Display for Accumulator {
     }
 }
 
-/// A histogram with fixed-width buckets and an overflow bucket.
-///
-/// Used for queueing-delay and inter-arrival-time distributions.
-///
-/// ```
-/// let mut h = ccn_sim::stats::Histogram::new(10.0, 4); // buckets [0,10) .. [30,40) + overflow
-/// h.record(5.0);
-/// h.record(35.0);
-/// h.record(1e9);
-/// assert_eq!(h.bucket_counts(), &[1, 0, 0, 1]);
-/// assert_eq!(h.overflow(), 1);
-/// ```
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    bucket_width: f64,
-    buckets: Vec<u64>,
-    overflow: u64,
-    acc: Accumulator,
-}
-
-impl Histogram {
-    /// Creates a histogram with `buckets` buckets of width `bucket_width`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bucket_width` is not strictly positive or `buckets` is 0.
-    pub fn new(bucket_width: f64, buckets: usize) -> Self {
-        assert!(bucket_width > 0.0, "bucket width must be positive");
-        assert!(buckets > 0, "need at least one bucket");
-        Histogram {
-            bucket_width,
-            buckets: vec![0; buckets],
-            overflow: 0,
-            acc: Accumulator::new(),
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, sample: f64) {
-        self.acc.record(sample);
-        let idx = (sample / self.bucket_width).floor();
-        if idx >= 0.0 && (idx as usize) < self.buckets.len() {
-            self.buckets[idx as usize] += 1;
-        } else {
-            self.overflow += 1;
-        }
-    }
-
-    /// Per-bucket counts (excluding overflow).
-    pub fn bucket_counts(&self) -> &[u64] {
-        &self.buckets
-    }
-
-    /// Count of samples beyond the last bucket (or negative).
-    pub fn overflow(&self) -> u64 {
-        self.overflow
-    }
-
-    /// Summary statistics over all recorded samples.
-    pub fn summary(&self) -> &Accumulator {
-        &self.acc
-    }
-
-    /// Merges another histogram into this one. Used by the sweep harness
-    /// and other parallel collectors to combine per-worker statistics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the histograms have different bucket geometry — merging
-    /// distributions sampled on different grids is meaningless.
-    pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(
-            self.bucket_width, other.bucket_width,
-            "bucket width mismatch in Histogram::merge"
-        );
-        assert_eq!(
-            self.buckets.len(),
-            other.buckets.len(),
-            "bucket count mismatch in Histogram::merge"
-        );
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += theirs;
-        }
-        self.overflow += other.overflow;
-        self.acc.merge(&other.acc);
-    }
-}
-
 /// Rate helper: events per microsecond given a count and an elapsed time in
 /// CPU cycles (5 ns), as used for the "arrival rate of requests per µs"
 /// columns of Table 6.
@@ -260,45 +172,6 @@ mod tests {
         let empty = Accumulator::new();
         assert_eq!(empty.variance(), 0.0);
         assert_eq!(empty.cv(), 0.0);
-    }
-
-    #[test]
-    fn histogram_buckets() {
-        let mut h = Histogram::new(1.0, 3);
-        for x in [0.0, 0.5, 1.0, 2.9, 3.0, -1.0] {
-            h.record(x);
-        }
-        assert_eq!(h.bucket_counts(), &[2, 1, 1]);
-        assert_eq!(h.overflow(), 2);
-        assert_eq!(h.summary().count(), 6);
-    }
-
-    #[test]
-    #[should_panic(expected = "bucket width")]
-    fn histogram_rejects_zero_width() {
-        let _ = Histogram::new(0.0, 3);
-    }
-
-    #[test]
-    fn histogram_merge_adds_buckets_and_summary() {
-        let mut a = Histogram::new(1.0, 3);
-        a.record(0.5);
-        a.record(9.0);
-        let mut b = Histogram::new(1.0, 3);
-        b.record(0.5);
-        b.record(2.5);
-        a.merge(&b);
-        assert_eq!(a.bucket_counts(), &[2, 0, 1]);
-        assert_eq!(a.overflow(), 1);
-        assert_eq!(a.summary().count(), 4);
-        assert_eq!(a.summary().max(), Some(9.0));
-    }
-
-    #[test]
-    #[should_panic(expected = "bucket width mismatch")]
-    fn histogram_merge_rejects_mismatched_geometry() {
-        let mut a = Histogram::new(1.0, 3);
-        a.merge(&Histogram::new(2.0, 3));
     }
 
     #[test]

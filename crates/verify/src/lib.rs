@@ -2,7 +2,7 @@
 //!
 //! Two independent layers of assurance over the coherence machinery:
 //!
-//! 1. **Bounded exhaustive model checking** ([`model`], [`explore`]):
+//! 1. **Bounded exhaustive model checking** ([`model`], [`mod@explore`]):
 //!    an explicit-state transition system that drives the *real*
 //!    [`ccn_protocol::directory::Directory`] together with an untimed
 //!    mirror of the controller handlers, enumerating every message

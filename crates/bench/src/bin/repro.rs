@@ -7,7 +7,7 @@
 //!
 //! targets: table1 table2 table3 table4 table5 table6 table7
 //!          fig6 fig7 fig8 fig9 fig10 fig11 fig12
-//!          ablations summary validate verify golden bench all
+//!          ablations summary stats trace validate verify golden bench all
 //! ```
 //!
 //! `verify` runs the protocol verification suite: bounded exhaustive
@@ -23,9 +23,22 @@
 //! probe storm, directory handler mix, end-to-end reference sweep) and
 //! writes a JSON artifact (`--bench-json FILE`, default
 //! `BENCH_sim.json`). With `--baseline FILE` it gates each case's
-//! throughput against the baseline's `per_sec` at a 25% tolerance and
-//! exits non-zero on a regression; `--quick` shrinks the workloads to
-//! CI-smoke size. See `docs/PERF.md`.
+//! throughput against the baseline's `per_sec` at a 25% tolerance
+//! (override with `--tolerance F`) and exits non-zero on a regression;
+//! `--quick` shrinks the workloads to CI-smoke size; `--obs` runs the
+//! end-to-end case with the observability layer on (trace ring +
+//! stats-spine sampler), turning the gate into an obs-overhead bound.
+//! See `docs/PERF.md`.
+//!
+//! `stats` runs the reference simulation (Ocean on HWC) with the
+//! stats-spine sampler enabled (`--sample-every N` cycles, default 1000)
+//! and prints the end-of-run component tree; with `--timeline` it also
+//! writes the sampled per-component time series as JSON under `--out`
+//! (default `results/`). `trace` runs the same simulation with protocol
+//! tracing on and exports a Chrome `trace_event` file loadable in
+//! Perfetto or `chrome://tracing` to the same directory. Both JSON
+//! artifacts are deterministic: byte-identical across reruns and worker
+//! counts. See `docs/OBSERVABILITY.md`.
 //!
 //! The default scale runs the full 16×4 machine with scaled-down data sets
 //! (minutes); `--paper` uses the paper's Table 5 sizes (hours); `--quick`
@@ -124,6 +137,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--conf-cases",
     "--baseline",
     "--bench-json",
+    "--sample-every",
+    "--tolerance",
 ];
 
 /// The non-flag arguments, with every value flag's value skipped.
@@ -308,6 +323,8 @@ fn render_target(
             );
             render(&mut out, ablations::flash_conditions(opts).render());
         }
+        "stats" => render(&mut out, run_stats_target(opts, args)),
+        "trace" => render(&mut out, run_trace_target(opts, args)),
         "validate" => {
             let (report, ok) = validate(opts);
             render(&mut out, report);
@@ -465,8 +482,9 @@ fn validate(opts: Options) -> (String, bool) {
 fn run_bench_target(args: &[String]) -> (String, bool) {
     use ccn_bench::perf;
     let quick = args.iter().any(|a| a == "--quick");
+    let obs = args.iter().any(|a| a == "--obs");
     let revision = git_describe();
-    let report = perf::run_bench(quick, &revision);
+    let report = perf::run_bench(quick, obs, &revision);
     let mut out = report.render();
     let mut ok = true;
     let json_path = flag_value(args, "--bench-json").unwrap_or_else(|| "BENCH_sim.json".into());
@@ -474,18 +492,111 @@ fn run_bench_target(args: &[String]) -> (String, bool) {
         .expect("can write the benchmark artifact");
     let _ = writeln!(out, "wrote {json_path}");
     if let Some(path) = flag_value(args, "--baseline") {
+        let tolerance = flag_value(args, "--tolerance")
+            .map(|v| {
+                v.parse::<f64>().unwrap_or_else(|_| {
+                    eprintln!("--tolerance wants a fraction like 0.25, got '{v}'");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(0.25);
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let baseline = ccn_harness::json::parse(&text)
             .unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e:?}"));
-        let (lines, pass) = report.check_against(&baseline, 0.25);
-        let _ = writeln!(out, "\nregression gate vs {path} (25% tolerance):");
+        let (lines, pass) = report.check_against(&baseline, tolerance);
+        let _ = writeln!(
+            out,
+            "\nregression gate vs {path} ({:.0}% tolerance):",
+            tolerance * 100.0
+        );
         for line in lines {
             let _ = writeln!(out, "{line}");
         }
         ok = pass;
     }
     (out, ok)
+}
+
+/// Builds the observability reference machine: Ocean on HWC at the
+/// selected scale, the same simulation the `summary` and `bench` targets
+/// center on.
+fn obs_machine(opts: Options) -> ccnuma::Machine {
+    use ccnuma::experiments::{config_for, ConfigMods};
+    use ccnuma::Architecture;
+    let app = SuiteApp::OceanBase;
+    let cfg = config_for(app, Architecture::Hwc, opts, ConfigMods::default());
+    let instance = app.instantiate(opts.scale);
+    ccnuma::Machine::new(cfg, instance.as_ref()).expect("reference config is valid")
+}
+
+/// Where the observability targets write their JSON artifacts: under
+/// `--out` when given, `results/` otherwise. The files are deliberately
+/// un-stamped (no revision header) so identical runs are byte-identical.
+fn obs_artifact(args: &[String], name: &str, opts: Options) -> String {
+    let dir = flag_value(args, "--out").unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&dir).expect("can create the output directory");
+    format!("{dir}/{name}_{}.json", ccnuma::sweep::scale_tag(opts.scale))
+}
+
+/// The `stats` target: the component stats spine with the cycle sampler
+/// on; `--timeline` additionally dumps the columnar time series as JSON.
+fn run_stats_target(opts: Options, args: &[String]) -> String {
+    let every = uint_flag(args, "--sample-every", 1000);
+    let mut machine = obs_machine(opts);
+    machine.enable_sampler(every);
+    machine.run();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "component stats: Ocean on HWC, sampled every {every} cycles"
+    );
+    render(&mut out, machine.component_stats().render());
+    let timeline = machine.timeline().expect("sampler was enabled");
+    let _ = writeln!(
+        out,
+        "timeline: {} sample(s) x {} series over the measured phase",
+        timeline.len(),
+        timeline.series_count()
+    );
+    if args.iter().any(|a| a == "--timeline") {
+        let path = obs_artifact(args, "timeline", opts);
+        std::fs::write(&path, timeline.to_json().render_pretty())
+            .expect("can write the timeline artifact");
+        let _ = writeln!(out, "wrote {path}");
+    }
+    out
+}
+
+/// The `trace` target: the reference simulation with protocol tracing
+/// and the sampler on, exported as a Chrome `trace_event` JSON document.
+fn run_trace_target(opts: Options, args: &[String]) -> String {
+    let every = uint_flag(args, "--sample-every", 1000);
+    let mut machine = obs_machine(opts);
+    machine.enable_trace(1 << 20);
+    machine.enable_sampler(every);
+    let report = machine.run();
+    let mut out = String::new();
+    let path = obs_artifact(args, "trace", opts);
+    std::fs::write(&path, machine.chrome_trace().render_pretty())
+        .expect("can write the trace artifact");
+    let _ = writeln!(
+        out,
+        "trace: {} handler span(s), {} dropped; wrote {path}",
+        machine.trace().len(),
+        report.trace_dropped
+    );
+    if report.trace_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "warning: the trace ring overflowed; the export covers only the most recent spans"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "load it at https://ui.perfetto.dev or chrome://tracing"
+    );
+    out
 }
 
 /// The `verify` target: bounded exhaustive model checking, a checker

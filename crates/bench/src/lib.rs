@@ -42,6 +42,8 @@ pub const TARGETS: &[&str] = &[
     "fig12",
     "ablations",
     "summary",
+    "stats",
+    "trace",
     "validate",
     "verify",
     "golden",
@@ -54,6 +56,8 @@ pub const TARGETS: &[&str] = &[
 pub const EXTRA_TARGETS: &[&str] = &[
     "ablations",
     "summary",
+    "stats",
+    "trace",
     "validate",
     "verify",
     "golden",

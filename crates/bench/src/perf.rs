@@ -161,16 +161,23 @@ impl BenchReport {
 
 /// Runs every benchmark case. `quick` shrinks the work so the whole suite
 /// finishes in a few seconds (the CI smoke gate); the full mode sizes the
-/// cases for stable numbers.
-pub fn run_bench(quick: bool, revision: &str) -> BenchReport {
+/// cases for stable numbers. `obs` runs the end-to-end case with the
+/// observability layer on (protocol trace + stats-spine sampler), so a
+/// baseline gate bounds the overhead of observing.
+pub fn run_bench(quick: bool, obs: bool, revision: &str) -> BenchReport {
     let cases = vec![
         bench_event_queue(if quick { 2_000_000 } else { 10_000_000 }),
         bench_cache_probes(if quick { 2_000_000 } else { 16_000_000 }),
         bench_directory(if quick { 300_000 } else { 1_500_000 }),
-        bench_end_to_end(quick),
+        bench_end_to_end(quick, obs),
     ];
     BenchReport {
-        mode: if quick { "quick" } else { "full" },
+        mode: match (quick, obs) {
+            (true, false) => "quick",
+            (true, true) => "quick+obs",
+            (false, false) => "full",
+            (false, true) => "full+obs",
+        },
         revision: revision.to_string(),
         cases,
         peak_rss_bytes: peak_rss_bytes(),
@@ -295,8 +302,10 @@ fn req(kind: DirRequestKind, requester: NodeId) -> DirRequest {
 
 /// One full reference simulation: Ocean on the HWC architecture — quick
 /// scale for the smoke gate, the default reproduction scale otherwise.
-/// Throughput is simulation events per wall-clock second.
-fn bench_end_to_end(quick: bool) -> CaseResult {
+/// Throughput is simulation events per wall-clock second. With `obs`,
+/// the run carries the full observability load: a protocol-trace ring
+/// and the stats-spine sampler.
+fn bench_end_to_end(quick: bool, obs: bool) -> CaseResult {
     let opts = if quick {
         Options::quick()
     } else {
@@ -306,10 +315,17 @@ fn bench_end_to_end(quick: bool) -> CaseResult {
     let cfg = config_for(app, Architecture::Hwc, opts, ConfigMods::default());
     let instance = app.instantiate(opts.scale);
     let mut machine = Machine::new(cfg, instance.as_ref()).expect("bench config is valid");
+    if obs {
+        machine.enable_trace(1 << 16);
+        machine.enable_sampler(if quick { 500 } else { 10_000 });
+    }
     let start = Instant::now();
     let report = machine.run();
     let secs = start.elapsed().as_secs_f64();
     std::hint::black_box(report.exec_cycles);
+    if obs {
+        std::hint::black_box((machine.trace().len(), machine.timeline().map(|t| t.len())));
+    }
     CaseResult {
         name: "end_to_end_reference",
         unit: "events",

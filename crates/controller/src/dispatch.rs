@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use ccn_protocol::MsgClass;
-use ccn_sim::stats::Accumulator;
+use ccn_sim::stats::{Accumulator, Histogram};
 use ccn_sim::Cycle;
 
 use crate::EnginePolicy;
@@ -56,6 +56,9 @@ pub struct EngineStats {
     pub occupancy: Cycle,
     /// Queueing delay of dispatched requests, in cycles.
     pub queue_delay: Accumulator,
+    /// Queueing-delay distribution (log2 buckets, cycles): the tail the
+    /// mean hides is what distinguishes HWC from PPC under bursty load.
+    pub queue_delay_hist: Histogram,
     /// Arrivals per input-queue class \[responses, net requests, bus\].
     pub class_arrivals: [u64; 3],
     /// Inter-arrival times in cycles (burstiness: the paper attributes
@@ -86,6 +89,8 @@ pub struct ControllerStats {
     pub occupancy: Cycle,
     /// Queueing delay across all dispatches.
     pub queue_delay: Accumulator,
+    /// Queueing-delay distribution across all dispatches.
+    pub queue_delay_hist: Histogram,
 }
 
 fn class_index(class: MsgClass) -> usize {
@@ -220,10 +225,9 @@ impl<R> CoherenceController<R> {
         let (enq_time, req) = engine.queues[class_index(pick)]
             .pop_front()
             .expect("picked a non-empty queue");
-        engine
-            .stats
-            .queue_delay
-            .record(now.saturating_sub(enq_time) as f64);
+        let delay = now.saturating_sub(enq_time);
+        engine.stats.queue_delay.record(delay as f64);
+        engine.stats.queue_delay_hist.record(delay);
         Some((req, pick))
     }
 
@@ -271,8 +275,15 @@ impl<R> CoherenceController<R> {
             out.handled += e.stats.handled;
             out.occupancy += e.stats.occupancy;
             out.queue_delay.merge(&e.stats.queue_delay);
+            out.queue_delay_hist.merge(&e.stats.queue_delay_hist);
         }
         out
+    }
+
+    /// Requests currently waiting in engine `idx`'s input queues (the
+    /// dispatch backlog the sampler's time series tracks).
+    pub fn queue_depth(&self, idx: usize) -> usize {
+        self.engines[idx].queues.iter().map(VecDeque::len).sum()
     }
 
     /// Resets statistics (not queue contents or busy state).
@@ -290,11 +301,14 @@ impl<R> ccn_sim::Component for CoherenceController<R> {
 
     fn stats_snapshot(&self) -> ccn_sim::ComponentStats {
         let agg = self.stats();
+        let total_depth: usize = (0..self.engines.len()).map(|i| self.queue_depth(i)).sum();
         let mut snap = ccn_sim::ComponentStats::named("cc")
             .counter("arrivals", agg.arrivals)
             .counter("handled", agg.handled)
             .counter("occupancy_cycles", agg.occupancy)
-            .gauge("mean_queue_delay", agg.queue_delay.mean());
+            .counter("queue_depth", total_depth as u64)
+            .gauge("mean_queue_delay", agg.queue_delay.mean())
+            .gauge("p99_queue_delay", agg.queue_delay_hist.quantile(0.99));
         for (idx, e) in self.engines.iter().enumerate() {
             snap.children.push(
                 ccn_sim::ComponentStats::named(format!(
@@ -304,6 +318,7 @@ impl<R> ccn_sim::Component for CoherenceController<R> {
                 .counter("arrivals", e.stats.arrivals)
                 .counter("handled", e.stats.handled)
                 .counter("occupancy_cycles", e.stats.occupancy)
+                .counter("queue_depth", self.queue_depth(idx) as u64)
                 .gauge("mean_queue_delay", e.stats.queue_delay.mean())
                 .gauge("mean_interarrival", e.stats.interarrival.mean()),
             );
@@ -435,5 +450,24 @@ mod tests {
     fn bad_handler_interval_panics() {
         let mut c = cc(EnginePolicy::Single);
         c.complete_handler(0, 10, 5);
+    }
+
+    #[test]
+    fn queue_delay_histogram_and_depth() {
+        let mut c = cc(EnginePolicy::Single);
+        c.enqueue(EngineRole::Local, 0, MsgClass::BusRequest, 0, 1);
+        c.enqueue(EngineRole::Local, 0, MsgClass::NetRequest, 0, 2);
+        assert_eq!(c.queue_depth(0), 2);
+        c.dispatch(0, 10); // delay 10
+        assert_eq!(c.queue_depth(0), 1);
+        c.dispatch(0, 16); // delay 16
+        let s = c.stats();
+        assert_eq!(s.queue_delay_hist.count(), 2);
+        assert_eq!(s.queue_delay_hist.min(), Some(10));
+        assert_eq!(s.queue_delay_hist.max(), Some(16));
+        // Histogram mean agrees exactly with the accumulator mean.
+        assert_eq!(s.queue_delay_hist.mean(), s.queue_delay.mean());
+        let snap = ccn_sim::Component::stats_snapshot(&c);
+        assert_eq!(snap.get_counter("queue_depth"), Some(0));
     }
 }

@@ -20,6 +20,7 @@ use crate::steps::{run_steps, send_msg, CcRequest, StepRun};
 
 impl Machine {
     pub(crate) fn execute_handler(&mut self, n: usize, engine: usize, req: CcRequest, now: Cycle) {
+        self.set_current_engine(engine as u8);
         let end = match req {
             CcRequest::Bus { kind, line } => {
                 if self.home_index(line) == n {

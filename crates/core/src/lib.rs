@@ -39,6 +39,7 @@ pub mod config;
 pub mod experiments;
 pub mod machine;
 mod node;
+pub mod observe;
 pub mod probe;
 pub mod report;
 mod steps;

@@ -30,6 +30,8 @@ pub struct TraceEvent {
     pub time: Cycle,
     /// Executing node.
     pub node: usize,
+    /// Executing protocol engine within the node's controller.
+    pub engine: u8,
     /// Handler label (Table 4 row name).
     pub handler: &'static str,
     /// The cache line concerned.
@@ -227,8 +229,16 @@ pub struct Machine {
     /// Pages already assigned under the first-touch policy.
     touched_pages: FxHashSet<u64>,
     /// End-to-end latency of every completed L2 miss (block to fill),
-    /// in cycles.
-    miss_latency: ccn_sim::stats::Accumulator,
+    /// in cycles: full distribution, machine-wide.
+    miss_latency: ccn_sim::Histogram,
+    /// Per-node L2 miss latency distributions (indexed by node).
+    node_miss_latency: Vec<ccn_sim::Histogram>,
+    /// Optional cycle-cadenced sampler over the component stats spine
+    /// (see [`Machine::enable_sampler`]).
+    sampler: Option<ccn_obs::Sampler>,
+    /// Engine index of the protocol handler currently executing; stamped
+    /// into trace events so exported traces get one track per engine.
+    current_engine: u8,
     /// Optional bounded protocol trace (oldest events dropped).
     trace: Option<TraceRing>,
     /// Observer called on every recorded handler execution; for external
@@ -302,7 +312,7 @@ impl Machine {
                 }
             })
             .collect();
-        let nodes = (0..cfg.nodes)
+        let nodes: Vec<Node> = (0..cfg.nodes)
             .map(|n| Node::new(&cfg, NodeId(n as u16)))
             .collect();
         let net = Network::new(cfg.nodes, cfg.net);
@@ -312,6 +322,7 @@ impl Machine {
             cfg.lat.lock_acquire,
             cfg.lat.lock_handoff,
         );
+        let nodes_len = nodes.len();
         Ok(Machine {
             cfg,
             map,
@@ -327,7 +338,10 @@ impl Machine {
             done_count: 0,
             workload_name: app.name(),
             touched_pages: FxHashSet::default(),
-            miss_latency: ccn_sim::stats::Accumulator::new(),
+            miss_latency: ccn_sim::Histogram::new(),
+            node_miss_latency: vec![ccn_sim::Histogram::new(); nodes_len],
+            sampler: None,
+            current_engine: 0,
             trace: None,
             #[cfg(feature = "component-trace")]
             trace_hook: None,
@@ -355,6 +369,12 @@ impl Machine {
     pub fn run_with_event_limit(&mut self, max_events: u64) -> SimReport {
         let mut events = 0u64;
         while let Some((t, ev)) = self.queue.pop() {
+            // Take any samples that came due strictly before this event
+            // dispatches: the observed state is a pure function of the
+            // event history, so timelines are seed-deterministic.
+            if self.sampler.is_some() {
+                self.take_due_samples(t);
+            }
             events += 1;
             if events > max_events {
                 panic!(
@@ -401,6 +421,37 @@ impl Machine {
         self.queue.total_scheduled()
     }
 
+    /// Samples the stats spine at the sampler's cadence: once per due
+    /// cycle at or before `now`, attributing each sample to its due cycle.
+    fn take_due_samples(&mut self, now: Cycle) {
+        while let Some(due) = self.sampler.as_ref().and_then(|s| s.due_at(now)) {
+            let snapshot = self.component_stats();
+            self.sampler
+                .as_mut()
+                .expect("sampler checked above")
+                .record(due, &snapshot);
+        }
+    }
+
+    /// Samples the component stats spine every `every` cycles during the
+    /// measured phase into a columnar [`Timeline`](ccn_obs::Timeline)
+    /// (see [`timeline`](Machine::timeline)). Call before
+    /// [`run`](Machine::run). Warm-up samples are discarded when the
+    /// measured phase starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn enable_sampler(&mut self, every: Cycle) {
+        self.sampler = Some(ccn_obs::Sampler::new(every));
+    }
+
+    /// The sampled component time series (empty unless
+    /// [`enable_sampler`](Machine::enable_sampler) was called).
+    pub fn timeline(&self) -> Option<&ccn_obs::Timeline> {
+        self.sampler.as_ref().map(|s| s.timeline())
+    }
+
     /// Records protocol-handler executions for post-mortem inspection
     /// (protocol debugging, tutorials) in a bounded ring holding the most
     /// recent `capacity` events — once full, the oldest event is dropped
@@ -434,6 +485,12 @@ impl Machine {
         self.trace_hook = Some(hook);
     }
 
+    /// Marks `engine` as the executor of the handler about to run, so
+    /// trace events carry the right per-engine track.
+    pub(crate) fn set_current_engine(&mut self, engine: u8) {
+        self.current_engine = engine;
+    }
+
     pub(crate) fn record_trace(
         &mut self,
         time: Cycle,
@@ -442,11 +499,13 @@ impl Machine {
         line: LineAddr,
         occupancy: Cycle,
     ) {
+        let engine = self.current_engine;
         #[cfg(feature = "component-trace")]
         if let Some(hook) = self.trace_hook {
             hook(&TraceEvent {
                 time,
                 node,
+                engine,
                 handler,
                 line,
                 occupancy,
@@ -456,6 +515,7 @@ impl Machine {
             ring.push(TraceEvent {
                 time,
                 node,
+                engine,
                 handler,
                 line,
                 occupancy,
@@ -620,7 +680,13 @@ impl Machine {
         SyncState::reset_stats(&mut self.sync);
         self.useless_invalidations = 0;
         self.handler_counts.clear();
-        self.miss_latency = ccn_sim::stats::Accumulator::new();
+        self.miss_latency = ccn_sim::Histogram::new();
+        for h in &mut self.node_miss_latency {
+            *h = ccn_sim::Histogram::new();
+        }
+        if let Some(sampler) = &mut self.sampler {
+            sampler.arm(t);
+        }
     }
 
     // ---------------------------------------------------------------
@@ -863,8 +929,9 @@ impl Machine {
         let n = self.procs[p].node;
         let slot = self.procs[p].slot;
         if at > self.procs[p].local_time {
-            self.miss_latency
-                .record((at - self.procs[p].local_time) as f64);
+            let latency = at - self.procs[p].local_time;
+            self.miss_latency.record(latency);
+            self.node_miss_latency[n].record(latency);
         }
         self.procs[p].l2.unpin(line);
         let eviction = if self.procs[p].l2.state_of(line) != LineState::Invalid {
@@ -1131,13 +1198,15 @@ impl Machine {
         let mut cc_occupancy = 0;
         let mut delay_sum = 0.0;
         let mut delay_n = 0u64;
-        for node in &self.nodes {
+        let mut cc_queue_delay_hist = ccn_sim::Histogram::new();
+        for (i, node) in self.nodes.iter().enumerate() {
             let stats = node.cc.stats();
             cc_arrivals += stats.arrivals;
             cc_handled += stats.handled;
             cc_occupancy += stats.occupancy;
             delay_sum += stats.queue_delay.sum();
             delay_n += stats.queue_delay.count();
+            cc_queue_delay_hist.merge(&stats.queue_delay_hist);
             let engines = (0..node.cc.engines())
                 .map(|e| {
                     let es = node.cc.engine_stats(e);
@@ -1157,6 +1226,8 @@ impl Machine {
                 handled: stats.handled,
                 occupancy: stats.occupancy,
                 queue_delay_ns: ccn_sim::cycles_to_ns(1) * stats.queue_delay.mean(),
+                queue_delay_hist: stats.queue_delay_hist,
+                miss_latency_hist: self.node_miss_latency[i].clone(),
                 engines,
             });
         }
@@ -1193,8 +1264,11 @@ impl Machine {
             },
             miss_latency_ns: (
                 ccn_sim::cycles_to_ns(1) * self.miss_latency.mean(),
-                ccn_sim::cycles_to_ns(1) * self.miss_latency.max().unwrap_or(0.0),
+                ccn_sim::cycles_to_ns(1) * self.miss_latency.max().unwrap_or(0) as f64,
             ),
+            miss_latency_hist: self.miss_latency.clone(),
+            cc_queue_delay_hist,
+            net_transit_hist: self.net.transit_histogram().clone(),
             useless_invalidations: self.useless_invalidations,
             trace_dropped: self.trace_dropped(),
             arrival_cv: {

@@ -255,6 +255,7 @@ pub struct Runner {
     progress: bool,
     checkpoint: Option<PathBuf>,
     checkpoint_meta: Vec<(&'static str, Json)>,
+    metrics_dir: Option<PathBuf>,
     tally: Mutex<SweepStats>,
 }
 
@@ -270,6 +271,7 @@ impl Runner {
             progress: false,
             checkpoint: None,
             checkpoint_meta: Vec::new(),
+            metrics_dir: None,
             tally: Mutex::new(SweepStats::default()),
         }
     }
@@ -284,6 +286,7 @@ impl Runner {
             progress: true,
             checkpoint: None,
             checkpoint_meta: Vec::new(),
+            metrics_dir: None,
             tally: Mutex::new(SweepStats::default()),
         }
     }
@@ -299,6 +302,18 @@ impl Runner {
     /// (e.g. the target name and the git revision).
     pub fn with_meta(mut self, meta: Vec<(&'static str, Json)>) -> Self {
         self.checkpoint_meta = meta;
+        self
+    }
+
+    /// Writes a per-run metrics sidecar (latency histograms, see
+    /// [`crate::observe::report_metrics`]) into `dir` for every job this
+    /// runner simulates, named after the job id. Sidecar content is a
+    /// deterministic function of the job alone, so the files are
+    /// byte-identical regardless of worker count or finish order. Jobs
+    /// replayed from a checkpoint are not re-simulated and keep whatever
+    /// sidecar the recording sweep wrote.
+    pub fn with_metrics_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.metrics_dir = Some(dir.into());
         self
     }
 
@@ -342,8 +357,15 @@ impl Runner {
     pub fn run(&self, keys: &[RunKey]) -> Vec<RunRecord> {
         let opts = self.opts;
         let jobs: Vec<(String, RunKey)> = keys.iter().map(|k| (k.id(opts), *k)).collect();
-        self.run_keyed(jobs, |k| {
-            RunRecord::from_report(&run_one(k.app, k.arch, opts, k.mods))
+        let metrics_dir = self.metrics_dir.clone();
+        self.run_keyed(jobs, move |k| {
+            let report = run_one(k.app, k.arch, opts, k.mods);
+            if let Some(dir) = &metrics_dir {
+                let payload = crate::observe::report_metrics(&report);
+                ccn_obs::write_sidecar(dir, &k.id(opts), &payload)
+                    .unwrap_or_else(|e| panic!("writing metrics sidecar for {}: {e}", k.id(opts)));
+            }
+            RunRecord::from_report(&report)
         })
     }
 
@@ -495,6 +517,29 @@ mod tests {
             a.id(opts),
             RunKey::new(SuiteApp::OceanBase, Architecture::Ppc).id(opts)
         );
+    }
+
+    #[test]
+    fn metrics_sidecars_are_written_and_deterministic() {
+        let dir = std::env::temp_dir().join(format!("ccn-sweep-sidecar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = Options::quick();
+        let keys = [RunKey::new(SuiteApp::OceanBase, Architecture::Hwc)];
+        let seq = Runner::sequential(opts).with_metrics_dir(&dir);
+        seq.run(&keys);
+        let path = ccn_obs::sidecar_path(&dir, &keys[0].id(opts));
+        let first = std::fs::read_to_string(&path).unwrap();
+        // The payload carries a parseable miss-latency histogram.
+        let json = ccn_harness::json::parse(&first).unwrap();
+        assert!(ccn_obs::histogram_from_json(json.get("miss_latency").unwrap()).is_some());
+        // Re-running on a parallel pool rewrites a byte-identical file.
+        std::fs::remove_file(&path).unwrap();
+        Runner::parallel(opts, 2)
+            .with_progress(false)
+            .with_metrics_dir(&dir)
+            .run(&keys);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -17,7 +17,7 @@
 #![forbid(unsafe_code)]
 
 use ccn_mem::NodeId;
-use ccn_sim::{Component, ComponentStats, Cycle, Server};
+use ccn_sim::{Component, ComponentStats, Cycle, Histogram, Server};
 
 /// Network timing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +73,7 @@ pub struct Network {
     ingress: Vec<Server>,
     messages: u64,
     bytes: u64,
+    transit: Histogram,
 }
 
 impl Network {
@@ -90,6 +91,7 @@ impl Network {
             ingress: vec![Server::new("net ingress"); nodes],
             messages: 0,
             bytes: 0,
+            transit: Histogram::new(),
         }
     }
 
@@ -115,7 +117,15 @@ impl Network {
         let injected = self.egress[from.index()].acquire_until(time + self.config.ni_overhead, ser);
         let head_arrives = injected + self.config.latency_cycles;
         let delivered = self.ingress[to.index()].acquire_until(head_arrives, ser);
-        delivered + self.config.ni_overhead
+        let arrival = delivered + self.config.ni_overhead;
+        self.transit.record(arrival - time);
+        arrival
+    }
+
+    /// End-to-end message transit times (send to NI delivery), in cycles,
+    /// as a log2-bucketed distribution.
+    pub fn transit_histogram(&self) -> &Histogram {
+        &self.transit
     }
 
     /// Total messages sent.
@@ -140,6 +150,7 @@ impl Network {
         }
         self.messages = 0;
         self.bytes = 0;
+        self.transit = Histogram::new();
     }
 }
 
@@ -151,7 +162,8 @@ impl Component for Network {
     fn stats_snapshot(&self) -> ComponentStats {
         let mut snap = ComponentStats::named("net")
             .counter("messages", self.messages)
-            .counter("bytes", self.bytes);
+            .counter("bytes", self.bytes)
+            .gauge("p99_transit", self.transit.quantile(0.99));
         for port in self.egress.iter().chain(self.ingress.iter()) {
             snap.children.push(port.stats_snapshot());
         }
@@ -220,8 +232,21 @@ mod tests {
         let mut net = n(NetConfig::default());
         net.send(0, NodeId(0), NodeId(1), 16);
         assert!(net.egress_utilization(NodeId(0), 10) > 0.0);
+        assert_eq!(net.transit_histogram().count(), 1);
         net.reset_stats();
         assert_eq!(net.messages(), 0);
         assert_eq!(net.egress_utilization(NodeId(0), 10), 0.0);
+        assert_eq!(net.transit_histogram().count(), 0);
+    }
+
+    #[test]
+    fn transit_histogram_records_end_to_end_times() {
+        let mut net = n(NetConfig::default());
+        let a = net.send(0, NodeId(0), NodeId(1), 16); // uncontended
+        let _b = net.send(0, NodeId(0), NodeId(1), 16); // queues at egress
+        let h = net.transit_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(a)); // first message left at time 0
+        assert!(h.max().unwrap() > a);
     }
 }

@@ -1,0 +1,69 @@
+//! Per-run metrics sidecars for sweep checkpoints.
+//!
+//! A sweep writes one JSONL checkpoint per configuration; the sidecar
+//! mechanism drops one metrics file per run next to it, keyed by the
+//! run's stable job id. Sidecar content is produced per run from the
+//! deterministic simulation, so the files are byte-identical regardless
+//! of how many workers executed the sweep or in what order runs finished.
+
+use ccn_harness::Json;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The sidecar file path for run `id` under `dir`.
+///
+/// Job ids contain `/` separators (`"tiny/4x2/OceanBase/HWC"`); every
+/// character outside `[A-Za-z0-9._-]` maps to `-` so the id flattens to
+/// one file name.
+pub fn sidecar_path(dir: &Path, id: &str) -> PathBuf {
+    let safe: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    dir.join(format!("{safe}.metrics.json"))
+}
+
+/// Writes `payload` as the metrics sidecar for run `id` under `dir`
+/// (created if missing) and returns the file path. The payload is
+/// pretty-rendered, so sidecars diff cleanly across sweeps.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_sidecar(dir: &Path, id: &str, payload: &Json) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = sidecar_path(dir, id);
+    fs::write(&path, payload.render_pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_flatten_to_file_names() {
+        let p = sidecar_path(Path::new("out"), "tiny/4x2/OceanBase/HWC");
+        assert_eq!(
+            p,
+            Path::new("out").join("tiny-4x2-OceanBase-HWC.metrics.json")
+        );
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("ccn-obs-sidecar-{}", std::process::id()));
+        let payload = Json::obj([("count", Json::UInt(3))]);
+        let path = write_sidecar(&dir, "a/b", &payload).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(ccn_harness::json::parse(&text).unwrap(), payload);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

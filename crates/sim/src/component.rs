@@ -192,7 +192,70 @@ mod tests {
 
     #[test]
     fn utilization_guards_zero_elapsed() {
+        // An empty measured phase (elapsed == 0) must report 0, not NaN.
         assert_eq!(utilization(10, 0), 0.0);
+        assert_eq!(utilization(0, 0), 0.0);
+        assert!(utilization(u64::MAX, 0).is_finite());
         assert!((utilization(25, 100) - 0.25).abs() < 1e-12);
+        assert_eq!(utilization(0, 100), 0.0);
+    }
+
+    /// A four-level tree exercising `total`, `find` and `render` past the
+    /// two-level cases above (machine → node → component → sub-unit is
+    /// the real spine's depth).
+    fn deep_tree() -> ComponentStats {
+        ComponentStats::named("machine")
+            .counter("events", 1)
+            .child(
+                ComponentStats::named("node0")
+                    .counter("events", 10)
+                    .child(
+                        ComponentStats::named("cc")
+                            .counter("events", 100)
+                            .gauge("util", 0.5)
+                            .child(ComponentStats::named("engine0").counter("events", 1000))
+                            .child(ComponentStats::named("engine1").counter("events", 2000)),
+                    )
+                    .child(ComponentStats::named("bus").counter("events", 7)),
+            )
+            .child(
+                ComponentStats::named("node1")
+                    .child(ComponentStats::named("cc").counter("events", 5)),
+            )
+    }
+
+    #[test]
+    fn total_sums_across_all_levels() {
+        let tree = deep_tree();
+        assert_eq!(tree.total("events"), 1 + 10 + 100 + 1000 + 2000 + 7 + 5);
+        // A key missing everywhere sums to zero.
+        assert_eq!(tree.total("absent"), 0);
+        // Totals from an interior node cover only its subtree.
+        assert_eq!(tree.find("node1").unwrap().total("events"), 5);
+    }
+
+    #[test]
+    fn find_is_depth_first() {
+        let tree = deep_tree();
+        // Two components are named "cc"; depth-first search must return
+        // node0's (the first subtree explored), not node1's.
+        assert_eq!(tree.find("cc").unwrap().get_counter("events"), Some(100));
+        // Leaves three levels down are reachable.
+        assert_eq!(
+            tree.find("engine1").unwrap().get_counter("events"),
+            Some(2000)
+        );
+        assert!(tree.find("engine2").is_none());
+    }
+
+    #[test]
+    fn render_indents_every_level() {
+        let text = deep_tree().render();
+        assert!(text.contains("machine: events=1\n"));
+        assert!(text.contains("\n  node0: events=10\n"));
+        assert!(text.contains("\n    cc: events=100 util=0.500\n"));
+        assert!(text.contains("\n      engine0: events=1000\n"));
+        // One line per component, no more.
+        assert_eq!(text.lines().count(), 8);
     }
 }

@@ -59,6 +59,7 @@ pub use hash::{FxHashMap, FxHashSet};
 pub use port::Port;
 pub use rng::SplitMix64;
 pub use server::Server;
+pub use stats::Histogram;
 
 /// Simulation time in compute-processor cycles (5 ns each, 200 MHz).
 pub type Cycle = u64;

@@ -1,6 +1,6 @@
 //! FIFO reservation servers for bandwidth resources.
 
-use crate::stats::Accumulator;
+use crate::stats::{Accumulator, Histogram};
 use crate::Cycle;
 
 /// A FIFO *reservation server*: the timing model for a pipelined bandwidth
@@ -36,6 +36,7 @@ pub struct Server {
     next_free: Cycle,
     busy: Cycle,
     queue_delay: Accumulator,
+    queue_delay_hist: Histogram,
 }
 
 impl Server {
@@ -47,6 +48,7 @@ impl Server {
             next_free: 0,
             busy: 0,
             queue_delay: Accumulator::new(),
+            queue_delay_hist: Histogram::new(),
         }
     }
 
@@ -57,6 +59,7 @@ impl Server {
         self.next_free = grant + duration;
         self.busy += duration;
         self.queue_delay.record((grant - time) as f64);
+        self.queue_delay_hist.record(grant - time);
         grant
     }
 
@@ -86,6 +89,13 @@ impl Server {
         self.queue_delay.mean()
     }
 
+    /// The full queueing-delay distribution (log2 buckets, cycles) —
+    /// Table 6 reports means, but the distribution tail is what separates
+    /// contention policies.
+    pub fn queue_delay_histogram(&self) -> &Histogram {
+        &self.queue_delay_hist
+    }
+
     /// Utilization over an observation window of `elapsed` cycles.
     ///
     /// Returns 0 when `elapsed` is zero.
@@ -110,6 +120,7 @@ impl Server {
     pub fn reset_stats(&mut self) {
         self.busy = 0;
         self.queue_delay = Accumulator::new();
+        self.queue_delay_hist = Histogram::new();
     }
 }
 
@@ -159,7 +170,22 @@ mod tests {
         s.reset_stats();
         assert_eq!(s.busy_cycles(), 0);
         assert_eq!(s.requests(), 0);
+        assert_eq!(s.queue_delay_histogram().count(), 0);
         // still reserved until 100
         assert_eq!(s.acquire(0, 1), 100);
+    }
+
+    #[test]
+    fn queue_delay_histogram_tracks_acquisitions() {
+        let mut s = Server::new("t");
+        s.acquire(0, 10); // delay 0
+        s.acquire(0, 10); // delay 10
+        s.acquire(0, 10); // delay 20
+        let h = s.queue_delay_histogram();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(20));
+        // The histogram's exact aggregates agree with the accumulator.
+        assert_eq!(h.mean(), s.mean_queue_delay());
     }
 }

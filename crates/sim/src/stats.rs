@@ -117,6 +117,209 @@ impl fmt::Display for Accumulator {
     }
 }
 
+/// Number of buckets in a [`Histogram`]: one for zero plus one per power
+/// of two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A streaming log2-bucketed histogram of `u64` samples (latencies in
+/// cycles, queue depths, …).
+///
+/// Bucket 0 counts zeros; bucket `i` (1..=64) counts samples in
+/// `[2^(i-1), 2^i)`. Count, sum, min and max are tracked exactly, so the
+/// mean and max reported from a histogram are bit-identical to what an
+/// [`Accumulator`] fed the same integer samples would report (integer
+/// sums stay exact in `f64` below 2^53). Quantiles interpolate within the
+/// containing bucket and are clamped to the observed `[min, max]`, which
+/// makes them deterministic and merge-stable: merging per-shard
+/// histograms then asking for p99 gives the same answer as one histogram
+/// fed every sample.
+///
+/// ```
+/// let mut h = ccn_sim::stats::Histogram::new();
+/// for v in [1u64, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), Some(100));
+/// assert!(h.quantile(0.5) >= 1.0 && h.quantile(0.5) <= 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The bucket index holding `value`: 0 for 0, else `64 - leading_zeros`.
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The half-open sample range `[lo, hi)` covered by bucket `index`
+/// (saturating at `u64::MAX` for the top bucket).
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 1),
+        64 => (1u64 << 63, u64::MAX),
+        i => (1u64 << (i - 1), 1u64 << i),
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of all samples, or 0.0 if none were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The raw bucket counts (index `i` covers [`bucket_range`]`(i)`).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The non-empty buckets as `(bucket_index, count)` pairs, ascending —
+    /// the compact form used when serializing a histogram.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Restores a histogram from its serialized parts (the inverse of
+    /// [`nonzero_buckets`](Histogram::nonzero_buckets) plus the exact
+    /// aggregates). Used by sidecar readers; bucket indexes past the last
+    /// bucket are ignored.
+    pub fn from_parts(buckets: &[(usize, u64)], sum: u128, min: u64, max: u64) -> Self {
+        let mut h = Histogram::new();
+        for &(i, c) in buckets {
+            if i < HISTOGRAM_BUCKETS {
+                h.buckets[i] = c;
+                h.count += c;
+            }
+        }
+        if h.count > 0 {
+            h.sum = sum;
+            h.min = min;
+            h.max = max;
+        }
+        h
+    }
+
+    /// The quantile `q` (in `[0, 1]`) estimated by linear interpolation
+    /// within the containing log2 bucket, clamped to the observed
+    /// `[min, max]`. Returns 0.0 when empty. Deterministic: depends only
+    /// on bucket counts and the exact min/max, both of which merge
+    /// losslessly.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The 1-based rank of the sample we want.
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = bucket_range(i);
+                // Position of the ranked sample inside this bucket.
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
+    /// Merges another histogram into this one. Deterministic: bucket
+    /// counts, count, sum, min and max all combine exactly, so merge
+    /// order never matters.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={:.0} p90={:.0} p99={:.0} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
 /// Rate helper: events per microsecond given a count and an elapsed time in
 /// CPU cycles (5 ns), as used for the "arrival rate of requests per µs"
 /// columns of Table 6.
@@ -179,5 +382,120 @@ mod tests {
         assert_eq!(rate_per_us(100, 0), 0.0);
         // 200 cycles = 1 µs
         assert!((rate_per_us(5, 200) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1); // 0
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[2], 2); // 2, 3
+        assert_eq!(buckets[3], 2); // 4, 7
+        assert_eq!(buckets[4], 1); // 8..16
+        assert_eq!(buckets[64], 1); // top bucket
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_mean_matches_accumulator_exactly() {
+        // The report pipeline replaced an f64 Accumulator with the
+        // histogram; integer samples must produce bit-identical means.
+        let samples = [3u64, 17, 1000, 250_000, 0, 42, 42, 99_999_999];
+        let mut h = Histogram::new();
+        let mut a = Accumulator::new();
+        for &v in &samples {
+            h.record(v);
+            a.record(v as f64);
+        }
+        assert_eq!(h.mean().to_bits(), a.mean().to_bits());
+        assert_eq!(
+            (h.max().unwrap() as f64).to_bits(),
+            a.max().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_clamped_and_ordered() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 <= h.max().unwrap() as f64);
+        assert!(h.quantile(0.0) >= h.min().unwrap() as f64);
+        assert_eq!(h.quantile(1.0), 1000.0);
+        // A single-valued distribution pins every quantile to that value.
+        let mut one = Histogram::new();
+        one.record(77);
+        one.record(77);
+        assert_eq!(one.quantile(0.5), 77.0);
+        assert_eq!(one.quantile(0.99), 77.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_lossless_and_order_independent() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100u64 {
+            all.record(v * v);
+            if v % 2 == 0 {
+                a.record(v * v);
+            } else {
+                b.record(v * v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all);
+        assert_eq!(ab.quantile(0.9), all.quantile(0.9));
+    }
+
+    #[test]
+    fn histogram_round_trips_through_parts() {
+        let mut h = Histogram::new();
+        for v in [5u64, 5, 80, 1 << 40] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_parts(
+            &h.nonzero_buckets(),
+            h.sum(),
+            h.min().unwrap(),
+            h.max().unwrap(),
+        );
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    fn bucket_ranges_partition_the_domain() {
+        assert_eq!(bucket_range(0), (0, 1));
+        assert_eq!(bucket_range(1), (1, 2));
+        assert_eq!(bucket_range(5), (16, 32));
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_range(i).1, bucket_range(i + 1).0);
+        }
     }
 }

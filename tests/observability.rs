@@ -1,0 +1,199 @@
+//! Observability determinism and trace-schema tests.
+//!
+//! The observability layer's contract is that it *observes*: two runs of
+//! the same seed-deterministic simulation must produce bit-identical
+//! histograms, timelines, and exported traces, and the Chrome
+//! `trace_event` document must be well-formed (parseable, monotone
+//! timestamps per track) so Perfetto loads it.
+
+use ccn_harness::Json;
+use ccn_workloads::suite::SuiteApp;
+use ccnuma::experiments::{config_for, ConfigMods, Options};
+use ccnuma::{Architecture, Machine};
+
+/// One instrumented reference run: trace ring + sampler on.
+fn observed_run() -> Machine {
+    let opts = Options::quick();
+    let app = SuiteApp::OceanBase;
+    let cfg = config_for(app, Architecture::Hwc, opts, ConfigMods::default());
+    let instance = app.instantiate(opts.scale);
+    let mut machine = Machine::new(cfg, instance.as_ref()).expect("valid config");
+    machine.enable_trace(1 << 20);
+    machine.enable_sampler(1000);
+    machine.run();
+    machine
+}
+
+#[test]
+fn identical_seeds_produce_identical_histograms_and_timelines() {
+    let a = observed_run();
+    let b = observed_run();
+
+    // Histogram buckets are bit-identical, down to every report field.
+    let ra = a.component_stats();
+    let rb = b.component_stats();
+    assert_eq!(ra.render(), rb.render(), "component stats diverged");
+
+    // The timeline JSON (times + every series column) is byte-identical.
+    let ta = a.timeline().expect("sampler on").to_json().render_pretty();
+    let tb = b.timeline().expect("sampler on").to_json().render_pretty();
+    assert_eq!(ta, tb, "timelines diverged between identical-seed runs");
+    assert!(
+        !a.timeline().unwrap().is_empty(),
+        "measured phase was sampled"
+    );
+
+    // The exported Chrome trace is byte-identical too.
+    assert_eq!(
+        a.chrome_trace().render_pretty(),
+        b.chrome_trace().render_pretty(),
+        "trace exports diverged between identical-seed runs"
+    );
+}
+
+#[test]
+fn report_histograms_are_deterministic_and_consistent() {
+    let run = |_: u32| {
+        let opts = Options::quick();
+        let cfg = config_for(
+            SuiteApp::OceanBase,
+            Architecture::Ppc,
+            opts,
+            ConfigMods::default(),
+        );
+        let instance = SuiteApp::OceanBase.instantiate(opts.scale);
+        Machine::new(cfg, instance.as_ref()).unwrap().run()
+    };
+    let a = run(0);
+    let b = run(1);
+    assert_eq!(a.miss_latency_hist, b.miss_latency_hist);
+    assert_eq!(a.cc_queue_delay_hist, b.cc_queue_delay_hist);
+    assert_eq!(a.net_transit_hist, b.net_transit_hist);
+    // The histogram's exact aggregates back the report's scalar summary.
+    assert_eq!(
+        a.miss_latency_ns.0,
+        ccn_sim::cycles_to_ns(1) * a.miss_latency_hist.mean()
+    );
+    assert_eq!(
+        a.miss_latency_ns.1,
+        ccn_sim::cycles_to_ns(1) * a.miss_latency_hist.max().unwrap_or(0) as f64
+    );
+    // Per-node distributions partition the machine-wide ones.
+    let node_total: u64 = a.nodes.iter().map(|n| n.miss_latency_hist.count()).sum();
+    assert_eq!(node_total, a.miss_latency_hist.count());
+}
+
+#[test]
+fn exported_trace_is_wellformed_with_monotone_timestamps_per_track() {
+    let machine = observed_run();
+    let doc = machine.chrome_trace();
+
+    // The document round-trips through the JSON parser.
+    let text = doc.render_pretty();
+    let parsed = ccn_harness::json::parse(&text).expect("trace is valid JSON");
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ns")
+    );
+    let events = match parsed.get("traceEvents").expect("traceEvents present") {
+        Json::Arr(v) => v.clone(),
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert!(!events.is_empty());
+
+    let mut spans = 0usize;
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+    for ev in &events {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .expect("every event has ph");
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_u64)
+            .expect("every event has pid");
+        match ph {
+            "M" => {
+                assert!(ev.get("name").is_some() && ev.get("args").is_some());
+            }
+            "X" => {
+                spans += 1;
+                let tid = ev.get("tid").and_then(Json::as_u64).expect("X has tid");
+                let ts = ev.get("ts").and_then(Json::as_f64).expect("X has ts");
+                let dur = ev.get("dur").and_then(Json::as_f64).expect("X has dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                // Timestamps are monotone non-decreasing per (pid, tid)
+                // track — the property Perfetto's importer relies on.
+                if let Some(prev) = last_ts.insert((pid, tid), ts) {
+                    assert!(
+                        prev <= ts,
+                        "track ({pid},{tid}) went backwards: {prev} > {ts}"
+                    );
+                }
+            }
+            "C" => {
+                assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+                assert!(matches!(ev.get("args"), Some(Json::Obj(_))));
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert_eq!(spans, machine.trace().len(), "every ring event exported");
+    // Spans carry the engine attribution: every tid maps to a declared
+    // thread_name metadata record.
+    let named: std::collections::BTreeSet<(u64, u64)> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("name").and_then(Json::as_str) == Some("thread_name")
+        })
+        .map(|e| {
+            (
+                e.get("pid").and_then(Json::as_u64).unwrap(),
+                e.get("tid").and_then(Json::as_u64).unwrap(),
+            )
+        })
+        .collect();
+    for track in last_ts.keys() {
+        assert!(named.contains(track), "span track {track:?} is unnamed");
+    }
+}
+
+#[test]
+fn sweep_sidecars_are_identical_across_worker_counts() {
+    use ccnuma::sweep::{RunKey, Runner};
+    let opts = Options::quick();
+    let keys = [
+        RunKey::new(SuiteApp::OceanBase, Architecture::Hwc),
+        RunKey::new(SuiteApp::OceanBase, Architecture::TwoPpc),
+    ];
+    let base = std::env::temp_dir().join(format!("ccn-obs-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let read_all = |dir: &std::path::Path| -> Vec<(String, String)> {
+        keys.iter()
+            .map(|k| {
+                let p = ccn_obs::sidecar_path(dir, &k.id(opts));
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(&p).expect("sidecar written"),
+                )
+            })
+            .collect()
+    };
+    let d1 = base.join("serial");
+    Runner::sequential(opts).with_metrics_dir(&d1).run(&keys);
+    let d2 = base.join("parallel");
+    Runner::parallel(opts, 4)
+        .with_progress(false)
+        .with_metrics_dir(&d2)
+        .run(&keys);
+    assert_eq!(read_all(&d1), read_all(&d2));
+    // Sidecar payloads carry recoverable histograms.
+    for (_, text) in read_all(&d1) {
+        let json = ccn_harness::json::parse(&text).unwrap();
+        let h = ccn_obs::histogram_from_json(json.get("miss_latency").unwrap())
+            .expect("well-formed histogram");
+        assert!(h.count() > 0, "reference run misses were recorded");
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}

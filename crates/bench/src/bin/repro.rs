@@ -8,7 +8,15 @@
 //! targets: table1 table2 table3 table4 table5 table6 table7
 //!          fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!          ablations summary stats trace validate verify golden bench all
+//!
+//! repro scenario list | check [SPEC...] | run SPEC... | record SPEC | replay FILE
 //! ```
+//!
+//! `scenario` enters the declarative-workload frontend (`ccn-scenario`):
+//! JSON specs describing typed traffic phases run across all four
+//! architectures under the conformance digest envelope, and any
+//! workload's access stream can be recorded to a binary trace and
+//! replayed byte-for-byte. See `docs/SCENARIOS.md`.
 //!
 //! `verify` runs the protocol verification suite: bounded exhaustive
 //! model checking of the directory protocol (`--nodes N --lines L
@@ -68,6 +76,10 @@ use ccnuma::sweep::Runner;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The scenario frontend owns its whole argument list.
+    if positional_targets(&args).first() == Some(&"scenario") {
+        std::process::exit(ccn_bench::scenario_cli::run(&args));
+    }
     let opts = options_from_flags(&args);
     let jobs = jobs_from_flags(&args);
     let fresh = args.iter().any(|a| a == "--fresh");
@@ -139,6 +151,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--bench-json",
     "--sample-every",
     "--tolerance",
+    "--trace",
+    "--arch",
+    "--metrics",
 ];
 
 /// The non-flag arguments, with every value flag's value skipped.

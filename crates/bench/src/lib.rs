@@ -18,6 +18,7 @@
 
 pub mod golden;
 pub mod perf;
+pub mod scenario_cli;
 pub mod timing;
 
 use ccn_workloads::suite::Scale;

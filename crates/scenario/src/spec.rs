@@ -1,0 +1,506 @@
+//! The scenario spec format: JSON surface, validation, canonical form.
+//!
+//! A spec is one JSON object (parsed with the same in-tree
+//! [`ccn_harness::json`] subset the checkpoint layer uses — no registry
+//! dependencies):
+//!
+//! ```json
+//! {
+//!   "name": "kv-readheavy",
+//!   "description": "a million readers hammering a shared KV table",
+//!   "seed": 42,
+//!   "phases": [
+//!     { "kind": "kv_lookup", "keys": 256, "write_percent": 5 },
+//!     { "kind": "false_sharing", "nodes": "even", "intensity": 2.0 }
+//!   ]
+//! }
+//! ```
+//!
+//! Phases run in order, separated by global barriers. Each phase carries a
+//! typed parameter set (see [`crate::phase`] for the catalog and
+//! defaults), a node-set selector choosing which nodes' processors
+//! participate, an intensity multiplier scaling its touch counts, and an
+//! optional seed override. Unknown keys — top-level or per-phase — are
+//! rejected, as are out-of-range values (percentages above 100, zero
+//! counts, absurd sizes), so a typo fails at parse time instead of
+//! silently simulating the wrong experiment.
+
+use std::fmt;
+
+use ccn_harness::{json, Json};
+use ccn_workloads::MachineShape;
+
+use crate::phase::PhaseKind;
+
+/// Maximum phases per spec (keeps barrier-id bookkeeping trivially safe).
+pub const MAX_PHASES: usize = 64;
+
+/// A spec-validation or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Which nodes' processors participate in a phase. Non-participants still
+/// arrive at the phase's barriers (barriers are machine-global) but issue
+/// no memory traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeSet {
+    /// Every node (the default).
+    All,
+    /// Even-numbered nodes.
+    Even,
+    /// Odd-numbered nodes.
+    Odd,
+    /// The first half of the nodes (at least one).
+    Half,
+    /// An explicit list of node indices.
+    List(Vec<u16>),
+}
+
+impl NodeSet {
+    /// Parses the `"nodes"` field.
+    pub fn parse(v: &Json) -> Result<NodeSet, SpecError> {
+        match v {
+            Json::Str(s) => match s.as_str() {
+                "all" => Ok(NodeSet::All),
+                "even" => Ok(NodeSet::Even),
+                "odd" => Ok(NodeSet::Odd),
+                "half" => Ok(NodeSet::Half),
+                other => Err(SpecError::new(format!(
+                    "unknown node set '{other}' (known: all, even, odd, half, or a list of node indices)"
+                ))),
+            },
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    return Err(SpecError::new("node list must not be empty"));
+                }
+                let mut nodes = Vec::with_capacity(items.len());
+                for item in items {
+                    let n = item
+                        .as_u64()
+                        .ok_or_else(|| SpecError::new("node list entries must be integers"))?;
+                    if n >= 1024 {
+                        return Err(SpecError::new(format!("node index {n} is out of range")));
+                    }
+                    nodes.push(n as u16);
+                }
+                nodes.sort_unstable();
+                nodes.dedup();
+                Ok(NodeSet::List(nodes))
+            }
+            _ => Err(SpecError::new(
+                "'nodes' must be a string selector or a list of node indices",
+            )),
+        }
+    }
+
+    /// The canonical JSON form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            NodeSet::All => Json::Str("all".into()),
+            NodeSet::Even => Json::Str("even".into()),
+            NodeSet::Odd => Json::Str("odd".into()),
+            NodeSet::Half => Json::Str("half".into()),
+            NodeSet::List(nodes) => {
+                Json::Arr(nodes.iter().map(|&n| Json::UInt(n as u64)).collect())
+            }
+        }
+    }
+
+    /// The participating processor indices on `shape`, in ascending order.
+    pub fn procs(&self, shape: &MachineShape) -> Vec<usize> {
+        let node_in = |node: usize| match self {
+            NodeSet::All => true,
+            NodeSet::Even => node.is_multiple_of(2),
+            NodeSet::Odd => !node.is_multiple_of(2),
+            NodeSet::Half => node < shape.nodes.div_ceil(2),
+            NodeSet::List(nodes) => nodes.contains(&(node as u16)),
+        };
+        (0..shape.nprocs())
+            .filter(|&p| node_in(shape.node_of(p)))
+            .collect()
+    }
+
+    /// Checks the selector against a concrete machine shape (explicit
+    /// lists may name nodes the machine does not have).
+    pub fn check(&self, shape: &MachineShape) -> Result<(), SpecError> {
+        if let NodeSet::List(nodes) = self {
+            for &n in nodes {
+                if (n as usize) >= shape.nodes {
+                    return Err(SpecError::new(format!(
+                        "node {n} does not exist on a {}-node machine",
+                        shape.nodes
+                    )));
+                }
+            }
+        }
+        if self.procs(shape).is_empty() {
+            return Err(SpecError::new("node set selects no processors"));
+        }
+        Ok(())
+    }
+}
+
+/// One phase of a scenario: a typed traffic pattern plus the common knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// The traffic pattern and its parameters.
+    pub kind: PhaseKind,
+    /// Which nodes participate.
+    pub nodes: NodeSet,
+    /// Multiplier on the phase's touch counts (0.01–1000).
+    pub intensity: f64,
+    /// Per-phase seed override; defaults to a value derived from the
+    /// spec seed and the phase index.
+    pub seed: Option<u64>,
+}
+
+impl PhaseSpec {
+    fn parse(v: &Json, index: usize) -> Result<PhaseSpec, SpecError> {
+        let Json::Obj(map) = v else {
+            return Err(SpecError::new(format!("phase {index} must be an object")));
+        };
+        let kind_name = map
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SpecError::new(format!("phase {index} is missing a 'kind' string")))?;
+        let kind = PhaseKind::from_obj(kind_name, map)
+            .map_err(|e| SpecError::new(format!("phase {index} ({kind_name}): {e}")))?;
+        let nodes = match map.get("nodes") {
+            Some(v) => NodeSet::parse(v)
+                .map_err(|e| SpecError::new(format!("phase {index} ({kind_name}): {e}")))?,
+            None => NodeSet::All,
+        };
+        let intensity = match map.get("intensity") {
+            Some(v) => v.as_f64().ok_or_else(|| {
+                SpecError::new(format!(
+                    "phase {index} ({kind_name}): 'intensity' must be a number"
+                ))
+            })?,
+            None => 1.0,
+        };
+        if !(0.01..=1000.0).contains(&intensity) {
+            return Err(SpecError::new(format!(
+                "phase {index} ({kind_name}): intensity {intensity} is outside 0.01..=1000"
+            )));
+        }
+        let seed = match map.get("seed") {
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                SpecError::new(format!(
+                    "phase {index} ({kind_name}): 'seed' must be a non-negative integer"
+                ))
+            })?),
+            None => None,
+        };
+        // Reject unknown keys so typos fail loudly.
+        let known = ["kind", "nodes", "intensity", "seed"];
+        for key in map.keys() {
+            if !known.contains(&key.as_str()) && !kind.knows_key(key) {
+                return Err(SpecError::new(format!(
+                    "phase {index} ({kind_name}): unknown key '{key}' (known: {})",
+                    kind.known_keys().join(", ")
+                )));
+            }
+        }
+        Ok(PhaseSpec {
+            kind,
+            nodes,
+            intensity,
+            seed,
+        })
+    }
+
+    /// The canonical JSON form (defaults resolved).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&'static str, Json)> = vec![
+            ("kind", Json::Str(self.kind.name().to_string())),
+            ("nodes", self.nodes.to_json()),
+            ("intensity", Json::Num(self.intensity)),
+        ];
+        if let Some(seed) = self.seed {
+            pairs.push(("seed", Json::UInt(seed)));
+        }
+        pairs.extend(self.kind.params_to_json());
+        Json::obj(pairs)
+    }
+
+    /// Scales a touch count by the phase intensity (at least 1).
+    pub fn scaled(&self, count: u32) -> u32 {
+        ((count as f64 * self.intensity) as u32).max(1)
+    }
+}
+
+/// A parsed, validated scenario spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Short identifier (used in job ids, checkpoint files, trace names).
+    pub name: String,
+    /// One-line description for `repro scenario list`.
+    pub description: String,
+    /// Master seed; each phase derives its own stream from it.
+    pub seed: u64,
+    /// Whether to append the deterministic scrub epilogue that makes the
+    /// end state architecture-independent (default true; turning it off
+    /// forfeits cross-architecture digest comparison).
+    pub scrub: bool,
+    /// The barrier-separated phases, in execution order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl ScenarioSpec {
+    /// Parses and validates a spec from JSON text.
+    pub fn parse_str(text: &str) -> Result<ScenarioSpec, SpecError> {
+        let v = json::parse(text).map_err(|e| SpecError::new(format!("invalid JSON: {e}")))?;
+        ScenarioSpec::parse(&v)
+    }
+
+    /// Parses and validates a spec from a JSON value.
+    pub fn parse(v: &Json) -> Result<ScenarioSpec, SpecError> {
+        let Json::Obj(map) = v else {
+            return Err(SpecError::new("a scenario spec must be a JSON object"));
+        };
+        for key in map.keys() {
+            if !["name", "description", "seed", "scrub", "phases"].contains(&key.as_str()) {
+                return Err(SpecError::new(format!(
+                    "unknown top-level key '{key}' (known: name, description, seed, scrub, phases)"
+                )));
+            }
+        }
+        let name = map
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SpecError::new("spec is missing a 'name' string"))?
+            .to_string();
+        if name.is_empty() || name.len() > 64 {
+            return Err(SpecError::new("'name' must be 1-64 characters"));
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
+            return Err(SpecError::new(
+                "'name' may only contain letters, digits, '-', '_' and '.'",
+            ));
+        }
+        let description = map
+            .get("description")
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| SpecError::new("'description' must be a string"))
+            })
+            .transpose()?
+            .unwrap_or_default();
+        let seed = match map.get("seed") {
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| SpecError::new("'seed' must be a non-negative integer"))?,
+            None => 1,
+        };
+        let scrub = match map.get("scrub") {
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(SpecError::new("'scrub' must be a boolean")),
+            None => true,
+        };
+        let Some(Json::Arr(phase_values)) = map.get("phases") else {
+            return Err(SpecError::new("spec is missing a 'phases' array"));
+        };
+        if phase_values.is_empty() {
+            return Err(SpecError::new("'phases' must contain at least one phase"));
+        }
+        if phase_values.len() > MAX_PHASES {
+            return Err(SpecError::new(format!(
+                "too many phases ({}, maximum {MAX_PHASES})",
+                phase_values.len()
+            )));
+        }
+        let phases = phase_values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| PhaseSpec::parse(v, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ScenarioSpec {
+            name,
+            description,
+            seed,
+            scrub,
+            phases,
+        })
+    }
+
+    /// The canonical JSON form: defaults resolved, keys sorted. Parsing
+    /// the rendered form yields an equal spec.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("description", Json::Str(self.description.clone())),
+            ("seed", Json::UInt(self.seed)),
+            ("scrub", Json::Bool(self.scrub)),
+            (
+                "phases",
+                Json::Arr(self.phases.iter().map(PhaseSpec::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// FNV-1a hash of the canonical form. Job ids and checkpoint files
+    /// embed this so an edited spec never replays a stale checkpoint.
+    pub fn content_hash(&self) -> u64 {
+        let text = self.to_json().to_string();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// The seed phase `index` compiles with (explicit override, or derived
+    /// from the master seed and the phase index).
+    pub fn phase_seed(&self, index: usize) -> u64 {
+        self.phases[index].seed.unwrap_or_else(|| {
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(index as u64 + 1)
+        })
+    }
+
+    /// Checks shape-dependent constraints (explicit node lists, empty
+    /// participant sets) against a concrete machine.
+    pub fn check_shape(&self, shape: &MachineShape) -> Result<(), SpecError> {
+        for (i, phase) in self.phases.iter().enumerate() {
+            phase
+                .nodes
+                .check(shape)
+                .map_err(|e| SpecError::new(format!("phase {i} ({}): {e}", phase.kind.name())))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> MachineShape {
+        MachineShape {
+            nodes: 4,
+            procs_per_node: 2,
+            page_bytes: 4096,
+            line_bytes: 128,
+        }
+    }
+
+    const MINIMAL: &str = r#"{
+        "name": "t",
+        "phases": [ { "kind": "uniform" } ]
+    }"#;
+
+    #[test]
+    fn minimal_spec_parses_with_defaults() {
+        let spec = ScenarioSpec::parse_str(MINIMAL).unwrap();
+        assert_eq!(spec.name, "t");
+        assert_eq!(spec.seed, 1);
+        assert!(spec.scrub);
+        assert_eq!(spec.phases.len(), 1);
+        assert_eq!(spec.phases[0].nodes, NodeSet::All);
+        assert_eq!(spec.phases[0].intensity, 1.0);
+    }
+
+    #[test]
+    fn canonical_form_round_trips() {
+        let spec = ScenarioSpec::parse_str(
+            r#"{ "name": "rt", "seed": 9, "phases": [
+                { "kind": "kv_lookup", "nodes": "even", "intensity": 2.5, "seed": 7 },
+                { "kind": "ring", "nodes": [0, 2] }
+            ] }"#,
+        )
+        .unwrap();
+        let back = ScenarioSpec::parse(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.content_hash(), spec.content_hash());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let top = r#"{ "name": "t", "typo": 1, "phases": [ { "kind": "uniform" } ] }"#;
+        assert!(ScenarioSpec::parse_str(top)
+            .unwrap_err()
+            .to_string()
+            .contains("typo"));
+        let phase = r#"{ "name": "t", "phases": [ { "kind": "uniform", "touchez": 5 } ] }"#;
+        assert!(ScenarioSpec::parse_str(phase)
+            .unwrap_err()
+            .to_string()
+            .contains("touchez"));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected_with_catalog() {
+        let err = ScenarioSpec::parse_str(r#"{ "name": "t", "phases": [ { "kind": "nope" } ] }"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown phase kind"), "{err}");
+        assert!(err.contains("kv_lookup"), "error names the catalog: {err}");
+    }
+
+    #[test]
+    fn percent_above_100_is_a_spec_error() {
+        let err = ScenarioSpec::parse_str(
+            r#"{ "name": "t", "phases": [ { "kind": "uniform", "write_percent": 101 } ] }"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("write_percent"), "{err}");
+    }
+
+    #[test]
+    fn node_sets_select_processors() {
+        let s = shape();
+        assert_eq!(NodeSet::All.procs(&s).len(), 8);
+        assert_eq!(NodeSet::Even.procs(&s), vec![0, 1, 4, 5]);
+        assert_eq!(NodeSet::Odd.procs(&s), vec![2, 3, 6, 7]);
+        assert_eq!(NodeSet::Half.procs(&s), vec![0, 1, 2, 3]);
+        assert_eq!(NodeSet::List(vec![3]).procs(&s), vec![6, 7]);
+    }
+
+    #[test]
+    fn out_of_range_node_list_fails_shape_check() {
+        let spec = ScenarioSpec::parse_str(
+            r#"{ "name": "t", "phases": [ { "kind": "uniform", "nodes": [9] } ] }"#,
+        )
+        .unwrap();
+        assert!(spec.check_shape(&shape()).is_err());
+    }
+
+    #[test]
+    fn phase_seeds_are_stable_and_distinct() {
+        let spec = ScenarioSpec::parse_str(
+            r#"{ "name": "t", "seed": 5, "phases": [
+                { "kind": "uniform" }, { "kind": "uniform" }, { "kind": "uniform", "seed": 3 }
+            ] }"#,
+        )
+        .unwrap();
+        assert_ne!(spec.phase_seed(0), spec.phase_seed(1));
+        assert_eq!(spec.phase_seed(2), 3);
+        let again = ScenarioSpec::parse(&spec.to_json()).unwrap();
+        assert_eq!(again.phase_seed(0), spec.phase_seed(0));
+    }
+}

@@ -1,0 +1,526 @@
+//! Binary access-trace capture and byte-for-byte replay.
+//!
+//! [`record`] expands any [`Application`]'s segment programs into the
+//! exact per-processor [`Op`] streams the simulator would execute and
+//! packs them into a compact, versioned binary file:
+//!
+//! ```text
+//! magic "CCNT" | version u16 LE | flags u16 LE
+//! name         (varint length + UTF-8 bytes)
+//! shape        (varint nodes, procs/node, page bytes, line bytes)
+//! placements   (varint count, then varint page address + varint node)
+//! streams      (varint count = nprocs, then per processor:
+//!               varint op count + encoded ops)
+//! ```
+//!
+//! Ops are one tag byte plus a varint payload; `Read`/`Write` addresses
+//! are zigzag-encoded deltas against the processor's previous address,
+//! so strided walks cost ~2 bytes per reference. All integers are
+//! LEB128; the format has no alignment requirements.
+//!
+//! [`TraceReplay`] turns a trace back into an [`Application`] whose
+//! expansion reproduces the recorded op streams *exactly* (each op maps
+//! to a `Touch`/`Compute`/sync segment that expands back to itself), so
+//! a replayed run's `SimReport` equals the original's.
+
+use std::fmt;
+use std::path::Path;
+
+use ccn_workloads::{Access, AppBuild, Application, MachineShape, Op, Segment, SegmentProgram};
+
+/// File magic: "CCNT" (CC-NUMA trace).
+pub const TRACE_MAGIC: [u8; 4] = *b"CCNT";
+/// Current format version.
+pub const TRACE_VERSION: u16 = 1;
+
+/// A trace IO or format error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    message: String,
+}
+
+impl TraceError {
+    fn new(message: impl Into<String>) -> Self {
+        TraceError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A recorded workload: the machine shape it was captured on, its page
+/// placements, and one op stream per processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The recorded application's name (replay reports reuse it, so a
+    /// replayed run's report compares equal to the original's).
+    pub name: String,
+    /// The machine shape the trace was captured on; replay requires the
+    /// same shape.
+    pub shape: MachineShape,
+    /// Page placements (`(page address, home node)`).
+    pub placements: Vec<(u64, u16)>,
+    /// One operation stream per processor.
+    pub ops: Vec<Vec<Op>>,
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A bounds-checked byte cursor.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| TraceError::new("trace is truncated"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn varint(&mut self) -> Result<u64, TraceError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.take(1)?[0];
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(TraceError::new("varint is longer than 64 bits"))
+    }
+}
+
+const TAG_READ: u8 = 0x01;
+const TAG_WRITE: u8 = 0x02;
+const TAG_COMPUTE: u8 = 0x03;
+const TAG_BARRIER: u8 = 0x04;
+const TAG_LOCK: u8 = 0x05;
+const TAG_UNLOCK: u8 = 0x06;
+const TAG_START: u8 = 0x07;
+
+impl Trace {
+    /// Total op count across all processors.
+    pub fn op_count(&self) -> u64 {
+        self.ops.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Serializes the trace to its binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.op_count() as usize * 2);
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags
+        write_varint(&mut out, self.name.len() as u64);
+        out.extend_from_slice(self.name.as_bytes());
+        write_varint(&mut out, self.shape.nodes as u64);
+        write_varint(&mut out, self.shape.procs_per_node as u64);
+        write_varint(&mut out, self.shape.page_bytes);
+        write_varint(&mut out, self.shape.line_bytes);
+        write_varint(&mut out, self.placements.len() as u64);
+        for &(page, node) in &self.placements {
+            write_varint(&mut out, page);
+            write_varint(&mut out, node as u64);
+        }
+        write_varint(&mut out, self.ops.len() as u64);
+        for stream in &self.ops {
+            write_varint(&mut out, stream.len() as u64);
+            let mut prev = 0u64;
+            for &op in stream {
+                match op {
+                    Op::Read(addr) | Op::Write(addr) => {
+                        out.push(if matches!(op, Op::Read(_)) {
+                            TAG_READ
+                        } else {
+                            TAG_WRITE
+                        });
+                        // Wrapping delta + zigzag: lossless for any u64
+                        // address, ~2 bytes for strided walks.
+                        write_varint(&mut out, zigzag(addr.wrapping_sub(prev) as i64));
+                        prev = addr;
+                    }
+                    Op::Compute(cycles) => {
+                        out.push(TAG_COMPUTE);
+                        write_varint(&mut out, cycles as u64);
+                    }
+                    Op::Barrier(id) => {
+                        out.push(TAG_BARRIER);
+                        write_varint(&mut out, id as u64);
+                    }
+                    Op::Lock(id) => {
+                        out.push(TAG_LOCK);
+                        write_varint(&mut out, id as u64);
+                    }
+                    Op::Unlock(id) => {
+                        out.push(TAG_UNLOCK);
+                        write_varint(&mut out, id as u64);
+                    }
+                    Op::StartMeasurement => out.push(TAG_START),
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a trace from its binary form.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != TRACE_MAGIC {
+            return Err(TraceError::new("not a CCNT trace (bad magic)"));
+        }
+        let version = u16::from_le_bytes(r.take(2)?.try_into().expect("two bytes"));
+        if version != TRACE_VERSION {
+            return Err(TraceError::new(format!(
+                "unsupported trace version {version} (this build reads {TRACE_VERSION})"
+            )));
+        }
+        let _flags = u16::from_le_bytes(r.take(2)?.try_into().expect("two bytes"));
+        let name_len = r.varint()? as usize;
+        if name_len > 4096 {
+            return Err(TraceError::new("trace name is implausibly long"));
+        }
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| TraceError::new("trace name is not UTF-8"))?
+            .to_string();
+        let shape = MachineShape {
+            nodes: r.varint()? as usize,
+            procs_per_node: r.varint()? as usize,
+            page_bytes: r.varint()?,
+            line_bytes: r.varint()?,
+        };
+        if shape.nodes == 0
+            || shape.procs_per_node == 0
+            || shape.nprocs() > 1 << 16
+            || !shape.page_bytes.is_power_of_two()
+            || shape.line_bytes == 0
+        {
+            return Err(TraceError::new("trace header has an invalid shape"));
+        }
+        let n_place = r.varint()? as usize;
+        if n_place > bytes.len() {
+            return Err(TraceError::new("trace is truncated (placements)"));
+        }
+        let mut placements = Vec::with_capacity(n_place);
+        for _ in 0..n_place {
+            let page = r.varint()?;
+            let node = r.varint()?;
+            if node as usize >= shape.nodes {
+                return Err(TraceError::new(format!(
+                    "placement names node {node} on a {}-node machine",
+                    shape.nodes
+                )));
+            }
+            placements.push((page, node as u16));
+        }
+        let n_streams = r.varint()? as usize;
+        if n_streams != shape.nprocs() {
+            return Err(TraceError::new(format!(
+                "trace has {n_streams} op streams but the shape has {} processors",
+                shape.nprocs()
+            )));
+        }
+        let mut ops = Vec::with_capacity(n_streams);
+        for _ in 0..n_streams {
+            let count = r.varint()? as usize;
+            if count > bytes.len() {
+                return Err(TraceError::new("trace is truncated (op stream)"));
+            }
+            let mut stream = Vec::with_capacity(count);
+            let mut prev = 0u64;
+            for _ in 0..count {
+                let tag = r.take(1)?[0];
+                let op = match tag {
+                    TAG_READ | TAG_WRITE => {
+                        let addr = prev.wrapping_add(unzigzag(r.varint()?) as u64);
+                        prev = addr;
+                        if tag == TAG_READ {
+                            Op::Read(addr)
+                        } else {
+                            Op::Write(addr)
+                        }
+                    }
+                    TAG_COMPUTE => {
+                        let cycles = r.varint()?;
+                        if cycles > u32::MAX as u64 {
+                            return Err(TraceError::new("compute op exceeds u32 cycles"));
+                        }
+                        Op::Compute(cycles as u32)
+                    }
+                    TAG_BARRIER => Op::Barrier(checked_id(r.varint()?)?),
+                    TAG_LOCK => Op::Lock(checked_id(r.varint()?)?),
+                    TAG_UNLOCK => Op::Unlock(checked_id(r.varint()?)?),
+                    TAG_START => Op::StartMeasurement,
+                    other => return Err(TraceError::new(format!("unknown op tag {other:#04x}"))),
+                };
+                stream.push(op);
+            }
+            ops.push(stream);
+        }
+        if r.pos != bytes.len() {
+            return Err(TraceError::new("trailing bytes after the last op stream"));
+        }
+        Ok(Trace {
+            name,
+            shape,
+            placements,
+            ops,
+        })
+    }
+
+    /// Writes the trace to a file.
+    pub fn save(&self, path: &Path) -> Result<(), TraceError> {
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| TraceError::new(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Reads a trace from a file.
+    pub fn load(path: &Path) -> Result<Trace, TraceError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| TraceError::new(format!("reading {}: {e}", path.display())))?;
+        Trace::from_bytes(&bytes)
+    }
+}
+
+fn checked_id(v: u64) -> Result<u32, TraceError> {
+    u32::try_from(v).map_err(|_| TraceError::new("sync id exceeds u32"))
+}
+
+/// Expands `app` on `shape` and captures its exact op streams.
+///
+/// # Panics
+///
+/// Panics if the application's `build` panics (shape mismatch etc.).
+pub fn record(app: &dyn Application, shape: &MachineShape) -> Trace {
+    record_with_limit(app, shape, u64::MAX).expect("unlimited record cannot overflow")
+}
+
+/// Like [`record`], but fails once the total op count across all
+/// processors exceeds `max_ops` (protection against tracing a workload
+/// too large to hold in memory).
+pub fn record_with_limit(
+    app: &dyn Application,
+    shape: &MachineShape,
+    max_ops: u64,
+) -> Result<Trace, TraceError> {
+    let build = app.build(shape);
+    let mut total = 0u64;
+    let mut ops = Vec::with_capacity(build.programs.len());
+    for segments in build.programs {
+        let mut program = SegmentProgram::new(segments);
+        let mut stream = Vec::new();
+        while let Some(op) = program.next_op() {
+            total += 1;
+            if total > max_ops {
+                return Err(TraceError::new(format!(
+                    "workload exceeds the {max_ops}-op trace limit"
+                )));
+            }
+            stream.push(op);
+        }
+        ops.push(stream);
+    }
+    Ok(Trace {
+        name: app.name(),
+        shape: *shape,
+        placements: build.placements,
+        ops,
+    })
+}
+
+/// An [`Application`] that replays a recorded trace byte-for-byte.
+///
+/// Each recorded op maps to the unique segment that expands back to
+/// exactly that op, so the replayed run issues the identical instruction
+/// stream — and, on the same config, produces the identical `SimReport`
+/// — as the original.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    trace: Trace,
+}
+
+impl TraceReplay {
+    /// Wraps a loaded trace for replay.
+    pub fn new(trace: Trace) -> TraceReplay {
+        TraceReplay { trace }
+    }
+
+    /// The wrapped trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl Application for TraceReplay {
+    fn name(&self) -> String {
+        self.trace.name.clone()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `shape` differs from the shape the trace was recorded
+    /// on — a trace is only meaningful on its own machine geometry.
+    fn build(&self, shape: &MachineShape) -> AppBuild {
+        assert_eq!(
+            *shape, self.trace.shape,
+            "trace '{}' was recorded on a different machine shape",
+            self.trace.name
+        );
+        let programs = self
+            .trace
+            .ops
+            .iter()
+            .map(|stream| {
+                stream
+                    .iter()
+                    .map(|&op| match op {
+                        Op::Read(addr) => Segment::Touch {
+                            addr,
+                            access: Access::Read,
+                        },
+                        Op::Write(addr) => Segment::Touch {
+                            addr,
+                            access: Access::Write,
+                        },
+                        Op::Compute(cycles) => Segment::Compute(cycles as u64),
+                        Op::Barrier(id) => Segment::Barrier(id),
+                        Op::Lock(id) => Segment::Lock(id),
+                        Op::Unlock(id) => Segment::Unlock(id),
+                        Op::StartMeasurement => Segment::StartMeasurement,
+                    })
+                    .collect()
+            })
+            .collect();
+        AppBuild {
+            programs,
+            placements: self.trace.placements.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::spec::ScenarioSpec;
+
+    fn shape() -> MachineShape {
+        MachineShape {
+            nodes: 2,
+            procs_per_node: 2,
+            page_bytes: 4096,
+            line_bytes: 128,
+        }
+    }
+
+    fn small_scenario() -> Scenario {
+        Scenario::new(
+            ScenarioSpec::parse_str(
+                r#"{ "name": "trc", "seed": 3, "phases": [
+                    { "kind": "uniform", "touches": 32, "region_bytes": 1024 },
+                    { "kind": "migratory", "hops": 3, "objects": 2 }
+                ] }"#,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut r = Reader {
+                bytes: &buf,
+                pos: 0,
+            };
+            assert_eq!(r.varint().unwrap(), v);
+            assert_eq!(r.pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_bytes() {
+        let trace = record(&small_scenario(), &shape());
+        let back = Trace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn replay_expands_to_the_recorded_stream() {
+        let sh = shape();
+        let trace = record(&small_scenario(), &sh);
+        let replayed = record(&TraceReplay::new(trace.clone()), &sh);
+        assert_eq!(replayed.ops, trace.ops);
+        assert_eq!(replayed.placements, trace.placements);
+        assert_eq!(replayed.name, trace.name);
+    }
+
+    #[test]
+    fn corrupt_inputs_error_instead_of_panicking() {
+        assert!(Trace::from_bytes(b"").is_err());
+        assert!(Trace::from_bytes(b"NOPE").is_err());
+        let mut bytes = record(&small_scenario(), &shape()).to_bytes();
+        bytes[4] = 0xFF; // version
+        assert!(Trace::from_bytes(&bytes).is_err());
+        let good = record(&small_scenario(), &shape()).to_bytes();
+        assert!(Trace::from_bytes(&good[..good.len() - 3]).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(Trace::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn record_limit_is_enforced() {
+        let err = record_with_limit(&small_scenario(), &shape(), 10).unwrap_err();
+        assert!(err.to_string().contains("trace limit"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine shape")]
+    fn replay_on_the_wrong_shape_panics() {
+        let trace = record(&small_scenario(), &shape());
+        let other = MachineShape {
+            nodes: 4,
+            ..shape()
+        };
+        TraceReplay::new(trace).build(&other);
+    }
+}

@@ -17,7 +17,8 @@ pub struct UniformSharing {
     pub region_bytes: u64,
     /// Random touches per processor.
     pub touches_per_proc: u32,
-    /// Fraction of touches that are writes, in percent (0–100).
+    /// Fraction of touches that are writes, in percent (0–100; values
+    /// above 100 are clamped to 100, i.e. all touches become writes).
     pub write_percent: u32,
     /// Compute cycles between touches.
     pub work: u16,
@@ -39,14 +40,17 @@ impl Default for UniformSharing {
 
 impl Application for UniformSharing {
     fn name(&self) -> String {
-        format!("uniform-w{}", self.write_percent)
+        format!("uniform-w{}", self.write_percent.min(100))
     }
 
     fn build(&self, shape: &MachineShape) -> AppBuild {
         let mut space = AddressSpace::new(shape.page_bytes);
         let region = space.alloc(self.region_bytes);
         let nprocs = shape.nprocs();
-        let writes = (self.touches_per_proc as u64 * self.write_percent as u64 / 100) as u32;
+        // Clamp so an out-of-range percentage degrades to all-writes
+        // instead of underflowing the read count.
+        let write_percent = self.write_percent.min(100);
+        let writes = (self.touches_per_proc as u64 * write_percent as u64 / 100) as u32;
         let reads = self.touches_per_proc - writes;
         let mut programs = Vec::with_capacity(nprocs);
         for p in 0..nprocs {
@@ -286,6 +290,35 @@ mod tests {
         let build = PrivateCompute::default().build(&shape());
         // 8 procs x 16 pages each, all pinned.
         assert_eq!(build.placements.len(), 8 * 16);
+    }
+
+    #[test]
+    fn uniform_sharing_clamps_write_percent() {
+        let over = UniformSharing {
+            write_percent: 150,
+            touches_per_proc: 100,
+            ..UniformSharing::default()
+        };
+        assert_eq!(over.name(), "uniform-w100");
+        let all_writes = UniformSharing {
+            write_percent: 100,
+            ..over
+        };
+        // 150% behaves exactly like 100%: every touch is a write, and
+        // the read count never underflows.
+        assert_eq!(
+            over.build(&shape()).programs,
+            all_writes.build(&shape()).programs
+        );
+        for prog in over.build(&shape()).programs {
+            for seg in prog {
+                if let Segment::RandomWalk { access, count, .. } = seg {
+                    if access == Access::Read {
+                        assert_eq!(count, 0);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   `repro --jobs N` (worker pool, checkpointing, telemetry);
 //! * [`ccn_verify`] — bounded exhaustive model checking of the protocol
 //!   and cross-architecture differential conformance (see
-//!   `docs/VERIFY.md`).
+//!   `docs/VERIFY.md`);
+//! * [`ccn_scenario`] — the declarative scenario DSL and binary
+//!   trace-replay workload frontends (see `docs/SCENARIOS.md`).
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@ pub use ccn_harness;
 pub use ccn_mem;
 pub use ccn_net;
 pub use ccn_protocol;
+pub use ccn_scenario;
 pub use ccn_sim;
 pub use ccn_verify;
 pub use ccn_workloads;

@@ -1,0 +1,124 @@
+//! End-to-end checks for the scenario subsystem.
+//!
+//! The scenario DSL compiles declarative phase specs into deterministic
+//! per-processor access streams, so an example spec must (a) produce the
+//! same functional outcome on every controller architecture, (b) sweep
+//! byte-identically regardless of worker count, and (c) survive a
+//! record/replay round trip through the binary trace format with an
+//! identical report and snapshot.
+
+use std::fs;
+use std::path::Path;
+
+use ccnuma_repro::ccn_scenario::{
+    record, run_scenario_conformance, scenario_config, shape_of, Scenario, ScenarioSpec, Trace,
+    TraceReplay, SCENARIO_EVENT_LIMIT,
+};
+use ccnuma_repro::ccn_workloads::Application;
+use ccnuma_repro::ccnuma::experiments::Options;
+use ccnuma_repro::ccnuma::{
+    Architecture, FunctionalSnapshot, Machine, RunRecord, Runner, SystemConfig,
+};
+
+fn example(file: &str) -> ScenarioSpec {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/scenarios")
+        .join(file);
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    ScenarioSpec::parse_str(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+fn run_once(app: &dyn Application, cfg: &SystemConfig) -> (RunRecord, FunctionalSnapshot) {
+    let mut machine = Machine::new(cfg.clone(), app).expect("valid config");
+    let report = machine.run_with_event_limit(SCENARIO_EVENT_LIMIT);
+    machine.check_quiescent().unwrap_or_else(|e| panic!("{e}"));
+    (
+        RunRecord::from_report(&report),
+        machine.functional_snapshot(),
+    )
+}
+
+#[test]
+fn every_example_spec_fits_both_reference_machines() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
+    let mut checked = 0;
+    for entry in fs::read_dir(&dir).expect("examples/scenarios exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let spec = ScenarioSpec::parse_str(&text)
+            .unwrap_or_else(|e| panic!("{} is invalid: {e}", path.display()));
+        // Every shipped spec must fit both the quick 4x2 machine CI uses
+        // and the 16x4 default geometry.
+        for (nodes, ppn) in [(4usize, 2usize), (16, 4)] {
+            let shape = shape_of(&scenario_config(Architecture::Hwc, nodes, ppn));
+            spec.check_shape(&shape).unwrap_or_else(|e| {
+                panic!(
+                    "{} does not fit a {nodes}x{ppn} machine: {e}",
+                    path.display()
+                )
+            });
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected at least 4 example specs, found {checked}"
+    );
+}
+
+#[test]
+fn example_spec_agrees_across_all_architectures() {
+    let spec = example("smoke.json");
+    let runner = Runner::sequential(Options::quick());
+    let records = run_scenario_conformance(&runner, &spec, None).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(records.len(), Architecture::all().len());
+    let digest = records[0].digest;
+    for rec in &records {
+        assert_eq!(rec.digest, digest, "{} diverged", rec.architecture);
+        // The scrub epilogue must leave no residual directory state —
+        // that is what makes the digest architecture-independent.
+        assert_eq!(
+            rec.directory, 0,
+            "{} left directory residue",
+            rec.architecture
+        );
+        assert!(rec.versions > 0, "{} never wrote", rec.architecture);
+    }
+}
+
+#[test]
+fn conformance_sweep_is_byte_identical_across_job_counts() {
+    let spec = example("lock_convoy.json");
+    let solo = run_scenario_conformance(&Runner::parallel(Options::quick(), 1), &spec, None)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let fleet = run_scenario_conformance(&Runner::parallel(Options::quick(), 4), &spec, None)
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(solo, fleet, "worker count changed the sweep records");
+}
+
+#[test]
+fn recorded_trace_replays_with_identical_report_and_snapshot() {
+    let spec = example("ring_pipeline.json");
+    let scenario = Scenario::new(spec);
+    let cfg = scenario_config(Architecture::TwoPpc, 4, 2);
+    let shape = shape_of(&cfg);
+
+    let trace = record(&scenario, &shape);
+    // Round-trip through the wire format so the replay exercises the
+    // decoder, not just the in-memory capture.
+    let trace = Trace::from_bytes(&trace.to_bytes()).expect("trace decodes");
+    let replay = TraceReplay::new(trace);
+
+    let (live_rec, live_snap) = run_once(&scenario, &cfg);
+    let (replay_rec, replay_snap) = run_once(&replay, &cfg);
+    assert_eq!(live_rec, replay_rec, "replay changed the timed report");
+    assert_eq!(
+        live_snap.digest(),
+        replay_snap.digest(),
+        "replay changed the functional outcome"
+    );
+}

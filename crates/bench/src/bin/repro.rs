@@ -3,7 +3,7 @@
 //! Multiprocessors* (ISCA 1997).
 //!
 //! ```text
-//! repro [--quick | --paper] [--jobs N] [--fresh] [--out DIR] <target>...
+//! repro [--quick | --paper] [--jobs N] [--threads N] [--fresh] [--out DIR] <target>...
 //!
 //! targets: table1 table2 table3 table4 table5 table6 table7
 //!          fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -61,6 +61,13 @@
 //! sweep resumes from its checkpoint; `--fresh` discards recorded results
 //! first. Result tables are byte-identical for every `--jobs` value: all
 //! timing-dependent telemetry goes to stderr.
+//!
+//! Orthogonally, `--threads N` runs each *individual* simulation on the
+//! conservative-parallel execution core (`Machine::run_parallel`): the
+//! machine is partitioned along the node boundary and advanced in
+//! lookahead-bounded windows on N threads. Every artifact — tables,
+//! goldens, timelines, traces, metrics sidecars — stays byte-identical
+//! to the sequential schedule for any N. See `docs/PARALLEL.md`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -82,6 +89,7 @@ fn main() {
     }
     let opts = options_from_flags(&args);
     let jobs = jobs_from_flags(&args);
+    let sim_threads = (uint_flag(&args, "--threads", 1) as usize).max(1);
     let fresh = args.iter().any(|a| a == "--fresh");
     let out_dir = flag_value(&args, "--out");
     if let Some(dir) = &out_dir {
@@ -110,7 +118,7 @@ fn main() {
     let mut failed = false;
     let mut totals = Totals::default();
     for target in targets {
-        let runner = sweep_runner(target, opts, jobs, &revision, fresh);
+        let runner = sweep_runner(target, opts, jobs, sim_threads, &revision, fresh);
         let start = Instant::now();
         let output = render_target(target, opts, jobs, &args, runner.as_ref(), &mut failed);
         print!("{output}");
@@ -154,6 +162,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--trace",
     "--arch",
     "--metrics",
+    "--threads",
 ];
 
 /// The non-flag arguments, with every value flag's value skipped.
@@ -193,6 +202,7 @@ fn sweep_runner(
     target: &str,
     opts: Options,
     jobs: usize,
+    sim_threads: usize,
     revision: &str,
     fresh: bool,
 ) -> Option<Runner> {
@@ -206,6 +216,7 @@ fn sweep_runner(
     }
     Some(
         Runner::parallel(opts, jobs)
+            .with_sim_threads(sim_threads)
             .with_checkpoint(path)
             .with_meta(vec![
                 ("sweep", Json::Str(sweep.to_string())),
@@ -294,10 +305,17 @@ fn render_target(
         ),
         "summary" => {
             // Full per-run diagnostics for the headline comparison.
-            use ccnuma::experiments::{run_one, ConfigMods};
+            use ccnuma::experiments::{run_one_threaded, ConfigMods};
             use ccnuma::Architecture;
+            let threads = (uint_flag(args, "--threads", 1) as usize).max(1);
             for arch in [Architecture::Hwc, Architecture::Ppc] {
-                let report = run_one(SuiteApp::OceanBase, arch, opts, ConfigMods::default());
+                let report = run_one_threaded(
+                    SuiteApp::OceanBase,
+                    arch,
+                    opts,
+                    ConfigMods::default(),
+                    threads,
+                );
                 render(&mut out, report.render_summary());
             }
         }
@@ -558,9 +576,10 @@ fn obs_artifact(args: &[String], name: &str, opts: Options) -> String {
 /// on; `--timeline` additionally dumps the columnar time series as JSON.
 fn run_stats_target(opts: Options, args: &[String]) -> String {
     let every = uint_flag(args, "--sample-every", 1000);
+    let threads = (uint_flag(args, "--threads", 1) as usize).max(1);
     let mut machine = obs_machine(opts);
     machine.enable_sampler(every);
-    machine.run();
+    machine.run_parallel(threads);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -587,10 +606,11 @@ fn run_stats_target(opts: Options, args: &[String]) -> String {
 /// and the sampler on, exported as a Chrome `trace_event` JSON document.
 fn run_trace_target(opts: Options, args: &[String]) -> String {
     let every = uint_flag(args, "--sample-every", 1000);
+    let threads = (uint_flag(args, "--threads", 1) as usize).max(1);
     let mut machine = obs_machine(opts);
     machine.enable_trace(1 << 20);
     machine.enable_sampler(every);
-    let report = machine.run();
+    let report = machine.run_parallel(threads);
     let mut out = String::new();
     let path = obs_artifact(args, "trace", opts);
     std::fs::write(&path, machine.chrome_trace().render_pretty())

@@ -39,7 +39,14 @@ use crate::{git_describe, jobs_from_flags, options_from_flags};
 const RECORD_OP_LIMIT: u64 = 50_000_000;
 
 /// Flags of the scenario CLI that consume a value.
-const VALUE_FLAGS: &[&str] = &["--jobs", "--trace", "--arch", "--metrics", "--out"];
+const VALUE_FLAGS: &[&str] = &[
+    "--jobs",
+    "--trace",
+    "--arch",
+    "--metrics",
+    "--out",
+    "--threads",
+];
 
 /// Entry point: parses `args` (the full argument list, starting at the
 /// `scenario` keyword) and returns the process exit code.
@@ -195,11 +202,20 @@ fn cmd_check(operands: &[&str]) -> i32 {
 
 fn cmd_run(operands: &[&str], args: &[String]) -> i32 {
     if operands.is_empty() {
-        eprintln!("usage: repro scenario run SPEC... [--quick|--paper] [--jobs N] [--fresh] [--metrics DIR]");
+        eprintln!(
+            "usage: repro scenario run SPEC... [--quick|--paper] [--jobs N] [--threads N] [--fresh] [--metrics DIR]"
+        );
         return 2;
     }
     let opts = options_from_flags(args);
     let jobs = jobs_from_flags(args);
+    let sim_threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
     let fresh = args.iter().any(|a| a == "--fresh");
     let metrics_dir = flag_value(args, "--metrics").map(PathBuf::from);
     let revision = git_describe();
@@ -217,6 +233,7 @@ fn cmd_run(operands: &[&str], args: &[String]) -> i32 {
             let _ = std::fs::remove_file(&checkpoint);
         }
         let runner = Runner::parallel(opts, jobs)
+            .with_sim_threads(sim_threads)
             .with_checkpoint(&checkpoint)
             .with_meta(vec![
                 ("sweep", Json::Str(format!("scenario-{}", spec.name))),

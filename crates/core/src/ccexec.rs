@@ -16,7 +16,7 @@ use ccn_protocol::{Msg, MsgClass, MsgKind, NodeBitmap};
 use ccn_sim::Cycle;
 
 use crate::machine::{Machine, CC_WORK};
-use crate::steps::{run_steps, send_msg, CcRequest, StepRun};
+use crate::steps::{run_steps, CcRequest, StepRun};
 
 impl Machine {
     pub(crate) fn execute_handler(&mut self, n: usize, engine: usize, req: CcRequest, now: Cycle) {
@@ -63,13 +63,7 @@ impl Machine {
     }
 
     fn send(&mut self, time: Cycle, msg: Msg) {
-        send_msg(
-            &mut self.net,
-            &mut self.queue,
-            self.cfg.line_bytes,
-            time,
-            msg,
-        );
+        self.send_msg(time, msg);
     }
 
     fn msg(&self, n: usize, to: NodeId, kind: MsgKind, line: LineAddr, requester: NodeId) -> Msg {

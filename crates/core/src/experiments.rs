@@ -115,10 +115,27 @@ pub fn config_for(
 /// Panics if the configuration is invalid or the workload cannot be laid
 /// out on the machine (e.g. indivisible problem sizes).
 pub fn run_one(app: SuiteApp, arch: Architecture, opts: Options, mods: ConfigMods) -> SimReport {
+    run_one_threaded(app, arch, opts, mods, 1)
+}
+
+/// [`run_one`] with a conservative-parallel execution core on `threads`
+/// worker threads. The report is byte-identical to the sequential one
+/// for any thread count (see [`Machine::run_parallel`]).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_one`].
+pub fn run_one_threaded(
+    app: SuiteApp,
+    arch: Architecture,
+    opts: Options,
+    mods: ConfigMods,
+    threads: usize,
+) -> SimReport {
     let cfg = config_for(app, arch, opts, mods);
     let instance = app.instantiate(opts.scale);
     let mut machine = Machine::new(cfg, instance.as_ref()).expect("experiment config is valid");
-    machine.run()
+    machine.run_parallel(threads)
 }
 
 // -------------------------------------------------------------------

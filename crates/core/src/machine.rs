@@ -19,6 +19,7 @@ use ccn_controller::EngineRole;
 
 use crate::config::{ConfigError, PlacementPolicy, SystemConfig};
 use crate::node::Node;
+use crate::par::{MachineQueue, Sliced, StallRecord, SyncOp};
 use crate::report::{EngineReport, NodeReport, SimReport};
 use crate::steps::CcRequest;
 use crate::sync::{BarrierOutcome, LockOutcome, SyncState};
@@ -104,7 +105,7 @@ impl Presence {
 /// A bounded protocol-trace buffer: keeps the most recent `capacity`
 /// events, dropping the oldest (and counting the drops) once full.
 #[derive(Debug)]
-struct TraceRing {
+pub(crate) struct TraceRing {
     capacity: usize,
     events: std::collections::VecDeque<TraceEvent>,
     dropped: u64,
@@ -119,7 +120,7 @@ impl TraceRing {
         }
     }
 
-    fn push(&mut self, event: TraceEvent) {
+    pub(crate) fn push(&mut self, event: TraceEvent) {
         if self.capacity == 0 {
             self.dropped += 1;
             return;
@@ -172,7 +173,7 @@ impl Mshr {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ProcState {
+pub(crate) enum ProcState {
     Runnable,
     Blocked,
     Done,
@@ -182,18 +183,18 @@ enum ProcState {
 pub(crate) struct Proc {
     pub(crate) node: usize,
     pub(crate) slot: u8,
-    program: SegmentProgram,
+    pub(crate) program: SegmentProgram,
     pub(crate) l1: SetAssocCache,
     pub(crate) l2: SetAssocCache,
-    pending: Option<Op>,
-    state: ProcState,
-    local_time: Cycle,
-    instructions: u64,
-    references: u64,
-    instr_snapshot: u64,
-    refs_snapshot: u64,
-    passed_marker: bool,
-    finish_time: Cycle,
+    pub(crate) pending: Option<Op>,
+    pub(crate) state: ProcState,
+    pub(crate) local_time: Cycle,
+    pub(crate) instructions: u64,
+    pub(crate) references: u64,
+    pub(crate) instr_snapshot: u64,
+    pub(crate) refs_snapshot: u64,
+    pub(crate) passed_marker: bool,
+    pub(crate) finish_time: Cycle,
 }
 
 /// The assembled CC-NUMA machine.
@@ -213,38 +214,43 @@ pub(crate) struct Proc {
 pub struct Machine {
     pub(crate) cfg: SystemConfig,
     pub(crate) map: AddressMap,
-    pub(crate) queue: EventQueue<Event>,
-    pub(crate) procs: Vec<Proc>,
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) queue: MachineQueue,
+    pub(crate) procs: Sliced<Proc>,
+    pub(crate) nodes: Sliced<Node>,
     pub(crate) net: Network,
     pub(crate) sync: SyncState,
-    /// Next write version per line (global write serial numbers).
+    /// Next write version per line (global write serial numbers; shard
+    /// machines derive versions from cached payloads instead — see
+    /// [`Machine::commit_write`] — and the coordinator merges per line).
     pub(crate) versions: LineTable<u64>,
     /// Payload (version) currently stored in home memory.
     pub(crate) memory: LineTable<u64>,
-    marker_count: usize,
-    measure_start: Cycle,
-    done_count: usize,
-    workload_name: String,
+    pub(crate) marker_count: usize,
+    pub(crate) measure_start: Cycle,
+    pub(crate) done_count: usize,
+    pub(crate) workload_name: String,
     /// Pages already assigned under the first-touch policy.
-    touched_pages: FxHashSet<u64>,
+    pub(crate) touched_pages: FxHashSet<u64>,
     /// End-to-end latency of every completed L2 miss (block to fill),
     /// in cycles: full distribution, machine-wide.
-    miss_latency: ccn_sim::Histogram,
+    pub(crate) miss_latency: ccn_sim::Histogram,
     /// Per-node L2 miss latency distributions (indexed by node).
-    node_miss_latency: Vec<ccn_sim::Histogram>,
+    pub(crate) node_miss_latency: Sliced<ccn_sim::Histogram>,
     /// Optional cycle-cadenced sampler over the component stats spine
     /// (see [`Machine::enable_sampler`]).
-    sampler: Option<ccn_obs::Sampler>,
+    pub(crate) sampler: Option<ccn_obs::Sampler>,
     /// Engine index of the protocol handler currently executing; stamped
     /// into trace events so exported traces get one track per engine.
-    current_engine: u8,
+    pub(crate) current_engine: u8,
     /// Optional bounded protocol trace (oldest events dropped).
-    trace: Option<TraceRing>,
+    pub(crate) trace: Option<TraceRing>,
+    /// Events scheduled by shard wheels of a finished parallel run, folded
+    /// into [`Machine::events_scheduled`] at reassembly.
+    pub(crate) extra_scheduled: u64,
     /// Observer called on every recorded handler execution; for external
     /// tracing tools that want the full stream, not the bounded ring.
     #[cfg(feature = "component-trace")]
-    trace_hook: Option<fn(&TraceEvent)>,
+    pub(crate) trace_hook: Option<fn(&TraceEvent)>,
     /// Invalidation requests that found no local copy (stale directory
     /// bits from silent clean drops).
     pub(crate) useless_invalidations: u64,
@@ -326,9 +332,9 @@ impl Machine {
         Ok(Machine {
             cfg,
             map,
-            queue,
-            procs,
-            nodes,
+            queue: MachineQueue::Seq(queue),
+            procs: Sliced::whole(procs),
+            nodes: Sliced::whole(nodes),
             net,
             sync,
             versions: LineTable::with_capacity(1024),
@@ -339,10 +345,11 @@ impl Machine {
             workload_name: app.name(),
             touched_pages: FxHashSet::default(),
             miss_latency: ccn_sim::Histogram::new(),
-            node_miss_latency: vec![ccn_sim::Histogram::new(); nodes_len],
+            node_miss_latency: Sliced::whole(vec![ccn_sim::Histogram::new(); nodes_len]),
             sampler: None,
             current_engine: 0,
             trace: None,
+            extra_scheduled: 0,
             #[cfg(feature = "component-trace")]
             trace_hook: None,
             useless_invalidations: 0,
@@ -368,7 +375,7 @@ impl Machine {
     /// Panics on deadlock or when the event budget is exhausted.
     pub fn run_with_event_limit(&mut self, max_events: u64) -> SimReport {
         let mut events = 0u64;
-        while let Some((t, ev)) = self.queue.pop() {
+        while let Some((t, ev)) = self.queue.pop_seq() {
             // Take any samples that came due strictly before this event
             // dispatches: the observed state is a pure function of the
             // event history, so timelines are seed-deterministic.
@@ -410,6 +417,63 @@ impl Machine {
         self.build_report()
     }
 
+    /// Runs this shard machine's events strictly before `end`, in
+    /// canonical order; returns `true` if the shard stalled on a
+    /// synchronization operation (recorded in its context for the
+    /// coordinator), `false` once the window is exhausted.
+    pub(crate) fn run_window(&mut self, end: Cycle) -> bool {
+        loop {
+            match self.run_one(end) {
+                None => return false,
+                Some(true) => return true,
+                Some(false) => {}
+            }
+        }
+    }
+
+    /// Executes exactly one event strictly before `end` on this shard
+    /// machine. Returns `None` when the window is exhausted, otherwise
+    /// whether the event stalled on a synchronization operation.
+    pub(crate) fn run_one(&mut self, end: Cycle) -> Option<bool> {
+        let ctx = self
+            .queue
+            .shard_ctx()
+            .expect("window run on a shard machine");
+        debug_assert!(ctx.stall.is_none(), "window resumed with a pending stall");
+        let (t, key, ev) = ctx.wheel.pop_window(end)?;
+        ctx.cur_xi = ctx.exec_log.len() as u32;
+        ctx.emit_idx = 0;
+        ctx.exec_log.push(ccn_sim::par::LogRec {
+            cycle: t,
+            key,
+            meta: (),
+        });
+        match ev {
+            Event::ProcResume(p) => self.run_proc(p as usize, t),
+            Event::CcWork { node, engine } => self.cc_work(node as usize, engine as usize, t),
+            Event::MsgArrive(msg) => self.msg_arrive(msg, t),
+        }
+        Some(
+            self.queue
+                .shard_ctx()
+                .expect("shard context")
+                .stall
+                .is_some(),
+        )
+    }
+
+    /// Re-enters the processor loop interrupted by `rec` after the
+    /// coordinator applied its synchronization operation: continuation
+    /// time `t`, emission counter advanced past any wake-ups the
+    /// operation produced, and the original horizon restored.
+    pub(crate) fn resume_stalled(&mut self, rec: &StallRecord, t: Cycle, emit_idx: u32) {
+        let ctx = self.queue.shard_ctx().expect("resume on a shard machine");
+        ctx.cur_xi = rec.xi;
+        ctx.emit_idx = emit_idx;
+        self.procs[rec.proc].state = ProcState::Runnable;
+        self.proc_loop(rec.proc, t, rec.horizon);
+    }
+
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
@@ -418,7 +482,7 @@ impl Machine {
     /// Total number of events scheduled over the run's lifetime (the
     /// denominator of events-per-second throughput measurements).
     pub fn events_scheduled(&self) -> u64 {
-        self.queue.total_scheduled()
+        self.queue.total_scheduled() + self.extra_scheduled
     }
 
     /// Samples the stats spine at the sampler's cadence: once per due
@@ -511,6 +575,27 @@ impl Machine {
                 occupancy,
             });
         }
+        if let Some(ctx) = self.queue.shard_ctx() {
+            // Shard machines buffer trace events per window, tagged with
+            // the executing event's log index; the barrier merges them
+            // into the coordinator's ring in canonical order, so the
+            // bounded ring's drop pattern matches the sequential run.
+            if ctx.collect_trace {
+                let xi = ctx.cur_xi;
+                ctx.trace_log.push((
+                    xi,
+                    TraceEvent {
+                        time,
+                        node,
+                        engine,
+                        handler,
+                        line,
+                        occupancy,
+                    },
+                ));
+            }
+            return;
+        }
         if let Some(ring) = &mut self.trace {
             ring.push(TraceEvent {
                 time,
@@ -532,13 +617,22 @@ impl Machine {
             return;
         }
         self.procs[p].state = ProcState::Runnable;
-        let mut t = now.max(self.procs[p].local_time);
+        let t = now.max(self.procs[p].local_time);
         // Direct-execution lookahead bound: a processor runs at most this
         // far ahead of the event clock inside one event, so the coherence
         // state it observes is never more than ~one miss latency stale.
         // (Unbounded lookahead would let a long compute phase reorder
         // against concurrent writes.)
         let horizon = t + 200;
+        self.proc_loop(p, t, horizon);
+    }
+
+    /// The processor's direct-execution loop, resumable mid-event: a
+    /// parallel shard stalls out of it at synchronization operations and
+    /// the coordinator re-enters it with the continuation time and the
+    /// *original* horizon (re-deriving the horizon would diverge from the
+    /// sequential schedule).
+    pub(crate) fn proc_loop(&mut self, p: usize, mut t: Cycle, horizon: Cycle) {
         loop {
             if t >= horizon {
                 self.procs[p].local_time = t;
@@ -611,34 +705,52 @@ impl Machine {
                     self.initiate_miss(p, line, true, l2_state, t);
                     return;
                 }
-                Op::Barrier(id) => match self.sync.barrier_arrive(id, ProcId(p as u32), t) {
-                    BarrierOutcome::Wait => {
-                        self.procs[p].local_time = t;
-                        self.procs[p].state = ProcState::Blocked;
+                Op::Barrier(id) => {
+                    if self.shard_stall(SyncOp::Barrier(id), p, t, horizon) {
                         return;
                     }
-                    BarrierOutcome::Release { waiters, at } => {
-                        for w in waiters {
-                            PROC_RESUME.send(&mut self.queue, at.max(now), w.0);
+                    match self.sync.barrier_arrive(id, ProcId(p as u32), t) {
+                        BarrierOutcome::Wait => {
+                            self.procs[p].local_time = t;
+                            self.procs[p].state = ProcState::Blocked;
+                            return;
                         }
-                        t = at.max(t);
+                        BarrierOutcome::Release { waiters, at } => {
+                            let now = self.queue.now();
+                            for w in waiters {
+                                PROC_RESUME.send(&mut self.queue, at.max(now), w.0);
+                            }
+                            t = at.max(t);
+                        }
                     }
-                },
-                Op::Lock(id) => match self.sync.lock(id, ProcId(p as u32), t) {
-                    LockOutcome::Acquired { at } => t = at,
-                    LockOutcome::Queued => {
-                        self.procs[p].local_time = t;
-                        self.procs[p].state = ProcState::Blocked;
+                }
+                Op::Lock(id) => {
+                    if self.shard_stall(SyncOp::Lock(id), p, t, horizon) {
                         return;
                     }
-                },
+                    match self.sync.lock(id, ProcId(p as u32), t) {
+                        LockOutcome::Acquired { at } => t = at,
+                        LockOutcome::Queued => {
+                            self.procs[p].local_time = t;
+                            self.procs[p].state = ProcState::Blocked;
+                            return;
+                        }
+                    }
+                }
                 Op::Unlock(id) => {
+                    if self.shard_stall(SyncOp::Unlock(id), p, t, horizon) {
+                        return;
+                    }
                     t += 1;
                     if let Some((next, at)) = self.sync.unlock(id, t) {
+                        let now = self.queue.now();
                         PROC_RESUME.send(&mut self.queue, at.max(now), next.0);
                     }
                 }
                 Op::StartMeasurement => {
+                    if self.shard_stall(SyncOp::Marker, p, t, horizon) {
+                        return;
+                    }
                     if !self.procs[p].passed_marker {
                         self.procs[p].passed_marker = true;
                         self.marker_count += 1;
@@ -651,12 +763,62 @@ impl Machine {
         }
     }
 
+    /// In a parallel shard, records the synchronization operation for the
+    /// coordinator (which owns the real [`SyncState`]) and parks the
+    /// processor; returns whether the shard stalled. Sequential execution
+    /// falls straight through.
+    fn shard_stall(&mut self, op: SyncOp, p: usize, t: Cycle, horizon: Cycle) -> bool {
+        let Some(ctx) = self.queue.shard_ctx() else {
+            return false;
+        };
+        let xi = ctx.cur_xi;
+        let rec = &ctx.exec_log[xi as usize];
+        assert!(ctx.stall.is_none(), "second stall within one event");
+        ctx.stall = Some(StallRecord {
+            op,
+            proc: p,
+            t,
+            horizon,
+            xi,
+            emit_idx: ctx.emit_idx,
+            entry_cycle: rec.cycle,
+            entry_key: rec.key,
+        });
+        self.procs[p].local_time = t;
+        self.procs[p].state = ProcState::Blocked;
+        true
+    }
+
     /// Stamps a completed store: bumps the line's global version and
     /// updates the writing processor's cached payload.
+    ///
+    /// A parallel shard has no global counter, but it does not need one:
+    /// a writable copy's cached payload always equals the line's latest
+    /// version (any staler copy would have been invalidated), so the new
+    /// version is `payload + 1`. The sequential path keeps the counter
+    /// and asserts the equivalence; shard tables merge by per-line max at
+    /// reassembly (versions strictly increase along the coherence order,
+    /// so the max is the globally latest write).
     fn commit_write(&mut self, p: usize, line: LineAddr) {
-        let version = self.versions.get_or_insert_with(line, || 0);
-        *version += 1;
-        let v = *version;
+        let cached = self.procs[p].l2.payload_of(line).unwrap_or(0);
+        let v = match &self.queue {
+            MachineQueue::Seq(_) => {
+                let version = self.versions.get_or_insert_with(line, || 0);
+                *version += 1;
+                debug_assert_eq!(
+                    *version,
+                    cached + 1,
+                    "writable copy of {line} held version {cached}, global counter says {}",
+                    *version - 1
+                );
+                *version
+            }
+            MachineQueue::Shard(_) => {
+                let v = cached + 1;
+                *self.versions.get_or_insert_with(line, || 0) = v;
+                v
+            }
+        };
         let proc = &mut self.procs[p];
         if proc.l2.state_of(line) == LineState::Exclusive {
             proc.l2.set_state(line, LineState::Modified);
@@ -667,25 +829,33 @@ impl Machine {
     /// Resets all statistics at the start of the measured phase.
     fn start_measurement(&mut self, t: Cycle) {
         self.measure_start = t;
-        for proc in &mut self.procs {
+        self.start_measurement_local(t);
+        Component::reset_stats(&mut self.net);
+        SyncState::reset_stats(&mut self.sync);
+        if let Some(sampler) = &mut self.sampler {
+            sampler.arm(t);
+        }
+    }
+
+    /// The per-machine share of the measured-phase reset: everything a
+    /// parallel shard owns (processors, nodes, shard-local histograms and
+    /// counters). The coordinator applies this to every shard and resets
+    /// the hub network, sync state and sampler itself.
+    pub(crate) fn start_measurement_local(&mut self, _t: Cycle) {
+        for proc in self.procs.iter_mut() {
             proc.instr_snapshot = proc.instructions;
             proc.refs_snapshot = proc.references;
             proc.l1.reset_stats();
             proc.l2.reset_stats();
         }
-        for node in &mut self.nodes {
+        for node in self.nodes.iter_mut() {
             Component::reset_stats(node);
         }
-        Component::reset_stats(&mut self.net);
-        SyncState::reset_stats(&mut self.sync);
         self.useless_invalidations = 0;
         self.handler_counts.clear();
         self.miss_latency = ccn_sim::Histogram::new();
-        for h in &mut self.node_miss_latency {
+        for h in self.node_miss_latency.iter_mut() {
             *h = ccn_sim::Histogram::new();
-        }
-        if let Some(sampler) = &mut self.sampler {
-            sampler.arm(t);
         }
     }
 
@@ -858,6 +1028,40 @@ impl Machine {
 
     pub(crate) fn proc_index(&self, node: usize, slot: u8) -> usize {
         node * self.cfg.procs_per_node + slot as usize
+    }
+
+    /// Injects `msg` into the network at `time` and schedules its
+    /// arrival — the single chokepoint every network send goes through.
+    ///
+    /// Sequentially this is inject + deliver + a `MSG_ARRIVE` schedule.
+    /// A parallel shard applies only the egress (sender-side) half on its
+    /// own network and records the send; the coordinator replays the
+    /// delivery half against the hub network at the window barrier, in
+    /// canonical send order, so receiver-side server state and arrival
+    /// cycles are byte-identical to the sequential run.
+    pub(crate) fn send_msg(&mut self, time: Cycle, msg: Msg) {
+        let bytes = msg.size_bytes(self.cfg.line_bytes);
+        match &mut self.queue {
+            MachineQueue::Seq(queue) => {
+                let arrival = self.net.send(time, msg.from, msg.to, bytes);
+                MSG_ARRIVE.send(queue, arrival, msg);
+            }
+            MachineQueue::Shard(ctx) => {
+                let head_arrives = self.net.inject(time, msg.from, bytes);
+                let key = ccn_sim::par::EKey::Fresh {
+                    shard: ctx.shard,
+                    xi: ctx.cur_xi,
+                    idx: ctx.emit_idx,
+                };
+                ctx.emit_idx += 1;
+                ctx.pending_sends.push(crate::par::PendingSend {
+                    key,
+                    send_time: time,
+                    head_arrives,
+                    msg,
+                });
+            }
+        }
     }
 
     pub(crate) fn enqueue_cc(
@@ -1070,7 +1274,7 @@ impl Machine {
                     acks_pending: 0,
                     payload: 0,
                 };
-                crate::steps::send_msg(&mut self.net, &mut self.queue, self.cfg.line_bytes, t, msg);
+                self.send_msg(t, msg);
             }
             return;
         }
@@ -1099,13 +1303,7 @@ impl Machine {
                 acks_pending: 0,
                 payload,
             };
-            crate::steps::send_msg(
-                &mut self.net,
-                &mut self.queue,
-                self.cfg.line_bytes,
-                xfer.end,
-                msg,
-            );
+            self.send_msg(xfer.end, msg);
         } else {
             // Ablation: no direct path — the write-back competes for a
             // protocol engine like any other bus-side request.
@@ -1164,7 +1362,7 @@ impl Machine {
     /// per-counter plumbing to stay complete.
     pub fn component_stats(&self) -> ComponentStats {
         let mut root = ComponentStats::named("machine");
-        for (i, node) in self.nodes.iter().enumerate() {
+        for (i, node) in self.nodes.enumerate_global() {
             let mut snap = node.stats_snapshot();
             snap.name = format!("node{i}");
             root.children.push(snap);
@@ -1174,7 +1372,7 @@ impl Machine {
         root
     }
 
-    fn build_report(&self) -> SimReport {
+    pub(crate) fn build_report(&self) -> SimReport {
         let end = self.procs.iter().map(|p| p.finish_time).max().unwrap_or(0);
         let exec_cycles = end.saturating_sub(self.measure_start);
         let instructions: u64 = self

@@ -1,7 +1,7 @@
 //! Protocol-handler step execution against one node's components.
 
 use ccn_mem::LineAddr;
-use ccn_net::Network;
+
 use ccn_protocol::handlers::{HandlerSpec, Step};
 use ccn_protocol::subop::{OccupancyTable, SubOp};
 use ccn_sim::Cycle;
@@ -132,19 +132,6 @@ pub(crate) fn run_steps(
     }
     run.end = t;
     run
-}
-
-/// Sends `msg` at `time` and schedules its arrival through the network
-/// delivery port.
-pub(crate) fn send_msg(
-    net: &mut Network,
-    queue: &mut ccn_sim::EventQueue<crate::machine::Event>,
-    line_bytes: u64,
-    time: Cycle,
-    msg: ccn_protocol::Msg,
-) {
-    let arrival = net.send(time, msg.from, msg.to, msg.size_bytes(line_bytes));
-    crate::machine::MSG_ARRIVE.send(queue, arrival, msg);
 }
 
 #[cfg(test)]

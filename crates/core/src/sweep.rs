@@ -23,7 +23,7 @@ use ccn_harness::{checkpoint, run_jobs, CheckpointWriter, Job, Json, PoolConfig,
 use ccn_workloads::suite::{Scale, SuiteApp};
 
 use crate::config::Architecture;
-use crate::experiments::{run_one, ConfigMods, Options};
+use crate::experiments::{run_one_threaded, ConfigMods, Options};
 use crate::report::SimReport;
 
 /// Short stable tag for a problem scale (used in job ids and checkpoint
@@ -251,6 +251,7 @@ pub struct SweepStats {
 pub struct Runner {
     opts: Options,
     workers: usize,
+    sim_threads: usize,
     max_attempts: u32,
     progress: bool,
     checkpoint: Option<PathBuf>,
@@ -267,6 +268,7 @@ impl Runner {
         Runner {
             opts,
             workers: 1,
+            sim_threads: 1,
             max_attempts: 1,
             progress: false,
             checkpoint: None,
@@ -282,6 +284,7 @@ impl Runner {
         Runner {
             opts,
             workers: workers.max(1),
+            sim_threads: 1,
             max_attempts: 2,
             progress: true,
             checkpoint: None,
@@ -289,6 +292,14 @@ impl Runner {
             metrics_dir: None,
             tally: Mutex::new(SweepStats::default()),
         }
+    }
+
+    /// Runs each simulation on `threads` conservative-parallel worker
+    /// threads (`Machine::run_parallel`); records stay byte-identical to
+    /// the sequential ones for any value.
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads.max(1);
+        self
     }
 
     /// Checkpoints completed jobs to `path` and, on the next run against
@@ -329,6 +340,11 @@ impl Runner {
         self
     }
 
+    /// Conservative-parallel threads per simulation.
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
+    }
+
     /// The machine size and problem scale this runner sweeps at.
     pub fn options(&self) -> Options {
         self.opts
@@ -358,8 +374,9 @@ impl Runner {
         let opts = self.opts;
         let jobs: Vec<(String, RunKey)> = keys.iter().map(|k| (k.id(opts), *k)).collect();
         let metrics_dir = self.metrics_dir.clone();
+        let sim_threads = self.sim_threads;
         self.run_keyed(jobs, move |k| {
-            let report = run_one(k.app, k.arch, opts, k.mods);
+            let report = run_one_threaded(k.app, k.arch, opts, k.mods, sim_threads);
             if let Some(dir) = &metrics_dir {
                 let payload = crate::observe::report_metrics(&report);
                 ccn_obs::write_sidecar(dir, &k.id(opts), &payload)

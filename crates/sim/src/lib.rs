@@ -48,13 +48,14 @@
 pub mod component;
 mod event;
 pub mod hash;
+pub mod par;
 mod port;
 mod rng;
 mod server;
 pub mod stats;
 
 pub use component::{Component, ComponentStats};
-pub use event::EventQueue;
+pub use event::{EventQueue, ScheduleSink};
 pub use hash::{FxHashMap, FxHashSet};
 pub use port::Port;
 pub use rng::SplitMix64;

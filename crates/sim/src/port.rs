@@ -9,7 +9,7 @@
 //! including the FIFO tie-break among events scheduled for the same
 //! cycle, which follows the order of `send` calls.
 
-use crate::{Cycle, EventQueue};
+use crate::{Cycle, ScheduleSink};
 
 /// A typed endpoint that delivers messages of type `M` as events of the
 /// queue's type `E`.
@@ -51,9 +51,11 @@ impl<M, E> Port<M, E> {
         self.name
     }
 
-    /// Delivers `message` at cycle `at` by scheduling its wrapped event.
+    /// Delivers `message` at cycle `at` by scheduling its wrapped event
+    /// into any [`ScheduleSink`] — the sequential [`EventQueue`](crate::EventQueue)
+    /// (crate::EventQueue) or a parallel shard wheel.
     #[inline]
-    pub fn send(&self, queue: &mut EventQueue<E>, at: Cycle, message: M) {
+    pub fn send<S: ScheduleSink<E>>(&self, queue: &mut S, at: Cycle, message: M) {
         queue.schedule(at, (self.wrap)(message));
     }
 }
@@ -61,6 +63,7 @@ impl<M, E> Port<M, E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EventQueue;
 
     #[derive(Debug, PartialEq, Eq)]
     enum Ev {

@@ -1,0 +1,68 @@
+//! Differential determinism battery for the conservative parallel core.
+//!
+//! The contract (`docs/PARALLEL.md`) is that `--threads N` is an
+//! execution strategy, not a different simulation: every artifact a run
+//! produces must be byte-identical to the sequential schedule. This
+//! suite drives two scenario specs through every controller architecture
+//! sequentially and on 2 and 4 threads, and compares the artifacts the
+//! sweep layer actually persists — the `RunRecord` JSON, the functional
+//! snapshot digest, and the metrics sidecar payload (whose latency
+//! histograms exercise the cross-shard histogram merges).
+
+use std::fs;
+use std::path::Path;
+
+use ccnuma_repro::ccn_scenario::{scenario_config, Scenario, ScenarioSpec, SCENARIO_EVENT_LIMIT};
+use ccnuma_repro::ccn_workloads::Application;
+use ccnuma_repro::ccnuma::observe::report_metrics;
+use ccnuma_repro::ccnuma::{Architecture, Machine, RunRecord, SystemConfig};
+
+fn example(file: &str) -> ScenarioSpec {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/scenarios")
+        .join(file);
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    ScenarioSpec::parse_str(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+/// Everything a sweep persists for one run, rendered to bytes.
+fn artifacts(app: &dyn Application, cfg: &SystemConfig, threads: usize) -> (String, u64, String) {
+    let mut machine = Machine::new(cfg.clone(), app).expect("valid config");
+    let report = if threads <= 1 {
+        machine.run_with_event_limit(SCENARIO_EVENT_LIMIT)
+    } else {
+        machine.run_parallel_with_event_limit(threads, SCENARIO_EVENT_LIMIT)
+    };
+    machine.check_quiescent().unwrap_or_else(|e| panic!("{e}"));
+    (
+        RunRecord::from_report(&report).to_json().to_string(),
+        machine.functional_snapshot().digest(),
+        report_metrics(&report).to_string(),
+    )
+}
+
+#[test]
+fn every_architecture_is_thread_count_invariant() {
+    for file in ["kv_readheavy.json", "lock_convoy.json"] {
+        let app = Scenario::new(example(file));
+        for arch in Architecture::all() {
+            let cfg = scenario_config(arch, 4, 2);
+            let seq = artifacts(&app, &cfg, 1);
+            for threads in [2usize, 4] {
+                let par = artifacts(&app, &cfg, threads);
+                assert_eq!(
+                    seq.0, par.0,
+                    "{file} on {arch:?}: RunRecord diverged at {threads} threads"
+                );
+                assert_eq!(
+                    seq.1, par.1,
+                    "{file} on {arch:?}: functional snapshot diverged at {threads} threads"
+                );
+                assert_eq!(
+                    seq.2, par.2,
+                    "{file} on {arch:?}: metrics sidecar diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}

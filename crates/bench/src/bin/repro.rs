@@ -81,6 +81,83 @@ use ccn_workloads::suite::SuiteApp;
 use ccnuma::experiments::{self, Options};
 use ccnuma::sweep::Runner;
 
+/// System allocator wrapped with the measured-phase counter: every
+/// `alloc`/`realloc` is reported to [`ccn_sim::alloc_gate`], which counts
+/// it only while a gated benchmark's measured phase is live. This is how
+/// `repro bench` *proves* the steady state allocates nothing rather than
+/// asserting it; outside the gate the overhead is one relaxed atomic
+/// load per allocation.
+struct CountingAlloc;
+
+// SAFETY: defers to `System` for every operation; the counter hook does
+// not allocate and never observes the pointers.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ccn_sim::alloc_gate::note(layout.size());
+        trace_armed_alloc(layout.size());
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ccn_sim::alloc_gate::note(layout.size());
+        trace_armed_alloc(layout.size());
+        unsafe { std::alloc::System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ccn_sim::alloc_gate::note(new_size);
+        trace_armed_alloc(new_size);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Debugging aid for the zero-alloc gate: with `ALLOC_TRACE=N` in the
+/// environment, prints a backtrace for each of the first N allocations
+/// that happen inside an armed measured phase, so a regression points
+/// at its own call site instead of just failing the count. A recursion
+/// guard keeps the backtrace machinery's own allocations quiet.
+fn trace_armed_alloc(size: usize) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static LEFT: AtomicU64 = AtomicU64::new(u64::MAX);
+    thread_local! {
+        static IN_TRACE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+    if !ccn_sim::alloc_gate::armed() {
+        return;
+    }
+    let entered = IN_TRACE.with(|f| {
+        if f.get() {
+            false
+        } else {
+            f.set(true);
+            true
+        }
+    });
+    if !entered {
+        return;
+    }
+    if LEFT.load(Ordering::Relaxed) == u64::MAX {
+        let budget = std::env::var("ALLOC_TRACE")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        LEFT.store(budget, Ordering::Relaxed);
+    }
+    if LEFT.load(Ordering::Relaxed) > 0 {
+        LEFT.fetch_sub(1, Ordering::Relaxed);
+        let bt = std::backtrace::Backtrace::force_capture();
+        eprintln!("[alloc-trace] {size} bytes in measured phase:\n{bt}");
+    }
+    IN_TRACE.with(|f| f.set(false));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // The scenario frontend owns its whole argument list.

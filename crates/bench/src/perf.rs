@@ -41,6 +41,10 @@ pub struct CaseResult {
     pub work: u64,
     /// Wall-clock seconds.
     pub secs: f64,
+    /// Heap allocations observed inside the measured phase, when the
+    /// case runs under the allocation gate (the end-to-end reference
+    /// case only). `None` for ungated cases.
+    pub measured_allocs: Option<u64>,
 }
 
 impl CaseResult {
@@ -54,12 +58,16 @@ impl CaseResult {
     }
 
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("unit", Json::Str(self.unit.to_string())),
             ("work", Json::UInt(self.work)),
             ("secs", Json::Num(self.secs)),
             ("per_sec", Json::Num(self.per_sec())),
-        ])
+        ];
+        if let Some(allocs) = self.measured_allocs {
+            fields.push(("measured_allocs", Json::UInt(allocs)));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -105,7 +113,7 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(out, "benchmarks ({} mode):", self.mode);
         for c in &self.cases {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "  {:<24} {:>12} {} in {:>8.3}s  ->  {:>12.0} {}/s",
                 c.name,
@@ -115,6 +123,10 @@ impl BenchReport {
                 c.per_sec(),
                 c.unit
             );
+            let _ = match c.measured_allocs {
+                Some(a) => writeln!(out, "  [{a} allocs in measured phase]"),
+                None => writeln!(out),
+            };
         }
         if let Some(rss) = self.peak_rss_bytes {
             let _ = writeln!(out, "  peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
@@ -130,6 +142,18 @@ impl BenchReport {
         let mut lines = Vec::new();
         let mut ok = true;
         for c in &self.cases {
+            if let Some(allocs) = c.measured_allocs {
+                let pass = allocs == 0;
+                if !pass {
+                    ok = false;
+                }
+                lines.push(format!(
+                    "  [{}] {}: {} allocations in measured phase (gate: 0)",
+                    if pass { "PASS" } else { "FAIL" },
+                    c.name,
+                    allocs,
+                ));
+            }
             let Some(base) = baseline
                 .get("cases")
                 .and_then(|cs| cs.get(c.name))
@@ -213,6 +237,7 @@ fn bench_event_queue(pops: u64) -> CaseResult {
         unit: "events",
         work: pops,
         secs,
+        measured_allocs: None,
     }
 }
 
@@ -253,6 +278,7 @@ fn bench_cache_probes(accesses: u64) -> CaseResult {
     let secs = start.elapsed().as_secs_f64();
     std::hint::black_box((acc, cache.resident_lines()));
     CaseResult {
+        measured_allocs: None,
         name: "cache_probe_storm",
         unit: "ops",
         work: accesses,
@@ -290,6 +316,7 @@ fn bench_directory(rounds: u64) -> CaseResult {
     let secs = start.elapsed().as_secs_f64();
     std::hint::black_box(dir.buffered_requests());
     CaseResult {
+        measured_allocs: None,
         name: "directory_handler_mix",
         unit: "ops",
         work: ops,
@@ -320,10 +347,29 @@ fn bench_end_to_end(quick: bool, obs: bool) -> CaseResult {
         machine.enable_trace(1 << 16);
         machine.enable_sampler(if quick { 500 } else { 10_000 });
     }
+    // Arm the allocation gate: the machine starts counting when it
+    // resets statistics for the measured phase and stops when the event
+    // loop drains, so the count below covers exactly the steady state.
+    // The observability variant keeps the gate off — the bounded trace
+    // ring and the sampler's timeline grow by design.
+    if !obs {
+        ccn_sim::alloc_gate::request();
+    }
     let start = Instant::now();
     let report = machine.run();
     let secs = start.elapsed().as_secs_f64();
     std::hint::black_box(report.exec_cycles);
+    let measured_allocs = if obs {
+        None
+    } else {
+        Some(ccn_sim::alloc_gate::counts().0)
+    };
+    if std::env::var_os("BENCH_DEBUG").is_some() {
+        eprintln!(
+            "[bench-debug] end_to_end max pending events: {}",
+            machine.max_pending_events()
+        );
+    }
     if obs {
         std::hint::black_box((machine.trace().len(), machine.timeline().map(|t| t.len())));
     }
@@ -332,6 +378,7 @@ fn bench_end_to_end(quick: bool, obs: bool) -> CaseResult {
         unit: "events",
         work: machine.events_scheduled(),
         secs,
+        measured_allocs,
     }
 }
 
@@ -390,6 +437,7 @@ fn bench_parallel_speedup(quick: bool) -> Option<CaseResult> {
         unit: "milli-x",
         work: (speedup * 1000.0).round() as u64,
         secs: 1.0,
+        measured_allocs: None,
     })
 }
 
@@ -461,6 +509,7 @@ mod tests {
                 unit: "events",
                 work: 100,
                 secs: 0.5,
+                measured_allocs: None,
             }],
             peak_rss_bytes: Some(1024),
         };
@@ -485,6 +534,7 @@ mod tests {
                 unit: "events",
                 work: 1000,
                 secs: 1.0, // 1000/s
+                measured_allocs: None,
             }],
             peak_rss_bytes: None,
         };

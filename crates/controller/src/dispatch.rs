@@ -132,8 +132,16 @@ pub struct CoherenceController<R> {
 impl<R> CoherenceController<R> {
     /// Creates an idle controller with the given engine policy.
     pub fn new(policy: EnginePolicy) -> Self {
+        Self::with_queue_capacity(policy, 0)
+    }
+
+    /// Creates an idle controller whose per-class input queues are
+    /// pre-sized for `capacity` pending requests each. Sizing for the
+    /// machine's worst-case in-flight load keeps the enqueue path off
+    /// the allocator in the steady state.
+    pub fn with_queue_capacity(policy: EnginePolicy, capacity: usize) -> Self {
         let engine = || Engine {
-            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            queues: std::array::from_fn(|_| VecDeque::with_capacity(capacity)),
             busy_until: 0,
             bus_bypasses: 0,
             last_arrival: None,

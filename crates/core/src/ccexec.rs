@@ -10,9 +10,8 @@ use ccn_mem::{LineAddr, NodeId};
 use ccn_protocol::directory::{
     DirAction, DirOutcome, DirRequest, DirRequestKind, WritebackOutcome,
 };
-use ccn_protocol::handlers::{Fanout, HandlerKind, HandlerSpec, Step};
-use ccn_protocol::subop::SubOp;
-use ccn_protocol::{Msg, MsgClass, MsgKind, NodeBitmap};
+use ccn_protocol::handlers::{Fanout, HandlerKind};
+use ccn_protocol::{Msg, MsgClass, MsgKind, SharerBitmap};
 use ccn_sim::Cycle;
 
 use crate::machine::{Machine, CC_WORK};
@@ -36,8 +35,8 @@ impl Machine {
             } => self.handle_home_request(n, kind, line, requester, now),
             CcRequest::Net(msg) => self.handle_net(n, msg, now),
             CcRequest::Writeback { line, payload } => {
-                let spec = HandlerSpec::build(HandlerKind::BusWritebackRemote, Fanout::NONE);
-                let run = self.run_spec(n, &spec, line, now);
+                let run =
+                    self.run_spec(n, HandlerKind::BusWritebackRemote, Fanout::NONE, line, now);
                 let home = self.map.home_of(line);
                 let mut msg = self.msg(n, home, MsgKind::WritebackReq, line, NodeId(n as u16));
                 msg.payload = payload;
@@ -55,10 +54,40 @@ impl Machine {
         self.map.home_of(line).index()
     }
 
-    fn run_spec(&mut self, n: usize, spec: &HandlerSpec, line: LineAddr, start: Cycle) -> StepRun {
-        *self.handler_counts.entry(spec.kind).or_insert(0) += 1;
-        let run = run_steps(&mut self.nodes[n], &self.cfg, spec, line, start);
-        self.record_trace(start, n, spec.kind.paper_label(), line, run.end - start);
+    /// Expands `kind` into the machine's scratch step buffer and executes
+    /// it. The buffer is reused across invocations, so the handler hot
+    /// path never allocates.
+    fn run_spec(
+        &mut self,
+        n: usize,
+        kind: HandlerKind,
+        fanout: Fanout,
+        line: LineAddr,
+        start: Cycle,
+    ) -> StepRun {
+        self.step_scratch.fill(kind, fanout);
+        self.run_scratch(n, line, start)
+    }
+
+    /// The cheap occupancy of a request that only probed the directory
+    /// (line busy / await-writeback): dispatch + request read + directory
+    /// read.
+    fn run_probe(&mut self, n: usize, kind: HandlerKind, line: LineAddr, start: Cycle) -> StepRun {
+        self.step_scratch.fill_probe(kind);
+        self.run_scratch(n, line, start)
+    }
+
+    fn run_scratch(&mut self, n: usize, line: LineAddr, start: Cycle) -> StepRun {
+        let kind = self.step_scratch.kind();
+        self.handler_counts[kind.index()] += 1;
+        let run = run_steps(
+            &mut self.nodes[n],
+            &self.cfg,
+            self.step_scratch.steps(),
+            line,
+            start,
+        );
+        self.record_trace(start, n, kind.paper_label(), line, run.end - start);
         run
     }
 
@@ -75,21 +104,6 @@ impl Machine {
             requester,
             acks_pending: 0,
             payload: 0,
-        }
-    }
-
-    /// The cheap occupancy of a request that only probed the directory
-    /// (line busy / await-writeback): dispatch + request read + directory
-    /// read.
-    fn probe_spec(kind: HandlerKind) -> HandlerSpec {
-        HandlerSpec {
-            kind,
-            steps: vec![
-                Step::Op(SubOp::Dispatch),
-                Step::Op(SubOp::ReadReg),
-                Step::DirRead,
-                Step::Op(SubOp::Condition),
-            ],
         }
     }
 
@@ -132,8 +146,7 @@ impl Machine {
             DirRequestKind::ReadExcl => (HandlerKind::BusReadExclRemote, MsgKind::ReadExclReq),
             DirRequestKind::Upgrade => (HandlerKind::BusUpgradeRemote, MsgKind::UpgradeReq),
         };
-        let spec = HandlerSpec::build(handler, Fanout::NONE);
-        let run = self.run_spec(n, &spec, line, now);
+        let run = self.run_spec(n, handler, Fanout::NONE, line, now);
         let home = self.map.home_of(line);
         let msg = self.msg(n, home, msg_kind, line, NodeId(n as u16));
         self.send(run.sends[0], msg);
@@ -158,12 +171,12 @@ impl Machine {
             .request(line, DirRequest { kind, requester });
         match outcome {
             DirOutcome::Busy => {
-                let spec = Self::probe_spec(HandlerKind::HomeReadDirtyRemote);
-                self.run_spec(n, &spec, line, now).end
+                self.run_probe(n, HandlerKind::HomeReadDirtyRemote, line, now)
+                    .end
             }
             DirOutcome::Act(DirAction::AwaitWriteback) => {
-                let spec = Self::probe_spec(HandlerKind::HomeReadDirtyRemote);
-                self.run_spec(n, &spec, line, now).end
+                self.run_probe(n, HandlerKind::HomeReadDirtyRemote, line, now)
+                    .end
             }
             DirOutcome::Act(DirAction::Forward { owner }) => {
                 let local_req = requester.index() == n;
@@ -178,8 +191,7 @@ impl Machine {
                     ),
                     _ => (HandlerKind::HomeReadExclDirtyRemote, MsgKind::ReadExclFwd),
                 };
-                let spec = HandlerSpec::build(handler, Fanout::NONE);
-                let run = self.run_spec(n, &spec, line, now);
+                let run = self.run_spec(n, handler, Fanout::NONE, line, now);
                 let msg = self.msg(n, owner, fwd_kind, line, requester);
                 self.send(run.sends[0], msg);
                 run.end
@@ -204,7 +216,7 @@ impl Machine {
         line: LineAddr,
         requester: NodeId,
         exclusive: bool,
-        invalidate: NodeBitmap,
+        invalidate: SharerBitmap,
         grant_only: bool,
         now: Cycle,
     ) -> Cycle {
@@ -257,8 +269,7 @@ impl Machine {
         } else {
             HandlerKind::HomeReadExclUncached
         };
-        let spec = HandlerSpec::build(handler, fan);
-        let run = self.run_spec(n, &spec, line, now);
+        let run = self.run_spec(n, handler, fan, line, now);
 
         // Invalidation requests go out first, in step order.
         debug_assert!(run.sends.len() as u32 >= remote_invs);
@@ -321,8 +332,13 @@ impl Machine {
             MsgKind::OwnershipAck => self.handle_ownership_ack(n, msg, now),
             MsgKind::FwdMiss => self.handle_fwd_miss(n, msg, now),
             MsgKind::ReplacementHint => {
-                let spec = HandlerSpec::build(HandlerKind::HomeReplacementHint, Fanout::NONE);
-                let run = self.run_spec(n, &spec, msg.line, now);
+                let run = self.run_spec(
+                    n,
+                    HandlerKind::HomeReplacementHint,
+                    Fanout::NONE,
+                    msg.line,
+                    now,
+                );
                 self.nodes[n].mem.dir.remove_sharer_hint(msg.line, msg.from);
                 run.end
             }
@@ -330,8 +346,13 @@ impl Machine {
     }
 
     fn handle_writeback(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
-        let spec = HandlerSpec::build(HandlerKind::HomeWritebackEviction, Fanout::NONE);
-        let run = self.run_spec(n, &spec, msg.line, now);
+        let run = self.run_spec(
+            n,
+            HandlerKind::HomeWritebackEviction,
+            Fanout::NONE,
+            msg.line,
+            now,
+        );
         self.memory.insert(msg.line, msg.payload);
         match self.nodes[n].mem.dir.writeback(msg.line, msg.from) {
             WritebackOutcome::Applied | WritebackOutcome::RacedWithForward => {}
@@ -368,8 +389,7 @@ impl Machine {
             .unwrap_or_default();
         if !pres.any() {
             // Our write-back is in flight; tell the home.
-            let spec = HandlerSpec::build(HandlerKind::OwnerFwdMissReply, Fanout::NONE);
-            let run = self.run_spec(n, &spec, line, now);
+            let run = self.run_spec(n, HandlerKind::OwnerFwdMissReply, Fanout::NONE, line, now);
             let home = self.map.home_of(line);
             let reply = self.msg(n, home, MsgKind::FwdMiss, line, msg.requester);
             self.send(run.sends[0], reply);
@@ -390,8 +410,7 @@ impl Machine {
             (true, true) => HandlerKind::OwnerReadExclFwdHomeRequester,
             (true, false) => HandlerKind::OwnerReadExclFwdRemoteRequester,
         };
-        let spec = HandlerSpec::build(handler, Fanout::NONE);
-        let run = self.run_spec(n, &spec, line, now);
+        let run = self.run_spec(n, handler, Fanout::NONE, line, now);
         let data_kind = if exclusive {
             MsgKind::DataExclResp
         } else {
@@ -415,8 +434,7 @@ impl Machine {
     }
 
     fn handle_inv_req(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
-        let spec = HandlerSpec::build(HandlerKind::InvReqAtSharer, Fanout::NONE);
-        let run = self.run_spec(n, &spec, msg.line, now);
+        let run = self.run_spec(n, HandlerKind::InvReqAtSharer, Fanout::NONE, msg.line, now);
         if !self.nodes[n].presence.contains_key(msg.line) {
             // A stale directory bit: the copy was silently dropped.
             self.useless_invalidations += 1;
@@ -431,13 +449,18 @@ impl Machine {
     fn handle_inv_ack(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
         match self.nodes[n].mem.dir.inv_ack(msg.line) {
             None => {
-                let spec = HandlerSpec::build(HandlerKind::HomeInvAckMore, Fanout::NONE);
-                self.run_spec(n, &spec, msg.line, now).end
+                self.run_spec(n, HandlerKind::HomeInvAckMore, Fanout::NONE, msg.line, now)
+                    .end
             }
             Some(done) => {
                 if done.requester.index() == n {
-                    let spec = HandlerSpec::build(HandlerKind::HomeInvAckLastLocal, Fanout::NONE);
-                    let run = self.run_spec(n, &spec, msg.line, now);
+                    let run = self.run_spec(
+                        n,
+                        HandlerKind::HomeInvAckLastLocal,
+                        Fanout::NONE,
+                        msg.line,
+                        now,
+                    );
                     let payload = *self.memory.get(msg.line).unwrap_or(&0);
                     self.complete_mshr(
                         n,
@@ -449,8 +472,13 @@ impl Machine {
                     self.drain_pending(n, msg.line, run.end);
                     run.end
                 } else {
-                    let spec = HandlerSpec::build(HandlerKind::HomeInvAckLastRemote, Fanout::NONE);
-                    let run = self.run_spec(n, &spec, msg.line, now);
+                    let run = self.run_spec(
+                        n,
+                        HandlerKind::HomeInvAckLastRemote,
+                        Fanout::NONE,
+                        msg.line,
+                        now,
+                    );
                     let note = self.msg(
                         n,
                         done.requester,
@@ -470,8 +498,13 @@ impl Machine {
         if self.home_index(msg.line) == n {
             // Home requested a dirty-remote line for a local processor:
             // this response doubles as the sharing write-back.
-            let spec = HandlerSpec::build(HandlerKind::HomeDataRespOwnerRead, Fanout::NONE);
-            let run = self.run_spec(n, &spec, msg.line, now);
+            let run = self.run_spec(
+                n,
+                HandlerKind::HomeDataRespOwnerRead,
+                Fanout::NONE,
+                msg.line,
+                now,
+            );
             self.nodes[n].mem.dir.sharing_writeback(msg.line, msg.from);
             self.memory.insert(msg.line, msg.payload);
             let at = run.deliver.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
@@ -479,8 +512,7 @@ impl Machine {
             self.drain_pending(n, msg.line, run.end);
             run.end
         } else {
-            let spec = HandlerSpec::build(HandlerKind::ReqDataResp, Fanout::NONE);
-            let run = self.run_spec(n, &spec, msg.line, now);
+            let run = self.run_spec(n, HandlerKind::ReqDataResp, Fanout::NONE, msg.line, now);
             let at = run.deliver.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
             self.complete_mshr(n, msg.line, false, msg.payload, at);
             run.end
@@ -489,8 +521,13 @@ impl Machine {
 
     fn handle_data_excl_resp(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
         if self.home_index(msg.line) == n {
-            let spec = HandlerSpec::build(HandlerKind::HomeDataRespOwnerReadExcl, Fanout::NONE);
-            let run = self.run_spec(n, &spec, msg.line, now);
+            let run = self.run_spec(
+                n,
+                HandlerKind::HomeDataRespOwnerReadExcl,
+                Fanout::NONE,
+                msg.line,
+                now,
+            );
             self.nodes[n].mem.dir.ownership_ack(msg.line, msg.from);
             let at = run.deliver.unwrap_or(run.end) + self.cfg.lat.fill_overhead;
             self.complete_mshr(n, msg.line, true, msg.payload, at);
@@ -510,14 +547,16 @@ impl Machine {
             Some(slot) => pres.other_than(slot),
             None => pres.any(),
         };
-        let spec = HandlerSpec::build(
+        let run = self.run_spec(
+            n,
             HandlerKind::ReqDataExclResp,
             Fanout {
                 remote_invs: 0,
                 local_inv,
             },
+            msg.line,
+            now,
         );
-        let run = self.run_spec(n, &spec, msg.line, now);
         if local_inv {
             self.invalidate_local_copies(n, msg.line, initiator_slot);
         }
@@ -541,14 +580,16 @@ impl Machine {
             Some(slot) => pres.other_than(slot),
             None => pres.any(),
         };
-        let spec = HandlerSpec::build(
+        let run = self.run_spec(
+            n,
             HandlerKind::ReqUpgradeAck,
             Fanout {
                 remote_invs: 0,
                 local_inv,
             },
+            msg.line,
+            now,
         );
-        let run = self.run_spec(n, &spec, msg.line, now);
         if local_inv {
             self.invalidate_local_copies(n, msg.line, initiator_slot);
         }
@@ -595,8 +636,7 @@ impl Machine {
     }
 
     fn handle_inv_done(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
-        let spec = HandlerSpec::build(HandlerKind::ReqInvDone, Fanout::NONE);
-        let run = self.run_spec(n, &spec, msg.line, now);
+        let run = self.run_spec(n, HandlerKind::ReqInvDone, Fanout::NONE, msg.line, now);
         let ready = {
             let mshr = self.nodes[n]
                 .mshr
@@ -612,8 +652,13 @@ impl Machine {
     }
 
     fn handle_sharing_writeback(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
-        let spec = HandlerSpec::build(HandlerKind::HomeSharingWriteback, Fanout::NONE);
-        let run = self.run_spec(n, &spec, msg.line, now);
+        let run = self.run_spec(
+            n,
+            HandlerKind::HomeSharingWriteback,
+            Fanout::NONE,
+            msg.line,
+            now,
+        );
         self.nodes[n].mem.dir.sharing_writeback(msg.line, msg.from);
         self.memory.insert(msg.line, msg.payload);
         self.drain_pending(n, msg.line, run.end);
@@ -621,8 +666,13 @@ impl Machine {
     }
 
     fn handle_ownership_ack(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
-        let spec = HandlerSpec::build(HandlerKind::HomeOwnershipAck, Fanout::NONE);
-        let run = self.run_spec(n, &spec, msg.line, now);
+        let run = self.run_spec(
+            n,
+            HandlerKind::HomeOwnershipAck,
+            Fanout::NONE,
+            msg.line,
+            now,
+        );
         self.nodes[n].mem.dir.ownership_ack(msg.line, msg.from);
         self.drain_pending(n, msg.line, run.end);
         run.end
@@ -630,8 +680,7 @@ impl Machine {
 
     fn handle_fwd_miss(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
         let request = self.nodes[n].mem.dir.fwd_miss(msg.line, msg.from);
-        let spec = HandlerSpec::build(HandlerKind::HomeFwdMiss, Fanout::NONE);
-        let run = self.run_spec(n, &spec, msg.line, now);
+        let run = self.run_spec(n, HandlerKind::HomeFwdMiss, Fanout::NONE, msg.line, now);
         let payload = *self.memory.get(msg.line).unwrap_or(&0);
         let exclusive = request.kind != DirRequestKind::Read;
         if request.requester.index() == n {

@@ -11,7 +11,7 @@
 
 use ccn_net::NetConfig;
 use ccn_protocol::handlers::{Fanout, HandlerKind, HandlerSpec, StaticStepCosts};
-use ccn_protocol::subop::{EngineKind, OccupancyTable};
+use ccn_protocol::subop::{EngineKind, OccupancyTable, SubOp};
 use ccn_workloads::suite::{Scale, SuiteApp};
 
 use crate::config::{Architecture, SystemConfig};
@@ -170,7 +170,9 @@ pub fn table2() -> TextTable {
     let ppc = OccupancyTable::for_engine(EngineKind::Ppc);
     let mut t = TextTable::new(vec!["sub-operation", "HWC", "PPC"])
         .with_title("Table 2: protocol engine sub-operation occupancies (cycles)");
-    for (op, hwc_cost) in hwc.rows() {
+    let mut rows = [(SubOp::Dispatch, 0); SubOp::COUNT];
+    hwc.rows_into(&mut rows);
+    for (op, hwc_cost) in rows {
         t.row(vec![
             op.description().to_string(),
             hwc_cost.to_string(),

@@ -139,8 +139,9 @@ pub(crate) struct Mshr {
     pub kind: DirRequestKind,
     /// Global index of the processor that started the transaction.
     pub initiator: usize,
-    /// Other blocked processors waiting on the same line.
-    pub waiters: Vec<usize>,
+    /// Other blocked processors waiting on the same line, as a handle
+    /// into the node's shared waiter slab (see `Node::waiter_pool`).
+    pub waiters: ccn_sim::pool::ListRef,
     /// Data (or upgrade permission) has arrived.
     pub has_data: bool,
     /// The grant said invalidation acks are being collected at the home
@@ -161,7 +162,7 @@ impl Mshr {
         Mshr {
             kind,
             initiator,
-            waiters: Vec::new(),
+            waiters: ccn_sim::pool::ListRef::default(),
             has_data: false,
             needs_inv_done: false,
             inv_done_received: false,
@@ -254,8 +255,19 @@ pub struct Machine {
     /// Invalidation requests that found no local copy (stale directory
     /// bits from silent clean drops).
     pub(crate) useless_invalidations: u64,
-    /// Handlers executed, by kind (measured phase).
-    pub(crate) handler_counts: FxHashMap<ccn_protocol::HandlerKind, u64>,
+    /// Handlers executed (measured phase), indexed by
+    /// [`HandlerKind::index`](ccn_protocol::HandlerKind::index). A fixed
+    /// array rather than a map: the dispatch path bumps a counter per
+    /// event and must not touch the allocator.
+    pub(crate) handler_counts: [u64; ccn_protocol::HandlerKind::COUNT],
+    /// Reusable step buffer for handler execution: every handler
+    /// invocation fills this buffer in place instead of building a fresh
+    /// step vector, so the dispatch hot path never allocates.
+    pub(crate) step_scratch: ccn_protocol::handlers::StepBuf,
+    /// Reusable buffer for barrier releases: [`SyncState::barrier_arrive`]
+    /// fills it with the processors to wake, so barrier episodes never
+    /// hand ownership of a fresh `Vec` around.
+    pub(crate) barrier_scratch: Vec<ProcId>,
 }
 
 impl Machine {
@@ -290,10 +302,21 @@ impl Machine {
             pages.place(page, NodeId(node));
         }
         let map = AddressMap::new(cfg.line_bytes, cfg.page_bytes, pages);
-        // Warm-up schedules one resume per processor at cycle zero, and
-        // each processor keeps only a handful of events in flight after
-        // that (a blocked miss plus its protocol messages).
-        let mut queue = EventQueue::with_capacity(cfg.nprocs() * 4);
+        // The functional tables (memory image, version stamps) hold at
+        // most one entry per line the workload can touch; sizing them to
+        // the program footprint up front keeps steady-state inserts off
+        // the allocator. The floor covers synthetic apps whose programs
+        // are generated rather than range-based.
+        let footprint = build.footprint_lines(cfg.line_bytes).max(1024);
+        // Sized past the pending-event high-water mark so the queue's
+        // slab never grows mid-run (the zero-alloc gate checks this):
+        // the reference workloads peak around 34 concurrently pending
+        // events per processor (blocked misses, protocol messages,
+        // controller dispatch continuations), measured via
+        // `max_pending_events`; 64 leaves comfortable headroom at a few
+        // dozen bytes per slot.
+        let nprocs = cfg.nprocs();
+        let mut queue = EventQueue::with_capacity(nprocs * 64);
         let procs: Vec<Proc> = build
             .programs
             .into_iter()
@@ -337,8 +360,8 @@ impl Machine {
             nodes: Sliced::whole(nodes),
             net,
             sync,
-            versions: LineTable::with_capacity(1024),
-            memory: LineTable::with_capacity(1024),
+            versions: LineTable::with_capacity(footprint),
+            memory: LineTable::with_capacity(footprint),
             marker_count: 0,
             measure_start: 0,
             done_count: 0,
@@ -353,7 +376,9 @@ impl Machine {
             #[cfg(feature = "component-trace")]
             trace_hook: None,
             useless_invalidations: 0,
-            handler_counts: FxHashMap::default(),
+            handler_counts: [0; ccn_protocol::HandlerKind::COUNT],
+            step_scratch: ccn_protocol::handlers::StepBuf::new(),
+            barrier_scratch: Vec::with_capacity(nprocs),
         })
     }
 
@@ -399,6 +424,9 @@ impl Machine {
                 Event::MsgArrive(msg) => self.msg_arrive(msg, t),
             }
         }
+        // The measured phase ends when the event loop drains; report
+        // assembly below allocates freely outside the alloc gate.
+        ccn_sim::alloc_gate::phase_end();
         if self.done_count != self.procs.len() {
             let stuck: Vec<usize> = self
                 .procs
@@ -483,6 +511,12 @@ impl Machine {
     /// denominator of events-per-second throughput measurements).
     pub fn events_scheduled(&self) -> u64 {
         self.queue.total_scheduled() + self.extra_scheduled
+    }
+
+    /// High-water mark of concurrently pending events in the event
+    /// queue (capacity planning for the zero-alloc steady state).
+    pub fn max_pending_events(&self) -> usize {
+        self.queue.max_pending()
     }
 
     /// Samples the stats spine at the sampler's cadence: once per due
@@ -709,17 +743,23 @@ impl Machine {
                     if self.shard_stall(SyncOp::Barrier(id), p, t, horizon) {
                         return;
                     }
-                    match self.sync.barrier_arrive(id, ProcId(p as u32), t) {
+                    let mut released = std::mem::take(&mut self.barrier_scratch);
+                    match self
+                        .sync
+                        .barrier_arrive(id, ProcId(p as u32), t, &mut released)
+                    {
                         BarrierOutcome::Wait => {
+                            self.barrier_scratch = released;
                             self.procs[p].local_time = t;
                             self.procs[p].state = ProcState::Blocked;
                             return;
                         }
-                        BarrierOutcome::Release { waiters, at } => {
+                        BarrierOutcome::Release { at } => {
                             let now = self.queue.now();
-                            for w in waiters {
+                            for &w in &released {
                                 PROC_RESUME.send(&mut self.queue, at.max(now), w.0);
                             }
+                            self.barrier_scratch = released;
                             t = at.max(t);
                         }
                     }
@@ -828,6 +868,7 @@ impl Machine {
 
     /// Resets all statistics at the start of the measured phase.
     fn start_measurement(&mut self, t: Cycle) {
+        ccn_sim::alloc_gate::phase_start();
         self.measure_start = t;
         self.start_measurement_local(t);
         Component::reset_stats(&mut self.net);
@@ -852,7 +893,7 @@ impl Machine {
             Component::reset_stats(node);
         }
         self.useless_invalidations = 0;
-        self.handler_counts.clear();
+        self.handler_counts = [0; ccn_protocol::HandlerKind::COUNT];
         self.miss_latency = ccn_sim::Histogram::new();
         for h in self.node_miss_latency.iter_mut() {
             *h = ccn_sim::Histogram::new();
@@ -880,9 +921,12 @@ impl Machine {
                 self.map.pages_mut().place(page, NodeId(n as u16));
             }
         }
-        if let Some(mshr) = self.nodes[n].mshr.get_mut(line) {
-            mshr.waiters.push(p);
-            return;
+        {
+            let node = &mut self.nodes[n];
+            if let Some(mshr) = node.mshr.get_mut(line) {
+                node.waiter_pool.push_back(&mut mshr.waiters, p as u32);
+                return;
+            }
         }
         let strobe = self.nodes[n].bus.address_phase(t);
         let snoop = self.nodes[n].bus.snoop_done(strobe);
@@ -1344,9 +1388,10 @@ impl Machine {
             LineState::Modified
         };
         self.fill_proc(mshr.initiator, line, state, payload, at);
-        for w in mshr.waiters {
+        let mut waiters = mshr.waiters;
+        while let Some(w) = self.nodes[n].waiter_pool.pop_front(&mut waiters) {
             let wake = at.max(self.queue.now());
-            PROC_RESUME.send(&mut self.queue, wake, w as u32);
+            PROC_RESUME.send(&mut self.queue, wake, w);
         }
     }
 
@@ -1450,9 +1495,10 @@ impl Machine {
             barriers: self.sync.barrier_episodes(),
             locks: self.sync.lock_stats(),
             handler_counts: {
-                let mut counts: Vec<(String, u64)> = self
-                    .handler_counts
+                let mut counts: Vec<(String, u64)> = ccn_protocol::HandlerKind::all()
                     .iter()
+                    .zip(self.handler_counts.iter())
+                    .filter(|&(_, &v)| v != 0)
                     .map(|(k, &v)| (k.paper_label().to_string(), v))
                     .collect();
                 // Sort by label as the tie-break so the report order is
@@ -1590,16 +1636,11 @@ impl Machine {
         let mut memory: Vec<(u64, u64)> = Vec::with_capacity(self.memory.len());
         memory.extend(self.memory.iter().map(|(l, &v)| (l.0, v)));
         memory.sort_unstable();
-        let mut directory: Vec<(u64, u16, String)> = Vec::with_capacity(64);
+        let mut directory: Vec<(u64, u16, DirSnap)> = Vec::with_capacity(64);
         for (n, node) in self.nodes.iter().enumerate() {
             for (line, state, busy) in node.mem.dir.iter_states() {
                 if state != DirState::Uncached || busy {
-                    let rendered = if busy {
-                        format!("{state:?} (busy)")
-                    } else {
-                        format!("{state:?}")
-                    };
-                    directory.push((line.0, n as u16, rendered));
+                    directory.push((line.0, n as u16, DirSnap::new(state, busy)));
                 }
             }
         }
@@ -1612,6 +1653,54 @@ impl Machine {
     }
 }
 
+/// One non-idle directory entry in a [`FunctionalSnapshot`]: the stable
+/// state as a plain tag plus payload words, and the busy flag.
+///
+/// Snapshotting used to render each entry to a `String`; a full-machine
+/// snapshot allocated once per tracked line. This compact `Copy` form
+/// carries the same information, and [`Display`](std::fmt::Display)
+/// reproduces the historical rendering byte for byte — the conformance
+/// digest hashes that rendering, so committed digests never move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DirSnap {
+    /// 0 = Uncached, 1 = Shared, 2 = Dirty (the directory tag order).
+    tag: u8,
+    /// Sharer presence words (Shared) or the owner id in word 0 (Dirty).
+    payload: [u64; 2],
+    /// Whether a transaction was outstanding at snapshot time.
+    busy: bool,
+}
+
+impl DirSnap {
+    fn new(state: DirState, busy: bool) -> DirSnap {
+        let (tag, payload) = match state {
+            DirState::Uncached => (0, [0, 0]),
+            DirState::Shared(bm) => (1, bm.words()),
+            DirState::Dirty(owner) => (2, [u64::from(owner.0), 0]),
+        };
+        DirSnap { tag, payload, busy }
+    }
+}
+
+impl std::fmt::Display for DirSnap {
+    /// The exact text `format!("{state:?}")` produced when the snapshot
+    /// stored rendered strings (single-word sharer sets print the
+    /// historical `NodeBitmap` form; sets reaching past node 63 could
+    /// never be produced then, so their rendering is new by definition).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.tag, self.payload) {
+            (0, _) => write!(f, "Uncached")?,
+            (1, [low, 0]) => write!(f, "Shared(NodeBitmap({low}))")?,
+            (1, [low, high]) => write!(f, "Shared(SharerBitmap([{low}, {high}]))")?,
+            (_, [owner, _]) => write!(f, "Dirty(NodeId({owner}))")?,
+        }
+        if self.busy {
+            write!(f, " (busy)")?;
+        }
+        Ok(())
+    }
+}
+
 /// See [`Machine::functional_snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FunctionalSnapshot {
@@ -1620,37 +1709,51 @@ pub struct FunctionalSnapshot {
     /// Version stored in home memory per line, sorted by line address.
     pub memory: Vec<(u64, u64)>,
     /// Every directory entry that is not idle-Uncached:
-    /// `(line, home node, rendered state)`, sorted.
-    pub directory: Vec<(u64, u16, String)>,
+    /// `(line, home node, state)`, sorted.
+    pub directory: Vec<(u64, u16, DirSnap)>,
 }
 
 impl FunctionalSnapshot {
     /// FNV-1a digest of the snapshot, for compact cross-architecture
     /// comparison tables.
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
+        /// Streaming FNV-1a that doubles as a `fmt::Write` sink, so the
+        /// directory-state rendering is hashed as it is formatted — the
+        /// digest covers the same bytes as when snapshots stored rendered
+        /// `String`s, without materializing them.
+        struct Fnv(u64);
+        impl Fnv {
+            fn eat(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+                }
             }
-        };
+        }
+        impl std::fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.eat(s.as_bytes());
+                Ok(())
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
         for (l, v) in &self.versions {
-            eat(&l.to_le_bytes());
-            eat(&v.to_le_bytes());
+            h.eat(&l.to_le_bytes());
+            h.eat(&v.to_le_bytes());
         }
-        eat(&[0xff]);
+        h.eat(&[0xff]);
         for (l, v) in &self.memory {
-            eat(&l.to_le_bytes());
-            eat(&v.to_le_bytes());
+            h.eat(&l.to_le_bytes());
+            h.eat(&v.to_le_bytes());
         }
-        eat(&[0xfe]);
+        h.eat(&[0xfe]);
         for (l, n, s) in &self.directory {
-            eat(&l.to_le_bytes());
-            eat(&n.to_le_bytes());
-            eat(s.as_bytes());
+            h.eat(&l.to_le_bytes());
+            h.eat(&n.to_le_bytes());
+            use std::fmt::Write as _;
+            write!(h, "{s}").expect("hashing sink never fails");
         }
-        h
+        h.0
     }
 
     /// Describes the first difference from `other`, or `None` when the

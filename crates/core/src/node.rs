@@ -77,6 +77,9 @@ pub(crate) struct Node {
     pub presence: LineTable<Presence>,
     /// Outstanding node-level transactions by line.
     pub mshr: LineTable<Mshr>,
+    /// Slab backing every MSHR's waiter list (blocked processors are
+    /// tracked as recycled pool slots, not per-MSHR `Vec`s).
+    pub waiter_pool: ccn_sim::pool::ListPool<u32>,
 }
 
 impl Node {
@@ -89,17 +92,28 @@ impl Node {
         // presence table at most the local L2 contents, and the MSHR table
         // one outstanding miss per local processor plus forwarded traffic.
         let dir_lines = (cfg.dir_cache_entries as usize / 8).max(64);
+        // Transient-state slabs, sized from the configuration: every
+        // processor in the system can have at most one request buffered
+        // behind this node's busy lines, and only local processors can
+        // wait on this node's MSHRs.
+        let mut dir = Directory::with_capacity(node_id, dir_lines);
+        dir.reserve_pending(cfg.nprocs());
         Node {
             bus: SmpBus::new(cfg.bus),
             mem: MemCtrl {
                 banks: MemoryBanks::new(cfg.lat.mem_banks, cfg.lat.mem_bank_occupancy),
-                dir: Directory::with_capacity(node_id, dir_lines),
+                dir,
                 dircache: DirCache::new(cfg.dir_cache_entries),
                 dir_dram: Server::new("directory dram"),
             },
-            cc: CoherenceController::new(cfg.engines),
+            // Worst case, every outstanding miss in the system (one per
+            // processor) plus its invalidation fan-out converges on one
+            // node's controller; 4x headroom keeps the input queues off
+            // the allocator even then.
+            cc: CoherenceController::with_queue_capacity(cfg.engines, cfg.nprocs() * 4),
             presence: LineTable::with_capacity(dir_lines),
             mshr: LineTable::with_capacity(cfg.procs_per_node * 4),
+            waiter_pool: ccn_sim::pool::ListPool::with_capacity(cfg.procs_per_node),
         }
     }
 }

@@ -58,6 +58,15 @@ impl MachineQueue {
         }
     }
 
+    /// High-water mark of concurrently pending events (sequential mode;
+    /// shard wheels don't track one).
+    pub(crate) fn max_pending(&self) -> usize {
+        match self {
+            MachineQueue::Seq(q) => q.max_pending(),
+            MachineQueue::Shard(_) => 0,
+        }
+    }
+
     /// Current cycle (delivery time of the most recently popped event).
     pub(crate) fn now(&self) -> Cycle {
         match self {
@@ -499,7 +508,9 @@ fn execute(
             #[cfg(feature = "component-trace")]
             trace_hook: None,
             useless_invalidations: 0,
-            handler_counts: Default::default(),
+            handler_counts: [0; ccn_protocol::HandlerKind::COUNT],
+            step_scratch: ccn_protocol::handlers::StepBuf::new(),
+            barrier_scratch: Vec::new(),
         }));
     }
     machines.reverse();
@@ -849,8 +860,8 @@ fn execute(
         coord.net.add_traffic(m.net.messages(), m.net.bytes());
         coord.done_count += m.done_count;
         coord.useless_invalidations += m.useless_invalidations;
-        for (k, v) in m.handler_counts.drain() {
-            *coord.handler_counts.entry(k).or_insert(0) += v;
+        for (total, &v) in coord.handler_counts.iter_mut().zip(m.handler_counts.iter()) {
+            *total += v;
         }
         coord.miss_latency.merge(&m.miss_latency);
         for (line, &v) in m.memory.iter() {
@@ -908,14 +919,15 @@ fn apply_sync(
     };
     match rec.op {
         SyncOp::Barrier(id) => {
+            let mut released = std::mem::take(&mut coord.barrier_scratch);
             match coord
                 .sync
-                .barrier_arrive(id, ProcId(rec.proc as u32), rec.t)
+                .barrier_arrive(id, ProcId(rec.proc as u32), rec.t, &mut released)
             {
                 BarrierOutcome::Wait => {}
-                BarrierOutcome::Release { waiters, at } => {
+                BarrierOutcome::Release { at } => {
                     let mut emit = rec.emit_idx;
-                    for w in &waiters {
+                    for w in &released {
                         wakeups.push(Wakeup {
                             key: fresh(emit),
                             at,
@@ -929,6 +941,7 @@ fn apply_sync(
                         .resume_stalled(rec, at.max(rec.t), emit);
                 }
             }
+            coord.barrier_scratch = released;
         }
         SyncOp::Lock(id) => match coord.sync.lock(id, ProcId(rec.proc as u32), rec.t) {
             LockOutcome::Acquired { at } => {

@@ -2,7 +2,7 @@
 
 use ccn_mem::LineAddr;
 
-use ccn_protocol::handlers::{HandlerSpec, Step};
+use ccn_protocol::handlers::Step;
 use ccn_protocol::subop::{OccupancyTable, SubOp};
 use ccn_sim::Cycle;
 
@@ -32,26 +32,65 @@ pub(crate) enum CcRequest {
     Writeback { line: LineAddr, payload: u64 },
 }
 
+/// Upper bound on `SendMsg` steps in one handler: the 63-sharer
+/// invalidation fan-out of a full 64-node machine plus the data response,
+/// with headroom.
+const SEND_BUF_CAPACITY: usize = 66;
+
+/// Completion times of a handler's `SendMsg` steps, stored inline so a
+/// handler invocation never allocates. Dereferences to a `[Cycle]` slice.
+#[derive(Debug, Clone)]
+pub(crate) struct SendTimes {
+    len: usize,
+    times: [Cycle; SEND_BUF_CAPACITY],
+}
+
+impl Default for SendTimes {
+    fn default() -> Self {
+        SendTimes {
+            len: 0,
+            times: [0; SEND_BUF_CAPACITY],
+        }
+    }
+}
+
+impl SendTimes {
+    #[inline]
+    fn push(&mut self, t: Cycle) {
+        assert!(self.len < SEND_BUF_CAPACITY, "send-time buffer overflow");
+        self.times[self.len] = t;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for SendTimes {
+    type Target = [Cycle];
+
+    fn deref(&self) -> &[Cycle] {
+        &self.times[..self.len]
+    }
+}
+
 /// Timing results of executing a handler's step list.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct StepRun {
     /// Cycle the engine is released (handler occupancy ends).
     pub end: Cycle,
     /// Completion times of the `SendMsg` steps, in step order.
-    pub sends: Vec<Cycle>,
+    pub sends: SendTimes,
     /// Critical-beat time of the `BusDeliver` step, if present.
     pub deliver: Option<Cycle>,
     /// Time local memory data became available, if a `MemRead` ran.
     pub mem_data: Option<Cycle>,
 }
 
-/// Executes `spec`'s steps on `node` starting at `start`, reserving bus,
+/// Executes `steps` on `node` starting at `start`, reserving bus,
 /// memory, and directory resources as it goes. The engine is considered
 /// occupied for the whole interval (the paper's occupancy definition).
 pub(crate) fn run_steps(
     node: &mut Node,
     cfg: &SystemConfig,
-    spec: &HandlerSpec,
+    steps: &[Step],
     line: LineAddr,
     start: Cycle,
 ) -> StepRun {
@@ -59,7 +98,7 @@ pub(crate) fn run_steps(
     let lat = &cfg.lat;
     let mut t = start;
     let mut run = StepRun::default();
-    for step in &spec.steps {
+    for step in steps {
         match *step {
             Step::Op(op) => t += table.cost(op),
             Step::Extra { hwc, ppc } => t += cfg.engine.extra_cost(hwc, ppc),
@@ -137,7 +176,7 @@ pub(crate) fn run_steps(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccn_protocol::handlers::{Fanout, HandlerKind};
+    use ccn_protocol::handlers::{Fanout, HandlerKind, HandlerSpec};
 
     fn node() -> Node {
         Node::new(&SystemConfig::small(), ccn_mem::NodeId(0))
@@ -150,7 +189,7 @@ mod tests {
         let mut n = node();
         // Warm the directory cache: Table 4 occupancies assume a hit.
         n.mem.dircache.read(LineAddr(0));
-        let run = run_steps(&mut n, &cfg, &spec, LineAddr(0), 1000);
+        let run = run_steps(&mut n, &cfg, &spec.steps, LineAddr(0), 1000);
         let static_occ = spec.occupancy(
             cfg.engine,
             &ccn_protocol::handlers::StaticStepCosts::default(),
@@ -173,8 +212,8 @@ mod tests {
         for _ in 0..10 {
             n.mem.banks.access(LineAddr(0), 0);
         }
-        let idle = run_steps(&mut node(), &cfg, &spec, LineAddr(0), 0).end;
-        let busy = run_steps(&mut n, &cfg, &spec, LineAddr(0), 0).end;
+        let idle = run_steps(&mut node(), &cfg, &spec.steps, LineAddr(0), 0).end;
+        let busy = run_steps(&mut n, &cfg, &spec.steps, LineAddr(0), 0).end;
         assert!(busy > idle, "bank contention must extend the handler");
     }
 
@@ -183,8 +222,8 @@ mod tests {
         let cfg = SystemConfig::small();
         let spec = HandlerSpec::build(HandlerKind::HomeReadDirtyRemote, Fanout::NONE);
         let mut n = node();
-        let cold = run_steps(&mut n, &cfg, &spec, LineAddr(9), 0);
-        let warm = run_steps(&mut n, &cfg, &spec, LineAddr(9), cold.end);
+        let cold = run_steps(&mut n, &cfg, &spec.steps, LineAddr(9), 0);
+        let warm = run_steps(&mut n, &cfg, &spec.steps, LineAddr(9), cold.end);
         assert_eq!(
             cold.end - (warm.end - cold.end),
             cfg.lat.dir_dram_latency,
@@ -197,7 +236,7 @@ mod tests {
         let cfg = SystemConfig::small();
         let spec = HandlerSpec::build(HandlerKind::HomeReadExclShared, Fanout::remote(3));
         let mut n = node();
-        let run = run_steps(&mut n, &cfg, &spec, LineAddr(0), 0);
+        let run = run_steps(&mut n, &cfg, &spec.steps, LineAddr(0), 0);
         assert_eq!(run.sends.len(), 4); // 3 invalidations + data response
         assert!(run.sends.windows(2).all(|w| w[0] < w[1]));
     }

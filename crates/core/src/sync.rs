@@ -11,15 +11,18 @@ use ccn_mem::ProcId;
 use ccn_sim::{Component, ComponentStats, Cycle, FxHashMap};
 
 /// Outcome of a processor arriving at a barrier.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A release hands the woken processors back through the caller's reused
+/// buffer (see [`SyncState::barrier_arrive`]) rather than an owned `Vec`,
+/// so a barrier episode in the steady state never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BarrierOutcome {
     /// Not everyone is here yet; the processor blocks.
     Wait,
     /// This arrival completes the barrier: release everyone (including the
-    /// caller) at the given time.
+    /// caller) at the given time. The waiters to wake (excluding the
+    /// caller) are in the buffer passed to `barrier_arrive`.
     Release {
-        /// Processors to wake (excluding the caller).
-        waiters: Vec<ProcId>,
         /// The cycle all participants resume.
         at: Cycle,
     },
@@ -57,6 +60,12 @@ pub struct SyncState {
     lock_cost: Cycle,
     handoff_cost: Cycle,
     barriers: FxHashMap<u32, BarrierState>,
+    /// Waiter buffers recycled from completed barriers. Workloads are
+    /// free to use a fresh barrier id per episode, so completed entries
+    /// are removed from the map — but their waiter storage comes back
+    /// here and is handed to the next new barrier, keeping the steady
+    /// state allocation-free either way.
+    spare_waiters: Vec<Vec<ProcId>>,
     locks: FxHashMap<u32, LockState>,
     barrier_episodes: u64,
     lock_acquisitions: u64,
@@ -72,6 +81,7 @@ impl SyncState {
             lock_cost,
             handoff_cost,
             barriers: FxHashMap::default(),
+            spare_waiters: Vec::with_capacity(4),
             locks: FxHashMap::default(),
             barrier_episodes: 0,
             lock_acquisitions: 0,
@@ -80,15 +90,36 @@ impl SyncState {
     }
 
     /// Processor `proc` arrives at barrier `id` at time `now`.
-    pub fn barrier_arrive(&mut self, id: u32, proc: ProcId, now: Cycle) -> BarrierOutcome {
-        let state = self.barriers.entry(id).or_default();
+    ///
+    /// On [`BarrierOutcome::Release`] the woken processors are written
+    /// into `released` (cleared first). The completed entry leaves the
+    /// map but its waiter buffer is recycled through `spare_waiters`, so
+    /// after the first episode has sized the buffers further episodes —
+    /// whether they reuse a barrier id or mint fresh ones — never touch
+    /// the allocator.
+    pub fn barrier_arrive(
+        &mut self,
+        id: u32,
+        proc: ProcId,
+        now: Cycle,
+        released: &mut Vec<ProcId>,
+    ) -> BarrierOutcome {
+        let nprocs = self.nprocs;
+        let spare = &mut self.spare_waiters;
+        let state = self.barriers.entry(id).or_insert_with(|| BarrierState {
+            arrived: 0,
+            waiters: spare
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(nprocs.saturating_sub(1))),
+        });
         state.arrived += 1;
-        if state.arrived == self.nprocs {
+        if state.arrived == nprocs {
             self.barrier_episodes += 1;
-            let waiters = std::mem::take(&mut state.waiters);
-            self.barriers.remove(&id);
+            released.clear();
+            let mut done = self.barriers.remove(&id).expect("entry touched above");
+            released.append(&mut done.waiters);
+            self.spare_waiters.push(done.waiters);
             BarrierOutcome::Release {
-                waiters,
                 at: now + self.barrier_cost,
             }
         } else {
@@ -189,12 +220,19 @@ mod tests {
     #[test]
     fn barrier_releases_on_last_arrival() {
         let mut s = SyncState::new(3, 100, 10, 50);
-        assert_eq!(s.barrier_arrive(0, p(0), 10), BarrierOutcome::Wait);
-        assert_eq!(s.barrier_arrive(0, p(1), 20), BarrierOutcome::Wait);
-        let BarrierOutcome::Release { waiters, at } = s.barrier_arrive(0, p(2), 30) else {
+        let mut released = Vec::new();
+        assert_eq!(
+            s.barrier_arrive(0, p(0), 10, &mut released),
+            BarrierOutcome::Wait
+        );
+        assert_eq!(
+            s.barrier_arrive(0, p(1), 20, &mut released),
+            BarrierOutcome::Wait
+        );
+        let BarrierOutcome::Release { at } = s.barrier_arrive(0, p(2), 30, &mut released) else {
             panic!("expected release");
         };
-        assert_eq!(waiters, vec![p(0), p(1)]);
+        assert_eq!(released, vec![p(0), p(1)]);
         assert_eq!(at, 130);
         assert_eq!(s.barrier_episodes(), 1);
     }
@@ -202,12 +240,43 @@ mod tests {
     #[test]
     fn barrier_ids_are_independent() {
         let mut s = SyncState::new(2, 100, 10, 50);
-        assert_eq!(s.barrier_arrive(0, p(0), 0), BarrierOutcome::Wait);
-        assert_eq!(s.barrier_arrive(1, p(1), 0), BarrierOutcome::Wait);
+        let mut released = Vec::new();
+        assert_eq!(
+            s.barrier_arrive(0, p(0), 0, &mut released),
+            BarrierOutcome::Wait
+        );
+        assert_eq!(
+            s.barrier_arrive(1, p(1), 0, &mut released),
+            BarrierOutcome::Wait
+        );
         assert!(matches!(
-            s.barrier_arrive(0, p(1), 5),
+            s.barrier_arrive(0, p(1), 5, &mut released),
             BarrierOutcome::Release { .. }
         ));
+    }
+
+    #[test]
+    fn barrier_state_is_reused_across_episodes() {
+        // The same barrier id must work for episode after episode without
+        // growing: entries are reset in place, not removed and re-created.
+        let mut s = SyncState::new(2, 100, 10, 50);
+        let mut released = Vec::with_capacity(1);
+        for round in 0..3u64 {
+            assert_eq!(
+                s.barrier_arrive(9, p(0), round * 100, &mut released),
+                BarrierOutcome::Wait
+            );
+            assert!(s.anyone_blocked());
+            let BarrierOutcome::Release { at } =
+                s.barrier_arrive(9, p(1), round * 100 + 5, &mut released)
+            else {
+                panic!("expected release in round {round}");
+            };
+            assert_eq!(released, vec![p(0)]);
+            assert_eq!(at, round * 100 + 105);
+            assert!(!s.anyone_blocked());
+        }
+        assert_eq!(s.barrier_episodes(), 3);
     }
 
     #[test]
@@ -247,7 +316,7 @@ mod tests {
     fn blocked_detection() {
         let mut s = SyncState::new(2, 100, 10, 50);
         assert!(!s.anyone_blocked());
-        s.barrier_arrive(0, p(0), 0);
+        s.barrier_arrive(0, p(0), 0, &mut Vec::new());
         assert!(s.anyone_blocked());
     }
 }

@@ -7,8 +7,16 @@
 //! path: SipHash on a key that is already a well-distributed integer,
 //! and a heap indirection per bucket group. [`LineTable`] strips both
 //! away — one multiply to mix the address, linear probing in a flat
-//! `Vec`, and backward-shift deletion so lookups never wade through
+//! table, and backward-shift deletion so lookups never wade through
 //! tombstones.
+//!
+//! The storage is split struct-of-arrays: an occupancy bitmap, a dense
+//! array of line-address tags, and the values in a parallel array. The
+//! probe loop walks only the bitmap and the tags — eight entries per
+//! cache line regardless of how large the value type is — and touches a
+//! value lane only after the tag has matched. With the former
+//! array-of-structs layout a directory entry dragged its whole ~64-byte
+//! value through the cache on every probe step.
 //!
 //! Iteration order is the table's probe order, which depends on
 //! insertion history — exactly like `HashMap`, anything canonical must
@@ -28,11 +36,15 @@ const MIX: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 /// a run.
 #[derive(Clone, Debug)]
 pub struct LineTable<V> {
-    /// `None` = empty slot; `Some((line, value))` = occupied.
-    slots: Vec<Option<(u64, V)>>,
+    /// Occupancy bitmap, one bit per slot.
+    occ: Vec<u64>,
+    /// Line address of each occupied slot (stale where the bit is clear).
+    tags: Vec<u64>,
+    /// Value lane; `Some` exactly where the occupancy bit is set.
+    values: Vec<Option<V>>,
     /// Occupied count.
     len: usize,
-    /// `slots.len() - 1`; capacity is a power of two.
+    /// `tags.len() - 1`; capacity is a power of two.
     mask: usize,
 }
 
@@ -47,10 +59,12 @@ impl<V> LineTable<V> {
         // 3/4 load factor: size so `entries` fits below the growth
         // threshold, with a floor of 8 slots.
         let cap = (entries * 4 / 3 + 1).next_power_of_two().max(8);
-        let mut slots = Vec::new();
-        slots.resize_with(cap, || None);
+        let mut values = Vec::new();
+        values.resize_with(cap, || None);
         LineTable {
-            slots,
+            occ: vec![0; cap.div_ceil(64)],
+            tags: vec![0; cap],
+            values,
             len: 0,
             mask: cap - 1,
         }
@@ -59,6 +73,21 @@ impl<V> LineTable<V> {
     #[inline]
     fn slot_of(&self, line: LineAddr) -> usize {
         (line.0.wrapping_mul(MIX) >> 32) as usize & self.mask
+    }
+
+    #[inline]
+    fn occupied(&self, i: usize) -> bool {
+        self.occ[i >> 6] & (1 << (i & 63)) != 0
+    }
+
+    #[inline]
+    fn set_occupied(&mut self, i: usize) {
+        self.occ[i >> 6] |= 1 << (i & 63);
+    }
+
+    #[inline]
+    fn clear_occupied(&mut self, i: usize) {
+        self.occ[i >> 6] &= !(1 << (i & 63));
     }
 
     /// Number of lines in the table.
@@ -71,16 +100,19 @@ impl<V> LineTable<V> {
         self.len == 0
     }
 
-    /// Index of the slot holding `line`, if present.
+    /// Index of the slot holding `line`, if present. Touches only the
+    /// occupancy bitmap and the tag lane.
     #[inline]
     fn find(&self, line: LineAddr) -> Option<usize> {
         let mut i = self.slot_of(line);
         loop {
-            match &self.slots[i] {
-                Some((k, _)) if *k == line.0 => return Some(i),
-                Some(_) => i = (i + 1) & self.mask,
-                None => return None,
+            if !self.occupied(i) {
+                return None;
             }
+            if self.tags[i] == line.0 {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
         }
     }
 
@@ -88,14 +120,14 @@ impl<V> LineTable<V> {
     #[inline]
     pub fn get(&self, line: LineAddr) -> Option<&V> {
         self.find(line)
-            .map(|i| &self.slots[i].as_ref().expect("occupied slot").1)
+            .map(|i| self.values[i].as_ref().expect("occupied slot"))
     }
 
     /// Mutable access to the value stored for `line`, if any.
     #[inline]
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut V> {
         let i = self.find(line)?;
-        Some(&mut self.slots[i].as_mut().expect("occupied slot").1)
+        Some(self.values[i].as_mut().expect("occupied slot"))
     }
 
     /// Whether `line` has an entry.
@@ -110,36 +142,39 @@ impl<V> LineTable<V> {
         self.grow_if_needed();
         let mut i = self.slot_of(line);
         loop {
-            match &mut self.slots[i] {
-                Some((k, v)) if *k == line.0 => {
-                    return Some(std::mem::replace(v, value));
-                }
-                Some(_) => i = (i + 1) & self.mask,
-                None => {
-                    self.slots[i] = Some((line.0, value));
-                    self.len += 1;
-                    return None;
-                }
+            if !self.occupied(i) {
+                self.set_occupied(i);
+                self.tags[i] = line.0;
+                self.values[i] = Some(value);
+                self.len += 1;
+                return None;
             }
+            if self.tags[i] == line.0 {
+                return self.values[i].replace(value);
+            }
+            i = (i + 1) & self.mask;
         }
     }
 
     /// The value for `line`, inserting `default()` first if absent.
+    #[inline]
     pub fn get_or_insert_with(&mut self, line: LineAddr, default: impl FnOnce() -> V) -> &mut V {
         self.grow_if_needed();
         let mut i = self.slot_of(line);
         loop {
-            match &self.slots[i] {
-                Some((k, _)) if *k == line.0 => break,
-                Some(_) => i = (i + 1) & self.mask,
-                None => {
-                    self.slots[i] = Some((line.0, default()));
-                    self.len += 1;
-                    break;
-                }
+            if !self.occupied(i) {
+                self.set_occupied(i);
+                self.tags[i] = line.0;
+                self.values[i] = Some(default());
+                self.len += 1;
+                break;
             }
+            if self.tags[i] == line.0 {
+                break;
+            }
+            i = (i + 1) & self.mask;
         }
-        &mut self.slots[i].as_mut().expect("occupied slot").1
+        self.values[i].as_mut().expect("occupied slot")
     }
 
     /// Removes and returns the value for `line`, if present.
@@ -149,12 +184,14 @@ impl<V> LineTable<V> {
     /// tombstones and lookup cost stays proportional to load.
     pub fn remove(&mut self, line: LineAddr) -> Option<V> {
         let mut hole = self.find(line)?;
-        let (_, value) = self.slots[hole].take().expect("occupied slot");
+        let value = self.values[hole].take().expect("occupied slot");
+        self.clear_occupied(hole);
         self.len -= 1;
         // Slide the rest of the cluster back.
         let mut i = (hole + 1) & self.mask;
-        while let Some((k, _)) = &self.slots[i] {
-            let home = self.slot_of(LineAddr(*k));
+        while self.occupied(i) {
+            let k = self.tags[i];
+            let home = self.slot_of(LineAddr(k));
             // `i` is movable into `hole` iff its home slot does not sit
             // strictly between the hole and `i` (cyclically): moving it
             // would otherwise break its own probe chain.
@@ -164,7 +201,10 @@ impl<V> LineTable<V> {
                 home > hole || home <= i
             };
             if !between {
-                self.slots[hole] = self.slots[i].take();
+                self.tags[hole] = k;
+                self.values[hole] = self.values[i].take();
+                self.set_occupied(hole);
+                self.clear_occupied(i);
                 hole = i;
             }
             i = (i + 1) & self.mask;
@@ -172,28 +212,56 @@ impl<V> LineTable<V> {
         Some(value)
     }
 
-    /// Iterates over `(line, &value)` pairs in unspecified order.
+    /// Iterates over `(line, &value)` pairs in unspecified order,
+    /// word-parallel over the occupancy bitmap.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &V)> {
-        self.slots
+        self.occ
             .iter()
-            .filter_map(|s| s.as_ref().map(|(k, v)| (LineAddr(*k), v)))
+            .enumerate()
+            .flat_map(|(wi, &word)| {
+                let mut w = word;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        return None;
+                    }
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                })
+            })
+            .map(|i| {
+                (
+                    LineAddr(self.tags[i]),
+                    self.values[i].as_ref().expect("occupied slot"),
+                )
+            })
     }
 
     fn grow_if_needed(&mut self) {
-        if self.len * 4 < self.slots.len() * 3 {
+        if self.len * 4 < self.tags.len() * 3 {
             return;
         }
-        let new_cap = self.slots.len() * 2;
+        let new_cap = self.tags.len() * 2;
+        let old_occ = std::mem::replace(&mut self.occ, vec![0; new_cap.div_ceil(64)]);
+        let old_tags = std::mem::replace(&mut self.tags, vec![0; new_cap]);
         let mut bigger = Vec::new();
         bigger.resize_with(new_cap, || None);
-        let old = std::mem::replace(&mut self.slots, bigger);
+        let mut old_values = std::mem::replace(&mut self.values, bigger);
         self.mask = new_cap - 1;
-        for entry in old.into_iter().flatten() {
-            let mut i = self.slot_of(LineAddr(entry.0));
-            while self.slots[i].is_some() {
-                i = (i + 1) & self.mask;
+        for (wi, &word) in old_occ.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let i = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let k = old_tags[i];
+                let mut j = self.slot_of(LineAddr(k));
+                while self.occupied(j) {
+                    j = (j + 1) & self.mask;
+                }
+                self.set_occupied(j);
+                self.tags[j] = k;
+                self.values[j] = old_values[i].take();
             }
-            self.slots[i] = Some(entry);
         }
     }
 }
@@ -237,11 +305,11 @@ mod tests {
     #[test]
     fn with_capacity_does_not_grow_below_requested_size() {
         let mut t = LineTable::with_capacity(1000);
-        let initial_slots = t.slots.len();
+        let initial_slots = t.tags.len();
         for i in 0..1000u64 {
             t.insert(LineAddr(i * 64), i);
         }
-        assert_eq!(t.slots.len(), initial_slots, "pre-sized table regrew");
+        assert_eq!(t.tags.len(), initial_slots, "pre-sized table regrew");
         assert_eq!(t.len(), 1000);
     }
 
@@ -253,6 +321,18 @@ mod tests {
         }
         assert_eq!(t.len(), 100);
         assert_eq!(t.get(LineAddr(99)), Some(&99));
+    }
+
+    /// The value lane must be `Some` exactly where the occupancy bit is
+    /// set — the invariant that lets `get` unwrap after a tag match.
+    fn assert_lanes_consistent<V>(t: &LineTable<V>) {
+        for i in 0..t.tags.len() {
+            assert_eq!(
+                t.occupied(i),
+                t.values[i].is_some(),
+                "slot {i}: occupancy bit and value lane disagree"
+            );
+        }
     }
 
     /// Differential check against `HashMap` under a mixed workload, with
@@ -286,6 +366,7 @@ mod tests {
             }
             assert_eq!(t.len(), m.len());
         }
+        assert_lanes_consistent(&t);
         let mut got: Vec<(u64, u64)> = t.iter().map(|(k, v)| (k.0, *v)).collect();
         let mut want: Vec<(u64, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
         got.sort_unstable();
@@ -309,12 +390,16 @@ mod tests {
     /// deletion exists to maintain. A violation means an entry was
     /// stranded behind a hole and is silently lost to `get`.
     fn assert_no_stranded_entries<V>(t: &LineTable<V>) {
-        for (i, s) in t.slots.iter().enumerate() {
-            let Some((k, _)) = s else { continue };
-            let mut j = t.slot_of(LineAddr(*k));
+        assert_lanes_consistent(t);
+        for i in 0..t.tags.len() {
+            if !t.occupied(i) {
+                continue;
+            }
+            let k = t.tags[i];
+            let mut j = t.slot_of(LineAddr(k));
             loop {
                 assert!(
-                    t.slots[j].is_some(),
+                    t.occupied(j),
                     "line {k:#x} at slot {i} unreachable: empty slot {j} in its probe chain"
                 );
                 if j == i {

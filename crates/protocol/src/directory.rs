@@ -12,64 +12,148 @@
 //! completes (the paper's protocol serializes at the home; we buffer
 //! instead of NACK-retrying — see DESIGN.md).
 
-use std::collections::VecDeque;
-
 use ccn_mem::{LineAddr, LineTable, NodeId};
+use ccn_sim::pool::{ListPool, ListRef};
 
-/// A set of nodes, stored as a 64-bit presence bitmap (the machine tops out
-/// at 64 nodes, paper systems use 8–64).
+/// Number of presence words in a [`SharerBitmap`].
+const SHARER_WORDS: usize = 2;
+
+/// A set of sharer nodes, stored as a fixed array of 64-bit presence
+/// words (capacity 128 nodes; paper systems use 8–64). The set is `Copy`
+/// and passed by value through directory actions and invalidation
+/// payloads, so collecting or handing out a sharer list never allocates.
+///
+/// Membership walks are word-parallel: `count` sums `count_ones` per
+/// word and [`iter`](Self::iter) strips set bits with `trailing_zeros`
+/// instead of testing all 128 positions bit by bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
-pub struct NodeBitmap(u64);
+pub struct SharerBitmap([u64; SHARER_WORDS]);
 
-impl NodeBitmap {
+impl SharerBitmap {
+    /// The number of nodes a bitmap can track.
+    pub const CAPACITY: u16 = (SHARER_WORDS * 64) as u16;
+
     /// The empty set.
-    pub const EMPTY: NodeBitmap = NodeBitmap(0);
+    pub const EMPTY: SharerBitmap = SharerBitmap([0; SHARER_WORDS]);
 
     /// A set containing only `node`.
+    #[inline]
     pub fn just(node: NodeId) -> Self {
-        let mut bm = NodeBitmap::EMPTY;
+        let mut bm = SharerBitmap::EMPTY;
         bm.insert(node);
         bm
     }
 
     /// Adds `node` to the set.
+    #[inline]
     pub fn insert(&mut self, node: NodeId) {
-        assert!(node.0 < 64, "node id beyond bitmap capacity");
-        self.0 |= 1 << node.0;
+        assert!(node.0 < Self::CAPACITY, "node id beyond bitmap capacity");
+        // The mask keeps the word index provably in range so the access
+        // compiles without a bounds check.
+        self.0[(node.0 >> 6) as usize & (SHARER_WORDS - 1)] |= 1 << (node.0 % 64);
     }
 
-    /// Removes `node` from the set.
+    /// Removes `node` from the set (no-op for out-of-range ids).
+    #[inline]
     pub fn remove(&mut self, node: NodeId) {
-        self.0 &= !(1 << node.0);
+        if node.0 < Self::CAPACITY {
+            self.0[(node.0 >> 6) as usize & (SHARER_WORDS - 1)] &= !(1 << (node.0 % 64));
+        }
     }
 
     /// Whether `node` is in the set.
+    #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
-        node.0 < 64 && self.0 & (1 << node.0) != 0
+        node.0 < Self::CAPACITY
+            && self.0[(node.0 >> 6) as usize & (SHARER_WORDS - 1)] & (1 << (node.0 % 64)) != 0
     }
 
     /// Number of nodes in the set.
+    #[inline]
     pub fn count(&self) -> u32 {
-        self.0.count_ones()
+        self.0.iter().map(|w| w.count_ones()).sum()
     }
 
     /// Whether the set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.0 == 0
+        self.0 == [0; SHARER_WORDS]
     }
 
-    /// Iterates over the members in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        let bits = self.0;
-        (0..64u16).filter_map(move |i| (bits & (1 << i) != 0).then_some(NodeId(i)))
+    /// Iterates over the members in ascending order, one `trailing_zeros`
+    /// per member rather than one test per possible node id.
+    #[inline]
+    pub fn iter(&self) -> SharerIter {
+        SharerIter {
+            words: self.0,
+            word: 0,
+        }
+    }
+
+    /// Removes and returns the members in ascending order, leaving the
+    /// set empty.
+    #[inline]
+    pub fn drain(&mut self) -> SharerIter {
+        std::mem::take(self).iter()
     }
 
     /// Returns this set with `node` removed.
+    #[inline]
     pub fn without(mut self, node: NodeId) -> Self {
         self.remove(node);
         self
     }
+
+    /// The raw presence words, lowest nodes first.
+    #[inline]
+    pub fn words(&self) -> [u64; SHARER_WORDS] {
+        self.0
+    }
+
+    /// Reference implementation of [`iter`](Self::iter): test every
+    /// possible node id, one bit at a time. Kept as the oracle the
+    /// word-parallel iterator is differentially tested against.
+    #[cfg(test)]
+    fn iter_per_bit(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..Self::CAPACITY).filter_map(move |i| self.contains(NodeId(i)).then_some(NodeId(i)))
+    }
 }
+
+/// Word-parallel iterator over a [`SharerBitmap`]'s members.
+#[derive(Debug, Clone)]
+pub struct SharerIter {
+    words: [u64; SHARER_WORDS],
+    word: usize,
+}
+
+impl Iterator for SharerIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        while self.word < SHARER_WORDS {
+            let w = self.words[self.word];
+            if w != 0 {
+                let bit = w.trailing_zeros() as u16;
+                // Clear the lowest set bit.
+                self.words[self.word] = w & (w - 1);
+                return Some(NodeId(self.word as u16 * 64 + bit));
+            }
+            self.word += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left: usize = self.words[self.word..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SharerIter {}
 
 /// Stable directory state of a line (remote copies only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,15 +161,16 @@ pub enum DirState {
     /// No remote copies.
     Uncached,
     /// Remote nodes hold read-only copies; memory is up to date.
-    Shared(NodeBitmap),
+    Shared(SharerBitmap),
     /// One remote node holds the only (possibly dirty) copy.
     Dirty(NodeId),
 }
 
 /// The kind of request presented to the directory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DirRequestKind {
     /// Read for a shared copy.
+    #[default]
     Read,
     /// Read for an exclusive copy (data needed).
     ReadExcl,
@@ -95,7 +180,7 @@ pub enum DirRequestKind {
 
 /// A request presented to the directory on behalf of `requester` (which is
 /// the home node itself for requests from the home's local bus).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DirRequest {
     /// Read, read-exclusive or upgrade.
     pub kind: DirRequestKind,
@@ -113,13 +198,13 @@ pub enum DirAction {
         /// Grant an exclusive (writable) copy.
         exclusive: bool,
         /// Remote sharers to invalidate.
-        invalidate: NodeBitmap,
+        invalidate: SharerBitmap,
     },
     /// Grant exclusive permission without data (requester already holds the
     /// line Shared). `invalidate` lists the other remote sharers.
     GrantUpgrade {
         /// Remote sharers to invalidate.
-        invalidate: NodeBitmap,
+        invalidate: SharerBitmap,
     },
     /// Forward the request to the dirty remote owner.
     Forward {
@@ -194,7 +279,10 @@ enum Busy {
 struct Entry {
     state: DirState,
     busy: Option<Busy>,
-    pending: VecDeque<DirRequest>,
+    /// Buffered requests, as a handle into the directory's shared
+    /// request pool: two u32 indices instead of a heap-owning queue, so
+    /// the entry stays small and buffering recycles pool slots.
+    pending: ListRef,
 }
 
 impl Entry {
@@ -202,7 +290,7 @@ impl Entry {
         Entry {
             state: DirState::Uncached,
             busy: None,
-            pending: VecDeque::new(),
+            pending: ListRef::default(),
         }
     }
 }
@@ -224,7 +312,7 @@ impl Entry {
 /// // A remote node reads: supplied from memory, becomes a sharer.
 /// let outcome = dir.request(line, DirRequest { kind: DirRequestKind::Read, requester: NodeId(1) });
 /// assert!(matches!(outcome, DirOutcome::Act(DirAction::Supply { exclusive: false, .. })));
-/// assert_eq!(dir.state_of(line), DirState::Shared(NodeBitmap::just(NodeId(1))));
+/// assert_eq!(dir.state_of(line), DirState::Shared(SharerBitmap::just(NodeId(1))));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Directory {
@@ -233,6 +321,8 @@ pub struct Directory {
     /// is the hot edge of every remote miss, so it must not hash-and-chase
     /// through a general-purpose map.
     entries: LineTable<Entry>,
+    /// Slab backing every entry's `pending` list.
+    pending_pool: ListPool<DirRequest>,
     /// Requests buffered because the line was busy (for statistics).
     buffered: u64,
 }
@@ -249,8 +339,16 @@ impl Directory {
         Directory {
             home,
             entries: LineTable::with_capacity(lines),
+            pending_pool: ListPool::default(),
             buffered: 0,
         }
+    }
+
+    /// Pre-sizes the buffered-request slab for `requests` simultaneously
+    /// buffered requests (one per outstanding miss in the system is a
+    /// safe bound), so steady-state buffering never allocates.
+    pub fn reserve_pending(&mut self, requests: usize) {
+        self.pending_pool.reserve(requests);
     }
 
     /// The home node this directory belongs to.
@@ -282,34 +380,38 @@ impl Directory {
     /// Presents a request. See [`DirOutcome`].
     pub fn request(&mut self, line: LineAddr, req: DirRequest) -> DirOutcome {
         let home = self.home;
-        let entry = self.entry(line);
+        let entry = self.entries.get_or_insert_with(line, Entry::new);
         if entry.busy.is_some() {
-            entry.pending.push_back(req);
+            self.pending_pool.push_back(&mut entry.pending, req);
             self.buffered += 1;
             return DirOutcome::Busy;
         }
         let requester_is_home = req.requester == home;
-        match (req.kind, entry.state) {
-            (DirRequestKind::Read, DirState::Uncached) => {
+        // The arms below mutate the entry's state in place through the
+        // `&mut` scrutinee: a `DirState` carries a full sharer bitmap, and
+        // copying it out and back through a by-value match costs more than
+        // the protocol work itself on this, the hottest directory edge.
+        match (req.kind, &mut entry.state) {
+            (DirRequestKind::Read, state @ DirState::Uncached) => {
                 if !requester_is_home {
-                    entry.state = DirState::Shared(NodeBitmap::just(req.requester));
+                    *state = DirState::Shared(SharerBitmap::just(req.requester));
                 }
                 DirOutcome::Act(DirAction::Supply {
                     exclusive: false,
-                    invalidate: NodeBitmap::EMPTY,
+                    invalidate: SharerBitmap::EMPTY,
                 })
             }
-            (DirRequestKind::Read, DirState::Shared(mut bm)) => {
+            (DirRequestKind::Read, DirState::Shared(bm)) => {
                 if !requester_is_home {
                     bm.insert(req.requester);
-                    entry.state = DirState::Shared(bm);
                 }
                 DirOutcome::Act(DirAction::Supply {
                     exclusive: false,
-                    invalidate: NodeBitmap::EMPTY,
+                    invalidate: SharerBitmap::EMPTY,
                 })
             }
             (DirRequestKind::Read, DirState::Dirty(owner)) => {
+                let owner = *owner;
                 if owner == req.requester {
                     entry.busy = Some(Busy::WritebackWait {
                         requester: req.requester,
@@ -326,21 +428,25 @@ impl Directory {
                     DirOutcome::Act(DirAction::Forward { owner })
                 }
             }
-            (DirRequestKind::ReadExcl | DirRequestKind::Upgrade, DirState::Uncached) => {
-                entry.state = if requester_is_home {
-                    DirState::Uncached
-                } else {
-                    DirState::Dirty(req.requester)
-                };
+            (DirRequestKind::ReadExcl | DirRequestKind::Upgrade, state @ DirState::Uncached) => {
+                if !requester_is_home {
+                    *state = DirState::Dirty(req.requester);
+                }
                 DirOutcome::Act(DirAction::Supply {
                     exclusive: true,
-                    invalidate: NodeBitmap::EMPTY,
+                    invalidate: SharerBitmap::EMPTY,
                 })
             }
-            (kind @ (DirRequestKind::ReadExcl | DirRequestKind::Upgrade), DirState::Shared(bm)) => {
+            (
+                kind @ (DirRequestKind::ReadExcl | DirRequestKind::Upgrade),
+                state @ DirState::Shared(_),
+            ) => {
+                let DirState::Shared(bm) = *state else {
+                    unreachable!()
+                };
                 let invalidate = bm.without(req.requester);
                 let acks = invalidate.count() as u16;
-                entry.state = if requester_is_home {
+                *state = if requester_is_home {
                     DirState::Uncached
                 } else {
                     DirState::Dirty(req.requester)
@@ -366,6 +472,7 @@ impl Directory {
                 kind @ (DirRequestKind::ReadExcl | DirRequestKind::Upgrade),
                 DirState::Dirty(owner),
             ) => {
+                let owner = *owner;
                 if owner == req.requester {
                     entry.busy = Some(Busy::WritebackWait {
                         requester: req.requester,
@@ -445,7 +552,7 @@ impl Directory {
                 ..
             }) => {
                 assert_eq!(owner, from, "sharing write-back from unexpected node");
-                let mut bm = NodeBitmap::just(owner);
+                let mut bm = SharerBitmap::just(owner);
                 if requester != home {
                     bm.insert(requester);
                 }
@@ -508,7 +615,7 @@ impl Directory {
                 );
                 entry.state = match kind {
                     DirRequestKind::Read if requester != home => {
-                        DirState::Shared(NodeBitmap::just(requester))
+                        DirState::Shared(SharerBitmap::just(requester))
                     }
                     DirRequestKind::Read => DirState::Uncached,
                     _ if requester != home => DirState::Dirty(requester),
@@ -586,7 +693,7 @@ impl Directory {
     pub fn pop_pending_if_idle(&mut self, line: LineAddr) -> Option<DirRequest> {
         let entry = self.entries.get_mut(line)?;
         if entry.busy.is_none() {
-            entry.pending.pop_front()
+            self.pending_pool.pop_front(&mut entry.pending)
         } else {
             None
         }
@@ -643,12 +750,18 @@ impl Directory {
             match e.state {
                 DirState::Uncached => out.push(0),
                 DirState::Shared(bm) => {
-                    out.push(1);
-                    let mut bits = 0u64;
-                    for n in bm.iter() {
-                        bits |= 1 << n.0;
+                    let [low, high] = bm.words();
+                    if high == 0 {
+                        // The historical single-word form: every encoding
+                        // produced before the bitmap grew past 64 nodes
+                        // stays byte-identical.
+                        out.push(1);
+                        out.extend_from_slice(&low.to_le_bytes());
+                    } else {
+                        out.push(3);
+                        out.extend_from_slice(&low.to_le_bytes());
+                        out.extend_from_slice(&high.to_le_bytes());
                     }
-                    out.extend_from_slice(&bits.to_le_bytes());
                 }
                 DirState::Dirty(owner) => {
                     out.push(2);
@@ -701,7 +814,7 @@ impl Directory {
                 }
             }
             out.extend_from_slice(&(e.pending.len() as u32).to_le_bytes());
-            for req in &e.pending {
+            for req in self.pending_pool.iter(&e.pending) {
                 push_req(out, req);
             }
         }
@@ -739,7 +852,7 @@ mod tests {
 
     #[test]
     fn bitmap_basics() {
-        let mut bm = NodeBitmap::EMPTY;
+        let mut bm = SharerBitmap::EMPTY;
         assert!(bm.is_empty());
         bm.insert(NodeId(3));
         bm.insert(NodeId(5));
@@ -747,7 +860,7 @@ mod tests {
         assert!(!bm.contains(NodeId(4)));
         assert_eq!(bm.count(), 2);
         assert_eq!(bm.iter().collect::<Vec<_>>(), vec![NodeId(3), NodeId(5)]);
-        assert_eq!(bm.without(NodeId(3)), NodeBitmap::just(NodeId(5)));
+        assert_eq!(bm.without(NodeId(3)), SharerBitmap::just(NodeId(5)));
     }
 
     #[test]
@@ -761,7 +874,7 @@ mod tests {
             })
         ));
         d.request(LINE, read(R2));
-        let mut expect = NodeBitmap::just(R1);
+        let mut expect = SharerBitmap::just(R1);
         expect.insert(R2);
         assert_eq!(d.state_of(LINE), DirState::Shared(expect));
     }
@@ -805,7 +918,7 @@ mod tests {
         let outcome = d.request(LINE, upg(R1));
         assert!(matches!(
             outcome,
-            DirOutcome::Act(DirAction::GrantUpgrade { invalidate }) if invalidate == NodeBitmap::just(R2)
+            DirOutcome::Act(DirAction::GrantUpgrade { invalidate }) if invalidate == SharerBitmap::just(R2)
         ));
         assert_eq!(d.state_of(LINE), DirState::Dirty(R1));
     }
@@ -834,7 +947,7 @@ mod tests {
         assert!(matches!(outcome, DirOutcome::Act(DirAction::Forward { owner }) if owner == R1));
         assert!(d.is_busy(LINE));
         d.sharing_writeback(LINE, R1);
-        let mut bm = NodeBitmap::just(R1);
+        let mut bm = SharerBitmap::just(R1);
         bm.insert(R2);
         assert_eq!(d.state_of(LINE), DirState::Shared(bm));
     }
@@ -858,7 +971,7 @@ mod tests {
         assert!(matches!(outcome, DirOutcome::Act(DirAction::Forward { owner }) if owner == R1));
         d.sharing_writeback(LINE, R1);
         // Home copies are not directory bits: only R1 remains.
-        assert_eq!(d.state_of(LINE), DirState::Shared(NodeBitmap::just(R1)));
+        assert_eq!(d.state_of(LINE), DirState::Shared(SharerBitmap::just(R1)));
     }
 
     #[test]
@@ -886,7 +999,7 @@ mod tests {
         let replay = d.fwd_miss(LINE, R1);
         assert_eq!(replay.requester, R2);
         assert_eq!(replay.kind, DirRequestKind::Read);
-        assert_eq!(d.state_of(LINE), DirState::Shared(NodeBitmap::just(R2)));
+        assert_eq!(d.state_of(LINE), DirState::Shared(SharerBitmap::just(R2)));
         assert!(!d.is_busy(LINE));
     }
 
@@ -955,7 +1068,7 @@ mod tests {
         d.request(LINE, read(R1));
         d.request(LINE, read(R2));
         d.remove_sharer_hint(LINE, R1);
-        assert_eq!(d.state_of(LINE), DirState::Shared(NodeBitmap::just(R2)));
+        assert_eq!(d.state_of(LINE), DirState::Shared(SharerBitmap::just(R2)));
         // Non-sharer, unknown line, busy line: all ignored.
         d.remove_sharer_hint(LINE, R3);
         d.remove_sharer_hint(LineAddr(999), R1);
@@ -976,7 +1089,7 @@ mod tests {
         let outcome = d.request(LINE, readx(HOME));
         assert!(matches!(
             outcome,
-            DirOutcome::Act(DirAction::Supply { exclusive: true, invalidate }) if invalidate == NodeBitmap::just(R1)
+            DirOutcome::Act(DirAction::Supply { exclusive: true, invalidate }) if invalidate == SharerBitmap::just(R1)
         ));
         d.inv_ack(LINE);
         assert_eq!(d.state_of(LINE), DirState::Uncached);
@@ -984,22 +1097,22 @@ mod tests {
 
     #[test]
     fn bitmap_insert_and_remove_are_idempotent() {
-        let mut bm = NodeBitmap::EMPTY;
+        let mut bm = SharerBitmap::EMPTY;
         bm.insert(R1);
         bm.insert(R1);
         assert_eq!(bm.count(), 1);
-        assert_eq!(bm, NodeBitmap::just(R1));
+        assert_eq!(bm, SharerBitmap::just(R1));
         bm.remove(R1);
         bm.remove(R1);
         assert!(bm.is_empty());
-        assert_eq!(bm, NodeBitmap::EMPTY);
+        assert_eq!(bm, SharerBitmap::EMPTY);
     }
 
     #[test]
     fn bitmap_without_an_absent_node_is_a_no_op() {
-        let bm = NodeBitmap::just(R1);
+        let bm = SharerBitmap::just(R1);
         assert_eq!(bm.without(R2), bm);
-        assert_eq!(NodeBitmap::EMPTY.without(R1), NodeBitmap::EMPTY);
+        assert_eq!(SharerBitmap::EMPTY.without(R1), SharerBitmap::EMPTY);
         // `without` is by-value: the original is untouched either way.
         assert!(bm.contains(R1));
         assert!(bm.without(R1).is_empty());
@@ -1007,7 +1120,7 @@ mod tests {
 
     #[test]
     fn bitmap_iterates_in_ascending_node_order() {
-        let mut bm = NodeBitmap::EMPTY;
+        let mut bm = SharerBitmap::EMPTY;
         for n in [NodeId(63), NodeId(0), NodeId(17), NodeId(5)] {
             bm.insert(n);
         }
@@ -1017,25 +1130,131 @@ mod tests {
     }
 
     #[test]
-    fn bitmap_handles_the_64_node_boundary() {
-        let mut bm = NodeBitmap::EMPTY;
+    fn bitmap_handles_the_64_node_word_boundary() {
+        // Nodes 63 and 64 live in different presence words; both sides of
+        // the boundary must be visible to every word-parallel operation.
+        let mut bm = SharerBitmap::EMPTY;
         bm.insert(NodeId(63));
+        bm.insert(NodeId(64));
         assert!(bm.contains(NodeId(63)));
-        assert_eq!(bm.iter().next(), Some(NodeId(63)));
+        assert!(bm.contains(NodeId(64)));
+        assert_eq!(bm.count(), 2);
+        assert_eq!(bm.iter().collect::<Vec<_>>(), vec![NodeId(63), NodeId(64)]);
+        assert_eq!(bm.words(), [1 << 63, 1]);
+        bm.remove(NodeId(63));
+        assert_eq!(bm.iter().collect::<Vec<_>>(), vec![NodeId(64)]);
         // Out-of-range queries are false, not panics; removal of an
-        // out-of-range id must not clobber bit 0 (1 << 64 wraps).
-        assert!(!bm.contains(NodeId(64)));
+        // out-of-range id must not clobber bit 0 (shift-amount wrap).
+        assert!(!bm.contains(NodeId(SharerBitmap::CAPACITY)));
         assert!(!bm.contains(NodeId(1000)));
-        let mut low = NodeBitmap::just(NodeId(0));
-        low.insert(NodeId(63));
+        let mut low = SharerBitmap::just(NodeId(0));
+        low.insert(NodeId(SharerBitmap::CAPACITY - 1));
+        low.remove(NodeId(SharerBitmap::CAPACITY));
+        low.remove(NodeId(1000));
         assert!(low.contains(NodeId(0)));
+        assert_eq!(low.count(), 2);
     }
 
     #[test]
     #[should_panic(expected = "beyond bitmap capacity")]
     fn bitmap_insert_beyond_capacity_panics() {
-        let mut bm = NodeBitmap::EMPTY;
-        bm.insert(NodeId(64));
+        let mut bm = SharerBitmap::EMPTY;
+        bm.insert(NodeId(SharerBitmap::CAPACITY));
+    }
+
+    /// Deterministic xorshift for the differential battery below.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn word_parallel_iter_matches_per_bit_reference() {
+        // Random member sets, always including both sides of the word
+        // boundary at node 64: the word-parallel iterator must agree with
+        // the per-bit oracle on order, count and membership.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for round in 0..200 {
+            let mut bm = SharerBitmap::EMPTY;
+            for _ in 0..(round % 17) {
+                bm.insert(NodeId(
+                    (xorshift(&mut state) % u64::from(SharerBitmap::CAPACITY)) as u16,
+                ));
+            }
+            if round % 3 == 0 {
+                bm.insert(NodeId(63));
+                bm.insert(NodeId(64));
+            }
+            let fast: Vec<NodeId> = bm.iter().collect();
+            let slow: Vec<NodeId> = bm.iter_per_bit().collect();
+            assert_eq!(fast, slow, "iteration order diverged on {bm:?}");
+            assert_eq!(bm.count() as usize, slow.len(), "count diverged on {bm:?}");
+            assert_eq!(bm.iter().len(), slow.len(), "size_hint diverged on {bm:?}");
+            assert_eq!(bm.is_empty(), slow.is_empty());
+        }
+    }
+
+    #[test]
+    fn bitmap_insert_remove_churn_matches_reference_set() {
+        use std::collections::BTreeSet;
+        let mut bm = SharerBitmap::EMPTY;
+        let mut reference: BTreeSet<u16> = BTreeSet::new();
+        let mut state = 0xdead_beef_cafe_f00du64;
+        for _ in 0..5000 {
+            let r = xorshift(&mut state);
+            let node = (r % u64::from(SharerBitmap::CAPACITY)) as u16;
+            if r & (1 << 40) == 0 {
+                bm.insert(NodeId(node));
+                reference.insert(node);
+            } else {
+                bm.remove(NodeId(node));
+                reference.remove(&node);
+            }
+            assert_eq!(bm.count() as usize, reference.len());
+            assert_eq!(bm.contains(NodeId(node)), reference.contains(&node));
+        }
+        let got: Vec<u16> = bm.iter().map(|n| n.0).collect();
+        let want: Vec<u16> = reference.iter().copied().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn drain_yields_members_in_order_and_empties_the_set() {
+        let mut bm = SharerBitmap::EMPTY;
+        for n in [64, 2, 127, 63, 0] {
+            bm.insert(NodeId(n));
+        }
+        let drained: Vec<u16> = bm.drain().map(|n| n.0).collect();
+        assert_eq!(drained, vec![0, 2, 63, 64, 127]);
+        assert!(bm.is_empty());
+        assert_eq!(bm.iter().count(), 0);
+        assert_eq!(bm.drain().count(), 0);
+    }
+
+    #[test]
+    fn canonical_encoding_keeps_the_single_word_shared_form() {
+        // Sharer sets confined to the first presence word — every state a
+        // ≤64-node machine can produce — must keep the historical 1-tag,
+        // 8-byte encoding so committed digests never move.
+        let mut d = Directory::new(HOME);
+        d.request(LINE, read(R1));
+        d.request(LINE, read(R3));
+        let mut enc = Vec::new();
+        d.encode_canonical(&mut enc);
+        // home (2) + count (4) + line (8), then the state arm.
+        assert_eq!(enc[14], 1, "single-word Shared must keep tag 1");
+        let bits = u64::from_le_bytes(enc[15..23].try_into().unwrap());
+        assert_eq!(bits, (1 << R1.0) | (1 << R3.0));
+        // A sharer past node 63 needs the wide form, distinct from every
+        // single-word encoding.
+        let mut wide = Directory::new(HOME);
+        wide.request(LINE, read(NodeId(64)));
+        let mut wenc = Vec::new();
+        wide.encode_canonical(&mut wenc);
+        assert_eq!(wenc[14], 3, "wide Shared uses its own tag");
+        assert_eq!(wenc.len(), enc.len() + 8);
     }
 
     #[test]

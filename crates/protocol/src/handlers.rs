@@ -174,6 +174,17 @@ pub enum HandlerKind {
 }
 
 impl HandlerKind {
+    /// Number of handler kinds; the length of [`all`](Self::all).
+    pub const COUNT: usize = 33;
+
+    /// Dense index of this kind: its position in [`all`](Self::all).
+    /// Lets per-handler statistics live in a fixed array instead of a
+    /// hash map, which keeps the dispatch path allocation-free.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// All handler kinds, in Table 4 order (extras at the end).
     pub fn all() -> &'static [HandlerKind] {
         use HandlerKind::*;
@@ -287,23 +298,101 @@ impl HandlerKind {
     }
 }
 
-/// A concrete handler instance: kind plus expanded step list.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HandlerSpec {
-    /// The handler this spec describes.
-    pub kind: HandlerKind,
-    /// The steps, in execution order.
-    pub steps: Vec<Step>,
+/// Capacity of a [`StepBuf`], sized for the largest expansion the
+/// protocol can produce: `HomeReadExclShared` at the 63-sharer fan-out of
+/// a full 64-node machine runs 12 fixed steps plus two per invalidation
+/// (138 total), with headroom for protocol growth.
+pub const STEP_BUF_CAPACITY: usize = 160;
+
+/// A fixed-capacity, inline step buffer.
+///
+/// Expanding a handler used to build a fresh `Vec<Step>` per invocation —
+/// one heap allocation on the hottest edge of the simulator. A `StepBuf`
+/// lives inside the machine and is refilled in place by
+/// [`fill`](Self::fill); the steady state never touches the allocator.
+#[derive(Debug, Clone)]
+pub struct StepBuf {
+    /// The handler the buffer currently holds (`None` until first fill).
+    kind: Option<HandlerKind>,
+    /// Number of valid steps.
+    len: usize,
+    /// Step storage; only `steps[..len]` is meaningful.
+    steps: [Step; STEP_BUF_CAPACITY],
 }
 
-impl HandlerSpec {
-    /// Builds the step sequence for `kind` with the given invalidation
-    /// fan-out (ignored by handlers without fan-out).
-    pub fn build(kind: HandlerKind, fanout: Fanout) -> Self {
+impl StepBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        StepBuf {
+            kind: None,
+            len: 0,
+            steps: [Step::Op(SubOp::Dispatch); STEP_BUF_CAPACITY],
+        }
+    }
+
+    /// The handler whose expansion the buffer holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer was never filled.
+    pub fn kind(&self) -> HandlerKind {
+        self.kind.expect("step buffer queried before fill")
+    }
+
+    /// The expanded steps, in execution order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps[..self.len]
+    }
+
+    #[inline]
+    fn push(&mut self, step: Step) {
+        if self.len == STEP_BUF_CAPACITY {
+            panic!(
+                "step buffer overflow expanding {:?} (capacity {STEP_BUF_CAPACITY})",
+                self.kind.expect("buffers are filled before pushes")
+            );
+        }
+        self.steps[self.len] = step;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn extend<const N: usize>(&mut self, steps: [Step; N]) {
+        for s in steps {
+            self.push(s);
+        }
+    }
+
+    /// Fills the buffer with the cheap directory-probe sequence used when
+    /// a request only inspects the line (busy / await-writeback):
+    /// dispatch, request read, directory read, condition.
+    pub fn fill_probe(&mut self, kind: HandlerKind) {
+        self.kind = Some(kind);
+        self.len = 0;
+        self.extend([
+            Step::Op(SubOp::Dispatch),
+            Step::Op(SubOp::ReadReg),
+            Step::DirRead,
+            Step::Op(SubOp::Condition),
+        ]);
+    }
+
+    /// Replaces the buffer's contents with the step sequence for `kind`
+    /// at the given invalidation fan-out (ignored by handlers without
+    /// fan-out). Previous contents are discarded; the buffer is reused
+    /// across invocations without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics — naming the handler — if the expansion exceeds
+    /// [`STEP_BUF_CAPACITY`] rather than silently truncating.
+    pub fn fill(&mut self, kind: HandlerKind, fanout: Fanout) {
         use HandlerKind::*;
         use Step::*;
         use SubOp::*;
-        let mut steps: Vec<Step> = Vec::with_capacity(12);
+        self.kind = Some(kind);
+        self.len = 0;
+        let steps = self;
         match kind {
             BusReadRemote => {
                 steps.extend([
@@ -654,7 +743,38 @@ impl HandlerSpec {
                 ]);
             }
         }
-        HandlerSpec { kind, steps }
+    }
+}
+
+impl Default for StepBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A concrete handler instance: kind plus expanded step list.
+///
+/// This is the owned, report-friendly form used by Table 4 rendering and
+/// the occupancy analyses; the simulation hot path expands handlers into
+/// a reused [`StepBuf`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandlerSpec {
+    /// The handler this spec describes.
+    pub kind: HandlerKind,
+    /// The steps, in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl HandlerSpec {
+    /// Builds the step sequence for `kind` with the given invalidation
+    /// fan-out (ignored by handlers without fan-out).
+    pub fn build(kind: HandlerKind, fanout: Fanout) -> Self {
+        let mut buf = StepBuf::new();
+        buf.fill(kind, fanout);
+        HandlerSpec {
+            kind,
+            steps: buf.steps().to_vec(),
+        }
     }
 
     /// Total no-contention occupancy of this handler on `engine`, using the
@@ -716,6 +836,16 @@ mod tests {
 
     fn occ(kind: HandlerKind, fanout: Fanout, engine: EngineKind) -> Cycle {
         HandlerSpec::build(kind, fanout).occupancy(engine, &StaticStepCosts::default())
+    }
+
+    #[test]
+    fn dense_index_matches_table_order() {
+        // Array-backed per-handler counters rely on `index()` agreeing
+        // with the position in `all()`.
+        assert_eq!(HandlerKind::all().len(), HandlerKind::COUNT);
+        for (i, &kind) in HandlerKind::all().iter().enumerate() {
+            assert_eq!(kind.index(), i, "{kind:?} out of order");
+        }
     }
 
     #[test]
@@ -798,6 +928,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn step_buf_reuse_resets_between_fills() {
+        let mut buf = StepBuf::new();
+        assert!(buf.steps().is_empty());
+        buf.fill(HandlerKind::HomeReadExclShared, Fanout::remote(4));
+        let long = buf.steps().len();
+        assert_eq!(buf.kind(), HandlerKind::HomeReadExclShared);
+        assert_eq!(
+            buf.steps(),
+            HandlerSpec::build(HandlerKind::HomeReadExclShared, Fanout::remote(4)).steps
+        );
+        // Refilling with a shorter handler must not leave stale steps from
+        // the longer expansion visible.
+        buf.fill(HandlerKind::ReqInvDone, Fanout::NONE);
+        assert_eq!(buf.kind(), HandlerKind::ReqInvDone);
+        assert!(buf.steps().len() < long);
+        assert_eq!(
+            buf.steps(),
+            HandlerSpec::build(HandlerKind::ReqInvDone, Fanout::NONE).steps
+        );
+    }
+
+    #[test]
+    fn step_buf_matches_owned_build_for_every_handler() {
+        let mut buf = StepBuf::new();
+        for &kind in HandlerKind::all() {
+            for fanout in [Fanout::NONE, Fanout::remote(3)] {
+                buf.fill(kind, fanout);
+                assert_eq!(
+                    buf.steps(),
+                    HandlerSpec::build(kind, fanout).steps,
+                    "{kind:?} expansion diverged between StepBuf and HandlerSpec"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_buf_holds_the_maximum_machine_fanout() {
+        // 64 nodes -> at most 63 remote invalidations; the largest handler
+        // must fit with room to spare (no silent truncation possible).
+        let mut buf = StepBuf::new();
+        buf.fill(
+            HandlerKind::HomeReadExclShared,
+            Fanout {
+                remote_invs: 63,
+                local_inv: true,
+            },
+        );
+        assert_eq!(buf.steps().len(), 12 + 2 * 63);
+        assert!(buf.steps().len() <= STEP_BUF_CAPACITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "step buffer overflow expanding HomeReadExclShared")]
+    fn step_buf_overflow_panics_with_the_handler_name() {
+        let mut buf = StepBuf::new();
+        buf.fill(HandlerKind::HomeReadExclShared, Fanout::remote(1000));
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod msg;
 pub mod subop;
 
 pub use directory::{
-    DirAction, DirOutcome, DirRequest, DirRequestKind, DirState, Directory, NodeBitmap,
+    DirAction, DirOutcome, DirRequest, DirRequestKind, DirState, Directory, SharerBitmap,
 };
 pub use handlers::{HandlerKind, HandlerSpec, Step};
 pub use msg::{Msg, MsgClass, MsgKind};

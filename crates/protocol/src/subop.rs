@@ -187,29 +187,34 @@ impl OccupancyTable {
         }
     }
 
-    /// All sub-operations with their costs, for rendering Table 2.
-    pub fn rows(&self) -> Vec<(SubOp, Cycle)> {
-        use SubOp::*;
-        [
-            Dispatch,
-            ReadReg,
-            ReadRegAssoc,
-            WriteReg,
-            SendMsgHeader,
-            StartDataTransfer,
-            DirCacheRead,
-            DirWrite,
-            BitFieldExtract,
-            BitFieldUpdate,
-            Condition,
-        ]
-        .into_iter()
-        .map(|op| (op, self.cost(op)))
-        .collect()
+    /// Writes every sub-operation with its cost into `out`, in Table 2
+    /// row order. The caller provides the (stack) buffer, so rendering
+    /// the report tables never allocates on this path.
+    pub fn rows_into(&self, out: &mut [(SubOp, Cycle); SubOp::COUNT]) {
+        for (slot, &op) in out.iter_mut().zip(SubOp::ALL.iter()) {
+            *slot = (op, self.cost(op));
+        }
     }
 }
 
 impl SubOp {
+    /// Number of sub-operations (the rows of Table 2).
+    pub const COUNT: usize = 11;
+
+    /// Every sub-operation, in Table 2 row order.
+    pub const ALL: [SubOp; SubOp::COUNT] = [
+        SubOp::Dispatch,
+        SubOp::ReadReg,
+        SubOp::ReadRegAssoc,
+        SubOp::WriteReg,
+        SubOp::SendMsgHeader,
+        SubOp::StartDataTransfer,
+        SubOp::DirCacheRead,
+        SubOp::DirWrite,
+        SubOp::BitFieldExtract,
+        SubOp::BitFieldUpdate,
+        SubOp::Condition,
+    ];
     /// Description used when rendering Table 2.
     pub fn description(self) -> &'static str {
         match self {
@@ -253,7 +258,9 @@ mod tests {
     fn ppc_costs_dominate_hwc() {
         let hwc = OccupancyTable::for_engine(EngineKind::Hwc);
         let ppc = OccupancyTable::for_engine(EngineKind::Ppc);
-        for (op, hwc_cost) in hwc.rows() {
+        let mut rows = [(SubOp::Dispatch, 0); SubOp::COUNT];
+        hwc.rows_into(&mut rows);
+        for (op, hwc_cost) in rows {
             assert!(
                 ppc.cost(op) >= hwc_cost,
                 "{op:?}: PPC must not be faster than HWC"
@@ -264,6 +271,12 @@ mod tests {
     #[test]
     fn rows_cover_all_subops() {
         let t = OccupancyTable::for_engine(EngineKind::Hwc);
-        assert_eq!(t.rows().len(), 11);
+        let mut rows = [(SubOp::Condition, u64::MAX); SubOp::COUNT];
+        t.rows_into(&mut rows);
+        // Every slot was overwritten, each op exactly once, in ALL order.
+        for (slot, &op) in rows.iter().zip(SubOp::ALL.iter()) {
+            assert_eq!(slot.0, op);
+            assert_eq!(slot.1, t.cost(op));
+        }
     }
 }

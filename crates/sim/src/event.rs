@@ -8,7 +8,7 @@
 //! bucket path; the heap only sees rare far-future timers.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 use crate::Cycle;
 
@@ -60,8 +60,21 @@ const WHEEL_MASK: Cycle = WHEEL_SPAN - 1;
 ///   behind the window.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    /// `SPAN` buckets; bucket `t & MASK` holds the events for cycle `t`.
-    wheel: Box<[VecDeque<E>]>,
+    /// `SPAN` buckets; bucket `t & MASK` holds the events for cycle `t`
+    /// as a `(head, tail)` intrusive FIFO through `slab` (`NIL` = empty).
+    ///
+    /// One shared slab instead of a `VecDeque` per bucket: bursty
+    /// workloads pile thousands of same-cycle events into whichever
+    /// bucket the burst lands on, and per-bucket buffers would each have
+    /// to be sized for the worst burst (megabytes of mostly-idle
+    /// capacity) to keep the steady state allocation-free. The slab is
+    /// sized once for the *total* pending high-water mark, which every
+    /// bucket shares.
+    wheel: Box<[(u32, u32)]>,
+    /// Node storage for the wheel's intrusive lists.
+    slab: Vec<Slot<E>>,
+    /// Head of the free list through `slab` (`NIL` = empty).
+    free: u32,
     /// Events in the wheel (the buckets' total length).
     wheel_len: usize,
     /// Start of the wheel's window; only ever advances.
@@ -70,7 +83,21 @@ pub struct EventQueue<E> {
     overflow: BinaryHeap<Far<E>>,
     /// Scheduling sequence number; doubles as the lifetime event count.
     seq: u64,
+    /// High-water mark of concurrently pending events, for capacity
+    /// planning (the zero-alloc gate needs buckets sized past this).
+    max_pending: usize,
     now: Cycle,
+}
+
+/// Sentinel for "no slot" in the wheel's intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// One slab slot: an event plus the link to the next slot of its bucket
+/// (or of the free list). `None` while on the free list.
+#[derive(Debug)]
+struct Slot<E> {
+    event: Option<E>,
+    next: u32,
 }
 
 /// An overflow (far-future) event. The sequence number breaks timestamp
@@ -104,24 +131,80 @@ impl<E> EventQueue<E> {
         Self::with_capacity(0)
     }
 
-    /// Creates an empty queue pre-sized for about `events` concurrently
-    /// pending events, so warm-up (e.g. scheduling every processor's
-    /// initial resume at cycle zero) never reallocates.
+    /// Creates an empty queue pre-sized for `events` concurrently
+    /// pending events, so neither warm-up (e.g. scheduling every
+    /// processor's initial resume at cycle zero) nor a steady state
+    /// that stays under the high-water mark ever reallocates. The
+    /// shared slab means the bound covers any distribution of those
+    /// events across cycles, including all of them landing on one.
     pub fn with_capacity(events: usize) -> Self {
-        let mut wheel = Vec::with_capacity(WHEEL_SPAN as usize);
-        // Warm-up schedules everything at cycle zero: give that bucket
-        // its capacity up front. The other buckets allocate lazily on
-        // first use.
-        wheel.push(VecDeque::with_capacity(events));
-        wheel.resize_with(WHEEL_SPAN as usize, VecDeque::new);
         EventQueue {
-            wheel: wheel.into_boxed_slice(),
+            wheel: vec![(NIL, NIL); WHEEL_SPAN as usize].into_boxed_slice(),
+            slab: Vec::with_capacity(events),
+            free: NIL,
             wheel_len: 0,
             base: 0,
-            overflow: BinaryHeap::new(),
+            overflow: BinaryHeap::with_capacity(events.min(64)),
             seq: 0,
+            max_pending: 0,
             now: 0,
         }
+    }
+
+    /// Takes a slab slot for `event` and returns its index, reusing the
+    /// free list when possible.
+    fn alloc_slot(&mut self, event: E) -> u32 {
+        let idx = self.free;
+        if idx == NIL {
+            assert!(self.slab.len() < NIL as usize, "event slab full");
+            self.slab.push(Slot {
+                event: Some(event),
+                next: NIL,
+            });
+            self.slab.len() as u32 - 1
+        } else {
+            let slot = &mut self.slab[idx as usize];
+            self.free = slot.next;
+            slot.event = Some(event);
+            slot.next = NIL;
+            idx
+        }
+    }
+
+    /// Appends `event` to the bucket for absolute cycle `time` (which
+    /// must be inside the wheel window).
+    fn push_bucket(&mut self, time: Cycle, event: E) {
+        let idx = self.alloc_slot(event);
+        let b = (time & WHEEL_MASK) as usize;
+        let (_, tail) = self.wheel[b];
+        if tail == NIL {
+            self.wheel[b] = (idx, idx);
+        } else {
+            self.slab[tail as usize].next = idx;
+            self.wheel[b].1 = idx;
+        }
+        self.wheel_len += 1;
+    }
+
+    /// Removes and returns the first event of `bucket`, if any,
+    /// returning its slot to the free list.
+    fn pop_bucket(&mut self, bucket: usize) -> Option<E> {
+        let (head, _) = self.wheel[bucket];
+        if head == NIL {
+            return None;
+        }
+        let slot = &mut self.slab[head as usize];
+        let next = slot.next;
+        let event = slot.event.take().expect("occupied bucket slot");
+        slot.next = self.free;
+        self.free = head;
+        if next == NIL {
+            self.wheel[bucket] = (NIL, NIL);
+        } else {
+            self.wheel[bucket].0 = next;
+        }
+        self.wheel_len -= 1;
+        Some(event)
     }
 
     /// Schedules `event` to fire at absolute cycle `time`.
@@ -138,11 +221,13 @@ impl<E> EventQueue<E> {
             self.now
         );
         self.seq += 1;
+        self.max_pending = self
+            .max_pending
+            .max(self.wheel_len + self.overflow.len() + 1);
         // `time >= now >= base` outside of `pop`, so this subtraction
         // cannot wrap.
         if time - self.base < WHEEL_SPAN {
-            self.wheel[(time & WHEEL_MASK) as usize].push_back(event);
-            self.wheel_len += 1;
+            self.push_bucket(time, event);
         } else {
             self.overflow.push(Far {
                 key: Reverse((time, self.seq)),
@@ -179,8 +264,7 @@ impl<E> EventQueue<E> {
                 break;
             }
             let far = self.overflow.pop().expect("peeked entry");
-            self.wheel[(t & WHEEL_MASK) as usize].push_back(far.event);
-            self.wheel_len += 1;
+            self.push_bucket(t, far.event);
         }
         // The earliest pending event is now in the wheel, at or after
         // max(base, now) and before base + SPAN. Empty buckets behind
@@ -189,8 +273,7 @@ impl<E> EventQueue<E> {
         let mut t = self.base.max(self.now);
         loop {
             debug_assert!(t < self.base + WHEEL_SPAN, "scan ran past the window");
-            if let Some(event) = self.wheel[(t & WHEEL_MASK) as usize].pop_front() {
-                self.wheel_len -= 1;
+            if let Some(event) = self.pop_bucket((t & WHEEL_MASK) as usize) {
                 self.now = t;
                 return Some((t, event));
             }
@@ -206,7 +289,7 @@ impl<E> EventQueue<E> {
             let mut t = self.base.max(self.now);
             loop {
                 debug_assert!(t < self.base + WHEEL_SPAN, "peek ran past the window");
-                if !self.wheel[(t & WHEEL_MASK) as usize].is_empty() {
+                if self.wheel[(t & WHEEL_MASK) as usize].0 != NIL {
                     return Some(t);
                 }
                 t += 1;
@@ -233,6 +316,12 @@ impl<E> EventQueue<E> {
     /// Total number of events scheduled over the queue's lifetime.
     pub fn total_scheduled(&self) -> u64 {
         self.seq
+    }
+
+    /// High-water mark of concurrently pending events over the queue's
+    /// lifetime.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
     }
 }
 

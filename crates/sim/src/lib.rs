@@ -45,10 +45,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alloc_gate;
 pub mod component;
 mod event;
 pub mod hash;
 pub mod par;
+pub mod pool;
 mod port;
 mod rng;
 mod server;

@@ -1,0 +1,291 @@
+//! Index-linked free-list arena for small transient FIFO lists.
+//!
+//! The machine model keeps many short-lived queues keyed by cache line:
+//! requests buffered behind a busy directory entry, processors waiting on
+//! an outstanding miss. Giving each entry its own `Vec`/`VecDeque` means
+//! an allocation the first time any line goes busy — on the hottest edge
+//! of the simulator — and a pointer-sized handle per entry.
+//!
+//! A [`ListPool`] stores every list node of one kind in a single slab and
+//! links them by index. A list is a [`ListRef`] — two `u32` indices — so
+//! per-entry state stays `Copy` and tiny, and pushing or popping in the
+//! steady state recycles slab slots instead of touching the allocator.
+//! The slab grows (amortized, like `Vec`) only when more nodes are live
+//! at once than ever before; pre-size it with
+//! [`with_capacity`](ListPool::with_capacity) from the system
+//! configuration to make the steady state allocation-free.
+
+/// Sentinel index marking the end of a chain.
+const NIL: u32 = u32::MAX;
+
+/// One slab slot: a value plus the index of the next node in its chain
+/// (either a list chain or the free chain).
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    value: T,
+    next: u32,
+}
+
+/// A FIFO list handle into a [`ListPool`]: head and tail slot indices.
+///
+/// The default value is the empty list. Handles are plain data; all
+/// operations go through the owning pool. Dropping a non-empty handle
+/// without [`ListPool::clear`] leaks its slots until the pool is dropped
+/// (they are not reclaimed, but nothing dangles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListRef {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Default for ListRef {
+    fn default() -> Self {
+        ListRef {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+impl ListRef {
+    /// Number of values in the list.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A slab of index-linked list nodes with an intrusive free list.
+///
+/// # Example
+///
+/// ```
+/// use ccn_sim::pool::{ListPool, ListRef};
+///
+/// let mut pool: ListPool<u64> = ListPool::with_capacity(4);
+/// let mut list = ListRef::default();
+/// pool.push_back(&mut list, 10);
+/// pool.push_back(&mut list, 20);
+/// assert_eq!(pool.iter(&list).copied().collect::<Vec<_>>(), vec![10, 20]);
+/// assert_eq!(pool.pop_front(&mut list), Some(10));
+/// assert_eq!(pool.pop_front(&mut list), Some(20));
+/// assert_eq!(pool.pop_front(&mut list), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ListPool<T> {
+    slots: Vec<Slot<T>>,
+    /// Head of the free chain (`NIL` when every slot is live).
+    free: u32,
+}
+
+impl<T: Copy + Default> Default for ListPool<T> {
+    fn default() -> Self {
+        ListPool::with_capacity(0)
+    }
+}
+
+impl<T: Copy + Default> ListPool<T> {
+    /// A pool with `capacity` slots pre-allocated on the free chain.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut pool = ListPool {
+            slots: Vec::new(),
+            free: NIL,
+        };
+        pool.reserve(capacity);
+        pool
+    }
+
+    /// Ensures at least `capacity` total slots exist, linking any new
+    /// ones into the free chain.
+    pub fn reserve(&mut self, capacity: usize) {
+        assert!(capacity < NIL as usize, "pool capacity exceeds u32 indices");
+        self.slots
+            .reserve(capacity.saturating_sub(self.slots.len()));
+        while self.slots.len() < capacity {
+            let idx = self.slots.len() as u32;
+            // Slot values on the free chain are dead; any value works.
+            self.slots.push(Slot {
+                value: T::default(),
+                next: self.free,
+            });
+            self.free = idx;
+        }
+    }
+}
+
+impl<T: Copy> ListPool<T> {
+    /// Takes a slot off the free chain, growing the slab if none is left.
+    fn alloc(&mut self, value: T) -> u32 {
+        if self.free == NIL {
+            let idx = self.slots.len();
+            assert!(idx < NIL as usize, "pool exhausted u32 indices");
+            self.slots.push(Slot { value, next: NIL });
+            return idx as u32;
+        }
+        let idx = self.free;
+        let slot = &mut self.slots[idx as usize];
+        self.free = slot.next;
+        slot.value = value;
+        slot.next = NIL;
+        idx
+    }
+
+    /// Appends `value` to `list`.
+    pub fn push_back(&mut self, list: &mut ListRef, value: T) {
+        let idx = self.alloc(value);
+        if list.tail == NIL {
+            list.head = idx;
+        } else {
+            self.slots[list.tail as usize].next = idx;
+        }
+        list.tail = idx;
+        list.len += 1;
+    }
+
+    /// Removes and returns the front of `list`, recycling its slot.
+    pub fn pop_front(&mut self, list: &mut ListRef) -> Option<T> {
+        if list.head == NIL {
+            return None;
+        }
+        let idx = list.head;
+        let slot = &mut self.slots[idx as usize];
+        let value = slot.value;
+        list.head = slot.next;
+        slot.next = self.free;
+        self.free = idx;
+        if list.head == NIL {
+            list.tail = NIL;
+        }
+        list.len -= 1;
+        Some(value)
+    }
+
+    /// Empties `list`, recycling every slot.
+    pub fn clear(&mut self, list: &mut ListRef) {
+        while self.pop_front(list).is_some() {}
+    }
+
+    /// Iterates over `list` front to back.
+    pub fn iter<'a>(&'a self, list: &ListRef) -> ListIter<'a, T> {
+        ListIter {
+            pool: self,
+            next: list.head,
+            left: list.len as usize,
+        }
+    }
+
+    /// Total slots in the slab (live plus free).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Front-to-back iterator over one list in a [`ListPool`].
+#[derive(Debug)]
+pub struct ListIter<'a, T> {
+    pool: &'a ListPool<T>,
+    next: u32,
+    left: usize,
+}
+
+impl<'a, T> Iterator for ListIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.next == NIL {
+            return None;
+        }
+        let slot = &self.pool.slots[self.next as usize];
+        self.next = slot.next;
+        self.left -= 1;
+        Some(&slot.value)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.left, Some(self.left))
+    }
+}
+
+impl<T> ExactSizeIterator for ListIter<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut pool: ListPool<u32> = ListPool::with_capacity(8);
+        let mut list = ListRef::default();
+        for v in 0..5 {
+            pool.push_back(&mut list, v);
+        }
+        assert_eq!(list.len(), 5);
+        for v in 0..5 {
+            assert_eq!(pool.pop_front(&mut list), Some(v));
+        }
+        assert!(list.is_empty());
+        assert_eq!(pool.pop_front(&mut list), None);
+    }
+
+    #[test]
+    fn slots_are_recycled_without_growth() {
+        let mut pool: ListPool<u64> = ListPool::default();
+        let mut list = ListRef::default();
+        // Warm the slab to its high-water mark.
+        for v in 0..16 {
+            pool.push_back(&mut list, v);
+        }
+        pool.clear(&mut list);
+        let cap = pool.capacity();
+        // Steady-state churn at or below the mark must not grow the slab.
+        for round in 0..100u64 {
+            for v in 0..16 {
+                pool.push_back(&mut list, round * 100 + v);
+            }
+            for v in 0..16 {
+                assert_eq!(pool.pop_front(&mut list), Some(round * 100 + v));
+            }
+        }
+        assert_eq!(pool.capacity(), cap, "churn must recycle, not grow");
+    }
+
+    #[test]
+    fn independent_lists_share_one_slab() {
+        let mut pool: ListPool<u32> = ListPool::default();
+        let mut a = ListRef::default();
+        let mut b = ListRef::default();
+        for v in 0..4 {
+            pool.push_back(&mut a, v);
+            pool.push_back(&mut b, 100 + v);
+        }
+        assert_eq!(pool.iter(&a).copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            pool.iter(&b).copied().collect::<Vec<_>>(),
+            vec![100, 101, 102, 103]
+        );
+        assert_eq!(pool.pop_front(&mut a), Some(0));
+        assert_eq!(pool.pop_front(&mut b), Some(100));
+        assert_eq!(pool.iter(&a).len(), 3);
+        assert_eq!(pool.iter(&b).len(), 3);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_chains_separate() {
+        let mut pool: ListPool<u32> = ListPool::with_capacity(2);
+        let mut a = ListRef::default();
+        let mut b = ListRef::default();
+        pool.push_back(&mut a, 1);
+        pool.push_back(&mut b, 2);
+        assert_eq!(pool.pop_front(&mut a), Some(1));
+        pool.push_back(&mut b, 3); // reuses a's freed slot
+        pool.push_back(&mut a, 4);
+        assert_eq!(pool.iter(&b).copied().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(pool.iter(&a).copied().collect::<Vec<_>>(), vec![4]);
+    }
+}

@@ -28,7 +28,7 @@ use ccn_mem::{LineAddr, NodeId};
 use ccn_protocol::directory::{
     DirAction, DirOutcome, DirRequest, DirRequestKind, DirState, Directory, WritebackOutcome,
 };
-use ccn_protocol::{Msg, MsgClass, MsgKind, NodeBitmap};
+use ccn_protocol::{Msg, MsgClass, MsgKind, SharerBitmap};
 
 /// Message-ordering discipline the model's network enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -673,7 +673,7 @@ impl ModelState {
         kind: DirRequestKind,
         requester: NodeId,
         exclusive: bool,
-        invalidate: NodeBitmap,
+        invalidate: SharerBitmap,
         grant_only: bool,
     ) -> String {
         let home = cfg.home_of(line);
@@ -1498,7 +1498,7 @@ mod tests {
         assert_eq!(st.copy(1, 0), CopyState::Shared(0));
         assert_eq!(
             st.dirs[0].state_of(LineAddr(0)),
-            DirState::Shared(NodeBitmap::just(NodeId(1)))
+            DirState::Shared(SharerBitmap::just(NodeId(1)))
         );
         assert!(st.is_quiescent(&cfg));
         assert!(st.check(&cfg).is_none());

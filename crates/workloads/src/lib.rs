@@ -68,6 +68,49 @@ pub struct AppBuild {
     pub placements: Vec<(u64, u16)>,
 }
 
+impl AppBuild {
+    /// Upper bound on the distinct cache lines the built programs can
+    /// touch: the union of every segment's address range, counted in
+    /// `line_bytes` lines. Machines pre-size their functional state
+    /// tables (memory images, version stamps) with this so that
+    /// steady-state execution never grows them.
+    pub fn footprint_lines(&self, line_bytes: u64) -> usize {
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for prog in &self.programs {
+            for seg in prog {
+                let (base, bytes) = match *seg {
+                    Segment::Walk { base, bytes, .. } | Segment::RandomWalk { base, bytes, .. } => {
+                        (base, bytes.max(1))
+                    }
+                    Segment::Touch { addr, .. } => (addr, 1),
+                    _ => continue,
+                };
+                ranges.push((base / line_bytes, (base + bytes - 1) / line_bytes + 1));
+            }
+        }
+        ranges.sort_unstable();
+        let mut lines = 0;
+        let mut current: Option<(u64, u64)> = None;
+        for (start, end) in ranges {
+            match current {
+                Some((_, open_end)) if start <= open_end => {
+                    current = current.map(|(s, e)| (s, e.max(end)));
+                }
+                _ => {
+                    if let Some((s, e)) = current {
+                        lines += e - s;
+                    }
+                    current = Some((start, end));
+                }
+            }
+        }
+        if let Some((s, e)) = current {
+            lines += e - s;
+        }
+        lines as usize
+    }
+}
+
 /// An application that can be instantiated on a machine shape.
 pub trait Application {
     /// Display name (as used in the paper's tables, e.g. "Ocean-258").

@@ -7,7 +7,7 @@
 //!
 //! targets: table1 table2 table3 table4 table5 table6 table7
 //!          fig6 fig7 fig8 fig9 fig10 fig11 fig12
-//!          ablations summary stats trace validate verify golden bench all
+//!          ablations summary run stats trace validate verify golden bench all
 //!
 //! repro scenario list | check [SPEC...] | run SPEC... | record SPEC | replay FILE
 //! ```
@@ -17,6 +17,14 @@
 //! architectures under the conformance digest envelope, and any
 //! workload's access stream can be recorded to a binary trace and
 //! replayed byte-for-byte. See `docs/SCENARIOS.md`.
+//!
+//! `run` simulates the reference workload (Ocean) on a machine of
+//! arbitrary size and directory sharer representation: `--nodes N`
+//! (64/256/1024 for the scaling study), `--dir-format
+//! full|coarse:K|limited:I|sparse:S`, `--arch NAME` to narrow the
+//! default four-architecture sweep. It reports execution time, RCCPI,
+//! controller utilization/queueing, useless invalidations, and the
+//! directory storage the format burns per entry. See `EXPERIMENTS.md`.
 //!
 //! `verify` runs the protocol verification suite: bounded exhaustive
 //! model checking of the directory protocol (`--nodes N --lines L
@@ -240,6 +248,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--arch",
     "--metrics",
     "--threads",
+    "--dir-format",
 ];
 
 /// The non-flag arguments, with every value flag's value skipped.
@@ -432,6 +441,13 @@ fn render_target(
                 ablations::replacement_hints(SuiteApp::FftBase, opts).render(),
             );
             render(&mut out, ablations::flash_conditions(opts).render());
+        }
+        "run" => {
+            let (report, ok) = run_target(opts, args);
+            render(&mut out, report);
+            if !ok {
+                *failed = true;
+            }
         }
         "stats" => render(&mut out, run_stats_target(opts, args)),
         "trace" => render(&mut out, run_trace_target(opts, args)),
@@ -649,6 +665,139 @@ fn obs_artifact(args: &[String], name: &str, opts: Options) -> String {
     format!("{dir}/{name}_{}.json", ccnuma::sweep::scale_tag(opts.scale))
 }
 
+/// The `run` target: the reference workload (Ocean) on a machine of
+/// arbitrary size and directory sharer representation — the workhorse
+/// of the scaling campaign in `EXPERIMENTS.md`. `--nodes N` overrides
+/// the machine size, `--dir-format F` picks the sharer format, and
+/// `--arch NAME` narrows the sweep to one architecture (default: all
+/// four). A machine the selected format cannot track is rejected up
+/// front with the configuration error naming the format and its limit.
+fn run_target(opts: Options, args: &[String]) -> (String, bool) {
+    use ccnuma::experiments::{config_for, ConfigMods};
+    use ccnuma::Architecture;
+    let mut out = String::new();
+    let threads = (uint_flag(args, "--threads", 1) as usize).max(1);
+    let nodes = uint_flag(args, "--nodes", opts.nodes as u64) as usize;
+    let format = match flag_value(args, "--dir-format") {
+        None => opts.dir_format,
+        Some(s) => match ccn_protocol::DirFormat::parse(&s) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let mut opts = Options { nodes, ..opts }.with_dir_format(format);
+    // The scaled data sets are tuned for the paper's 16-node machine;
+    // simulating them on hundreds of nodes takes hours. Machines beyond
+    // the paper's size drop to the tiny data sets — the scaling study
+    // cares about trends, not absolute times — unless `--paper` insists.
+    let shrunk = nodes > 16 && opts.scale == ccn_workloads::suite::Scale::Scaled;
+    if shrunk {
+        opts.scale = ccn_workloads::suite::Scale::Tiny;
+    }
+    let archs: Vec<Architecture> = match flag_value(args, "--arch") {
+        None => Architecture::all().to_vec(),
+        Some(name) => match Architecture::all()
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(&name))
+        {
+            Some(a) => vec![a],
+            None => {
+                eprintln!("unknown architecture '{name}'; expected HWC, PPC, 2HWC or 2PPC");
+                std::process::exit(2);
+            }
+        },
+    };
+    let app = SuiteApp::OceanBase;
+    // Validate before simulating, so an over-capacity machine surfaces
+    // as the configuration error naming the format and its limit rather
+    // than a panic deep inside machine construction.
+    let cfg = config_for(app, archs[0], opts, ConfigMods::default());
+    if let Err(e) = cfg.validate() {
+        let _ = writeln!(out, "invalid machine: {e}");
+        return (out, false);
+    }
+    let full_bpe = ccn_protocol::DirFormat::FullMap.bits_per_entry(cfg.nodes as u16);
+    let bpe = format.bits_per_entry(cfg.nodes as u16);
+    let _ = writeln!(
+        out,
+        "reference run: Ocean on a {}x{} machine, directory format {}",
+        cfg.nodes,
+        cfg.procs_per_node,
+        format.label()
+    );
+    if shrunk {
+        let _ = writeln!(
+            out,
+            "(machines past the paper's 16 nodes use the tiny data sets; --paper overrides)"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "directory storage: {bpe} bits/entry, {:.1}% of full-map's {full_bpe}",
+        100.0 * bpe as f64 / full_bpe as f64
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>12} {:>10} {:>11} {:>6} {:>10} {:>13}",
+        "arch", "cycles", "exec(us)", "RCCPI(e-3)", "util%", "queue(ns)", "useless-invs"
+    );
+    // The stock tiny grid is sized for tens of processors and stops
+    // dividing the processor grid on hundreds; size it to the machine.
+    let instance: Box<dyn ccn_workloads::Application> =
+        if opts.scale == ccn_workloads::suite::Scale::Tiny {
+            Box::new(ocean_for(cfg.nodes * cfg.procs_per_node))
+        } else {
+            app.instantiate(opts.scale)
+        };
+    for arch in archs {
+        let cfg = config_for(app, arch, opts, ConfigMods::default());
+        let mut machine =
+            ccnuma::Machine::new(cfg, instance.as_ref()).expect("configuration validated above");
+        let report = machine.run_parallel(threads);
+        let _ = writeln!(
+            out,
+            "{:<6} {:>12} {:>10.1} {:>11.2} {:>6.1} {:>10.0} {:>13}",
+            report.architecture,
+            report.exec_cycles,
+            report.exec_us(),
+            report.rccpi() * 1000.0,
+            report.avg_utilization() * 100.0,
+            report.queue_delay_ns,
+            report.useless_invalidations
+        );
+    }
+    (out, true)
+}
+
+/// An Ocean instance whose grid tiles the machine's processor grid: the
+/// stock tiny data set (34×34) up to ~1k processors, with the interior
+/// growing past that so every tile stays non-empty.
+fn ocean_for(nprocs: usize) -> ccn_workloads::apps::Ocean {
+    use ccn_workloads::apps::Ocean;
+    // Mirrors the workload layer's internal processor-grid layout.
+    let mut rows = (nprocs as f64).sqrt() as usize;
+    while rows > 1 && !nprocs.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    let cols = nprocs / rows;
+    let gcd = {
+        let (mut a, mut b) = (rows, cols);
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    };
+    let lcm = rows / gcd * cols;
+    let interior = lcm * 32usize.div_ceil(lcm);
+    Ocean {
+        grid: interior + 2,
+        ..Ocean::tiny()
+    }
+}
+
 /// The `stats` target: the component stats spine with the cycle sampler
 /// on; `--timeline` additionally dumps the columnar time series as JSON.
 fn run_stats_target(opts: Options, args: &[String]) -> String {
@@ -723,6 +872,16 @@ fn run_verify(opts: Options, jobs: usize, args: &[String]) -> (String, bool) {
 
     let nodes = uint_flag(args, "--nodes", 2) as u16;
     let lines = uint_flag(args, "--lines", 1) as u8;
+    let format = match flag_value(args, "--dir-format") {
+        None => ccn_protocol::DirFormat::FullMap,
+        Some(s) => match ccn_protocol::DirFormat::parse(&s) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
     let mutate = flag_value(args, "--mutate").unwrap_or_else(|| "none".to_string());
     let Some(mutation) = Mutation::parse(&mutate) else {
         let names: Vec<&str> = Mutation::ALL.iter().map(|(n, _)| *n).collect();
@@ -749,13 +908,17 @@ fn run_verify(opts: Options, jobs: usize, args: &[String]) -> (String, bool) {
         lines,
         ordering,
         mutation,
+        format,
         ..ModelConfig::default()
     };
 
     let _ = writeln!(
         out,
-        "model check: {nodes} node(s), {lines} line(s), depth {}, {:?} ordering, mutation {mutate}",
-        bounds.depth, ordering
+        "model check: {nodes} node(s), {lines} line(s), depth {}, {:?} ordering, \
+         mutation {mutate}, directory format {}",
+        bounds.depth,
+        ordering,
+        format.label()
     );
     let report = explore(&cfg, &bounds);
     let _ = writeln!(out, "{}", report.summary());
@@ -785,7 +948,10 @@ fn run_verify(opts: Options, jobs: usize, args: &[String]) -> (String, bool) {
     // catches every seeded mutation at this configuration — a run that
     // reports "no violations" is only meaningful if the checker is known
     // to be able to fail.
-    if mutation == Mutation::None && ordering == Ordering::Causal {
+    if mutation == Mutation::None
+        && ordering == Ordering::Causal
+        && format == ccn_protocol::DirFormat::FullMap
+    {
         let _ = writeln!(
             out,
             "\nchecker sanity (each seeded mutation must be caught):"
@@ -822,7 +988,10 @@ fn run_verify(opts: Options, jobs: usize, args: &[String]) -> (String, bool) {
     // Differential conformance across the four architectures (skipped
     // when a mutation or adversarial ordering was requested: those runs
     // study the model checker, not the timed simulator).
-    if mutation == Mutation::None && ordering == Ordering::Causal {
+    if mutation == Mutation::None
+        && ordering == Ordering::Causal
+        && format == ccn_protocol::DirFormat::FullMap
+    {
         let cases = conformance_cases(uint_flag(args, "--conf-cases", 4));
         let runner = Runner::parallel(opts, jobs);
         let _ = writeln!(

@@ -43,6 +43,7 @@ pub const TARGETS: &[&str] = &[
     "fig12",
     "ablations",
     "summary",
+    "run",
     "stats",
     "trace",
     "validate",
@@ -57,6 +58,7 @@ pub const TARGETS: &[&str] = &[
 pub const EXTRA_TARGETS: &[&str] = &[
     "ablations",
     "summary",
+    "run",
     "stats",
     "trace",
     "validate",

@@ -107,10 +107,30 @@ impl Machine {
         }
     }
 
+    /// Sends the invalidation fan-out of every recall the sparse
+    /// directory queued: one `InvReq` per target, issued back to back at
+    /// `at`. The acks return through the ordinary `InvAck` path and
+    /// settle the recalled line. Recalls bypass handler occupancy — the
+    /// modeled controller treats slot maintenance as background work — a
+    /// deliberate approximation documented in docs/MODEL.md. No-op for
+    /// the dense formats, which never queue recalls.
+    fn drain_recalls(&mut self, n: usize, at: Cycle) {
+        while let Some(rc) = self.nodes[n].mem.dir.take_recall() {
+            for target in rc.targets.iter() {
+                let msg = self.msg(n, target, MsgKind::InvReq, rc.line, NodeId(n as u16));
+                self.send(at, msg);
+            }
+        }
+    }
+
     /// After a directory transaction completes, replay one buffered
     /// request if the line is idle.
     fn drain_pending(&mut self, n: usize, line: LineAddr, at: Cycle) {
-        if let Some(req) = self.nodes[n].mem.dir.pop_pending_if_idle(line) {
+        let popped = self.nodes[n].mem.dir.pop_pending_if_idle(line);
+        // The settle hook inside the pop may have started a recall of an
+        // overcommitted sparse line.
+        self.drain_recalls(n, at);
+        if let Some(req) = popped {
             let class = if req.requester.index() == n {
                 MsgClass::BusRequest
             } else {
@@ -169,7 +189,7 @@ impl Machine {
             .mem
             .dir
             .request(line, DirRequest { kind, requester });
-        match outcome {
+        let end = match outcome {
             DirOutcome::Busy => {
                 self.run_probe(n, HandlerKind::HomeReadDirtyRemote, line, now)
                     .end
@@ -203,7 +223,11 @@ impl Machine {
             DirOutcome::Act(DirAction::GrantUpgrade { invalidate }) => {
                 self.home_supply(n, kind, line, requester, true, invalidate, true, now)
             }
-        }
+        };
+        // The request may have claimed a sparse slot and displaced an
+        // idle victim line: issue the victim's recall invalidations.
+        self.drain_recalls(n, end);
+        end
     }
 
     /// Supplies a line (or upgrade permission) from the home: invalidation
@@ -216,7 +240,7 @@ impl Machine {
         line: LineAddr,
         requester: NodeId,
         exclusive: bool,
-        invalidate: SharerBitmap,
+        invalidate: Option<SharerBitmap>,
         grant_only: bool,
         now: Cycle,
     ) -> Cycle {
@@ -238,7 +262,7 @@ impl Machine {
             Some(slot) => pres.other_than(slot),
             None => pres.any(),
         };
-        let remote_invs = invalidate.count();
+        let remote_invs = invalidate.as_ref().map_or(0, SharerBitmap::count);
         let local_inv = exclusive && has_other_local;
 
         // Local-copy side effects and the supplied payload.
@@ -274,10 +298,12 @@ impl Machine {
         // Invalidation requests go out first, in step order.
         debug_assert!(run.sends.len() as u32 >= remote_invs);
         let mut sends = run.sends.iter().copied();
-        for sharer in invalidate.iter() {
-            let t = sends.next().expect("an inv send slot per sharer");
-            let msg = self.msg(n, sharer, MsgKind::InvReq, line, requester);
-            self.send(t, msg);
+        if let Some(inv) = &invalidate {
+            for sharer in inv.iter() {
+                let t = sends.next().expect("an inv send slot per sharer");
+                let msg = self.msg(n, sharer, MsgKind::InvReq, line, requester);
+                self.send(t, msg);
+            }
         }
         if local_req {
             // Completion is local: immediately if no acks are outstanding,
@@ -436,21 +462,41 @@ impl Machine {
     fn handle_inv_req(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
         let run = self.run_spec(n, HandlerKind::InvReqAtSharer, Fanout::NONE, msg.line, now);
         if !self.nodes[n].presence.contains_key(msg.line) {
-            // A stale directory bit: the copy was silently dropped.
+            // A stale directory bit: the copy was silently dropped. Under
+            // an inexact format this also counts the invalidations sent
+            // to nodes that never held the line at all.
             self.useless_invalidations += 1;
         }
-        self.invalidate_local_copies(n, msg.line, None);
+        let dirty = self.invalidate_local_copies(n, msg.line, None);
         let home = self.map.home_of(msg.line);
-        let ack = self.msg(n, home, MsgKind::InvAck, msg.line, msg.requester);
+        let mut ack = self.msg(n, home, MsgKind::InvAck, msg.line, msg.requester);
+        if let Some(payload) = dirty {
+            // A sparse recall can invalidate the *dirty owner*: its ack
+            // doubles as the write-back, with acks_pending == 1 marking
+            // the payload valid (ordinary sharer acks carry no data).
+            ack.payload = payload;
+            ack.acks_pending = 1;
+        }
         self.send(run.sends[0], ack);
         run.end
     }
 
     fn handle_inv_ack(&mut self, n: usize, msg: Msg, now: Cycle) -> Cycle {
+        if msg.acks_pending != 0 {
+            // The ack of a recalled dirty owner carries the line's data
+            // (see `handle_inv_req`): apply it like a write-back.
+            self.memory.insert(msg.line, msg.payload);
+        }
         match self.nodes[n].mem.dir.inv_ack(msg.line) {
             None => {
-                self.run_spec(n, HandlerKind::HomeInvAckMore, Fanout::NONE, msg.line, now)
-                    .end
+                let run =
+                    self.run_spec(n, HandlerKind::HomeInvAckMore, Fanout::NONE, msg.line, now);
+                // A recall's last ack settles the line silently (no
+                // requester completion): replay anything buffered behind
+                // it. While acks remain, the line is busy and this drain
+                // is a no-op.
+                self.drain_pending(n, msg.line, run.end);
+                run.end
             }
             Some(done) => {
                 if done.requester.index() == n {

@@ -4,7 +4,7 @@ use ccn_bus::BusConfig;
 use ccn_controller::{ControllerArch, EnginePolicy};
 use ccn_mem::CacheGeometry;
 use ccn_net::NetConfig;
-use ccn_protocol::EngineKind;
+use ccn_protocol::{DirFormat, EngineKind};
 use ccn_sim::Cycle;
 
 /// Fixed latencies of the base system, in 5 ns CPU cycles (paper Table 1).
@@ -122,6 +122,10 @@ pub struct SystemConfig {
     pub replacement_hints: bool,
     /// Directory-cache entries (paper: 8 K).
     pub dir_cache_entries: u64,
+    /// Directory sharer representation (full-map, coarse vector, limited
+    /// pointers, or sparse). The paper's protocol is full-map; the
+    /// alternatives trade precision for storage at large node counts.
+    pub dir_format: DirFormat,
     /// Optional L2 capacity override in bytes (`None` = the paper's 1 MB).
     /// Verification workloads shrink the L2 so cache-pressure corner cases
     /// (evictions, write-back races) appear without millions of touches
@@ -149,6 +153,7 @@ impl SystemConfig {
             direct_data_path: true,
             replacement_hints: false,
             dir_cache_entries: 8192,
+            dir_format: DirFormat::FullMap,
             l2_bytes: None,
             lat: LatencyConfig::default(),
             bus: BusConfig::default(),
@@ -227,6 +232,12 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the directory sharer representation.
+    pub fn with_dir_format(mut self, format: DirFormat) -> Self {
+        self.dir_format = format;
+        self
+    }
+
     /// Total processors.
     pub fn nprocs(&self) -> usize {
         self.nodes * self.procs_per_node
@@ -255,8 +266,16 @@ impl SystemConfig {
     ///
     /// Returns a [`ConfigError`] naming the first violated constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.nodes == 0 || self.nodes > 64 {
-            return Err(ConfigError::new("node count must be in 1..=64"));
+        if self.nodes == 0 {
+            return Err(ConfigError::new("node count must be at least 1"));
+        }
+        if self.nodes > self.dir_format.capacity() as usize {
+            return Err(ConfigError::new(format!(
+                "{} nodes exceed the `{}` directory format's capacity of {} nodes",
+                self.nodes,
+                self.dir_format.label(),
+                self.dir_format.capacity()
+            )));
         }
         if self.procs_per_node == 0 || self.procs_per_node > 64 {
             return Err(ConfigError::new("processors per node must be in 1..=64"));
@@ -353,18 +372,20 @@ impl Architecture {
 /// A configuration-validation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError {
-    message: &'static str,
+    message: String,
 }
 
 impl ConfigError {
-    fn new(message: &'static str) -> Self {
-        ConfigError { message }
+    fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
     }
 }
 
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.message)
+        f.write_str(&self.message)
     }
 }
 
@@ -417,5 +438,28 @@ mod tests {
         let mut cfg = SystemConfig::base();
         cfg.page_bytes = 64;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn oversized_machines_name_the_format_and_its_limit() {
+        let err = SystemConfig::base()
+            .with_nodes(2000)
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("`full`"), "{err}");
+        assert!(err.contains("1024"), "{err}");
+        let err = SystemConfig::base()
+            .with_dir_format(DirFormat::Limited { ptrs: 4 })
+            .with_nodes(4096)
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("limited:4"), "{err}");
+        SystemConfig::base()
+            .with_nodes(1024)
+            .with_procs_per_node(1)
+            .validate()
+            .unwrap();
     }
 }

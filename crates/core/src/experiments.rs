@@ -31,6 +31,9 @@ pub struct Options {
     pub nodes: usize,
     /// Processors per node.
     pub procs_per_node: usize,
+    /// Directory sharer representation (the paper's protocol is full-map;
+    /// the scaling study sweeps the alternatives).
+    pub dir_format: ccn_protocol::DirFormat,
 }
 
 impl Options {
@@ -41,6 +44,7 @@ impl Options {
             scale: Scale::Scaled,
             nodes: 16,
             procs_per_node: 4,
+            dir_format: ccn_protocol::DirFormat::FullMap,
         }
     }
 
@@ -48,8 +52,7 @@ impl Options {
     pub fn paper() -> Self {
         Options {
             scale: Scale::Paper,
-            nodes: 16,
-            procs_per_node: 4,
+            ..Options::repro()
         }
     }
 
@@ -59,7 +62,14 @@ impl Options {
             scale: Scale::Tiny,
             nodes: 4,
             procs_per_node: 2,
+            dir_format: ccn_protocol::DirFormat::FullMap,
         }
+    }
+
+    /// The same options with a different directory format.
+    pub fn with_dir_format(mut self, format: ccn_protocol::DirFormat) -> Self {
+        self.dir_format = format;
+        self
     }
 }
 
@@ -98,7 +108,8 @@ pub fn config_for(
     let mut cfg = SystemConfig::base()
         .with_architecture(arch)
         .with_nodes(nodes)
-        .with_procs_per_node(ppn);
+        .with_procs_per_node(ppn)
+        .with_dir_format(opts.dir_format);
     if let Some(lb) = mods.line_bytes {
         cfg = cfg.with_line_bytes(lb);
     }

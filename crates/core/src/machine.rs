@@ -10,7 +10,7 @@ use ccn_mem::{
     AccessKind, AddressMap, LineAddr, LineState, LineTable, NodeId, PageMap, ProcId, SetAssocCache,
 };
 use ccn_net::Network;
-use ccn_protocol::directory::{DirRequestKind, DirState};
+use ccn_protocol::directory::{DirRequestKind, DirState, SharerBitmap, SharerSet};
 use ccn_protocol::{Msg, MsgClass};
 use ccn_sim::{Component, ComponentStats, Cycle, EventQueue, FxHashMap, FxHashSet, Port};
 use ccn_workloads::{Application, MachineShape, Op, SegmentProgram};
@@ -1658,46 +1658,152 @@ impl Machine {
 ///
 /// Snapshotting used to render each entry to a `String`; a full-machine
 /// snapshot allocated once per tracked line. This compact `Copy` form
-/// carries the same information, and [`Display`](std::fmt::Display)
-/// reproduces the historical rendering byte for byte — the conformance
-/// digest hashes that rendering, so committed digests never move.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// carries the same information, and the canonical rendering the digest
+/// hashes reproduces the historical text byte for byte for every state a
+/// two-word full-map machine could produce — so committed digests never
+/// move. [`Display`](std::fmt::Display) (what mismatch diffs print)
+/// additionally elides sharer sets reaching past node 127, keeping a
+/// 1024-node diff line readable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct DirSnap {
-    /// 0 = Uncached, 1 = Shared, 2 = Dirty (the directory tag order).
+    /// 0 = Uncached, 1 = Shared bitmap, 2 = Dirty, 3 = Shared pointers
+    /// (the directory tag order, extended).
     tag: u8,
-    /// Sharer presence words (Shared) or the owner id in word 0 (Dirty).
-    payload: [u64; 2],
+    /// Pointer-set length (tag 3 only).
+    len: u8,
+    /// Pointer-set overflow flag (tag 3 only).
+    overflow: bool,
     /// Whether a transaction was outstanding at snapshot time.
     busy: bool,
+    /// Sharer presence words (Shared bitmap), the owner id in word 0
+    /// (Dirty), or one pointer per word (Shared pointers).
+    payload: [u64; 16],
 }
 
 impl DirSnap {
     fn new(state: DirState, busy: bool) -> DirSnap {
-        let (tag, payload) = match state {
-            DirState::Uncached => (0, [0, 0]),
-            DirState::Shared(bm) => (1, bm.words()),
-            DirState::Dirty(owner) => (2, [u64::from(owner.0), 0]),
+        let mut snap = DirSnap {
+            tag: 0,
+            len: 0,
+            overflow: false,
+            busy,
+            payload: [0; 16],
         };
-        DirSnap { tag, payload, busy }
+        match state {
+            DirState::Uncached => {}
+            DirState::Shared(SharerSet::Map(bm)) => {
+                snap.tag = 1;
+                snap.payload = bm.words();
+            }
+            DirState::Shared(SharerSet::Ptrs {
+                ptrs,
+                len,
+                overflow,
+            }) => {
+                snap.tag = 3;
+                snap.len = len;
+                snap.overflow = overflow;
+                for (w, p) in snap.payload.iter_mut().zip(ptrs) {
+                    *w = u64::from(p.0);
+                }
+            }
+            DirState::Dirty(owner) => {
+                snap.tag = 2;
+                snap.payload[0] = u64::from(owner.0);
+            }
+        }
+        snap
     }
-}
 
-impl std::fmt::Display for DirSnap {
-    /// The exact text `format!("{state:?}")` produced when the snapshot
-    /// stored rendered strings (single-word sharer sets print the
-    /// historical `NodeBitmap` form; sets reaching past node 63 could
-    /// never be produced then, so their rendering is new by definition).
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match (self.tag, self.payload) {
-            (0, _) => write!(f, "Uncached")?,
-            (1, [low, 0]) => write!(f, "Shared(NodeBitmap({low}))")?,
-            (1, [low, high]) => write!(f, "Shared(SharerBitmap([{low}, {high}]))")?,
-            (_, [owner, _]) => write!(f, "Dirty(NodeId({owner}))")?,
+    /// Writes the full-fidelity rendering the conformance digest hashes.
+    /// States confined to the first two presence words keep the exact
+    /// text `format!("{state:?}")` produced when the snapshot stored
+    /// rendered strings; wider and pointer states could never be
+    /// produced then, so their rendering is new by definition.
+    fn render_canonical(&self, f: &mut impl std::fmt::Write) -> std::fmt::Result {
+        match self.tag {
+            0 => write!(f, "Uncached")?,
+            1 => {
+                let words = self.payload;
+                if words[2..] == [0; 14] {
+                    if words[1] == 0 {
+                        write!(f, "Shared(NodeBitmap({}))", words[0])?;
+                    } else {
+                        write!(f, "Shared(SharerBitmap([{}, {}]))", words[0], words[1])?;
+                    }
+                } else {
+                    write!(f, "Shared(WideBitmap[")?;
+                    for (i, w) in words.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{w}")?;
+                    }
+                    write!(f, "])")?;
+                }
+            }
+            3 => {
+                write!(f, "Shared(Ptrs{{ovf={} [", u8::from(self.overflow))?;
+                for (i, p) in self.payload[..usize::from(self.len)].iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "]}})")?;
+            }
+            _ => write!(f, "Dirty(NodeId({}))", self.payload[0])?,
         }
         if self.busy {
             write!(f, " (busy)")?;
         }
         Ok(())
+    }
+}
+
+impl std::fmt::Display for DirSnap {
+    /// Human-facing rendering for snapshot mismatch diffs: identical to
+    /// the canonical form, except that bitmap sharer sets reaching past
+    /// node 127 print as a member count plus the first three and last two
+    /// members instead of sixteen raw words.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.tag == 1 && self.payload[2..] != [0; 14] {
+            let bm = SharerBitmap::from_words(self.payload);
+            let count = bm.count();
+            write!(f, "Shared({count} sharers [")?;
+            let mut tail = [0u16; 2];
+            for (shown, n) in bm.iter().enumerate() {
+                if shown < 3 {
+                    if shown > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", n.0)?;
+                }
+                tail[0] = tail[1];
+                tail[1] = n.0;
+            }
+            match count {
+                0..=3 => {}
+                4 => write!(f, ", {}", tail[1])?,
+                5 => write!(f, ", {}, {}", tail[0], tail[1])?,
+                _ => write!(f, ", ..., {}, {}", tail[0], tail[1])?,
+            }
+            write!(f, "])")?;
+            if self.busy {
+                write!(f, " (busy)")?;
+            }
+            return Ok(());
+        }
+        self.render_canonical(f)
+    }
+}
+
+impl std::fmt::Debug for DirSnap {
+    /// Mismatch diffs print snapshot tuples with `{:?}`; the derived form
+    /// would dump sixteen payload words per entry, so Debug shares the
+    /// elided Display rendering.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
     }
 }
 
@@ -1750,8 +1856,11 @@ impl FunctionalSnapshot {
         for (l, n, s) in &self.directory {
             h.eat(&l.to_le_bytes());
             h.eat(&n.to_le_bytes());
-            use std::fmt::Write as _;
-            write!(h, "{s}").expect("hashing sink never fails");
+            // The digest hashes the *canonical* rendering, not the elided
+            // Display form — elision is for human-facing diffs only and
+            // must never make two different sharer sets digest-equal.
+            s.render_canonical(&mut h)
+                .expect("hashing sink never fails");
         }
         h.0
     }

@@ -96,7 +96,7 @@ impl Node {
         // processor in the system can have at most one request buffered
         // behind this node's busy lines, and only local processors can
         // wait on this node's MSHRs.
-        let mut dir = Directory::with_capacity(node_id, dir_lines);
+        let mut dir = Directory::with_format(node_id, dir_lines, cfg.dir_format, cfg.nodes as u16);
         dir.reserve_pending(cfg.nprocs());
         Node {
             bus: SmpBus::new(cfg.bus),

@@ -32,17 +32,22 @@ pub(crate) enum CcRequest {
     Writeback { line: LineAddr, payload: u64 },
 }
 
-/// Upper bound on `SendMsg` steps in one handler: the 63-sharer
+/// Inline capacity for `SendMsg` completion times: the 63-sharer
 /// invalidation fan-out of a full 64-node machine plus the data response,
-/// with headroom.
+/// with headroom. Larger machines (coarse/limited formats reach 1024
+/// nodes) spill to the heap — a cold path that never runs in the
+/// zero-alloc measured-phase configurations.
 const SEND_BUF_CAPACITY: usize = 66;
 
-/// Completion times of a handler's `SendMsg` steps, stored inline so a
-/// handler invocation never allocates. Dereferences to a `[Cycle]` slice.
+/// Completion times of a handler's `SendMsg` steps. Stored inline so a
+/// handler invocation on machines up to 64 nodes never allocates; a
+/// wider fan-out moves every recorded time into a spill vector and grows
+/// from there. Dereferences to a `[Cycle]` slice either way.
 #[derive(Debug, Clone)]
 pub(crate) struct SendTimes {
     len: usize,
     times: [Cycle; SEND_BUF_CAPACITY],
+    spill: Vec<Cycle>,
 }
 
 impl Default for SendTimes {
@@ -50,6 +55,7 @@ impl Default for SendTimes {
         SendTimes {
             len: 0,
             times: [0; SEND_BUF_CAPACITY],
+            spill: Vec::new(),
         }
     }
 }
@@ -57,9 +63,16 @@ impl Default for SendTimes {
 impl SendTimes {
     #[inline]
     fn push(&mut self, t: Cycle) {
-        assert!(self.len < SEND_BUF_CAPACITY, "send-time buffer overflow");
-        self.times[self.len] = t;
-        self.len += 1;
+        if !self.spill.is_empty() {
+            self.spill.push(t);
+        } else if self.len < SEND_BUF_CAPACITY {
+            self.times[self.len] = t;
+            self.len += 1;
+        } else {
+            self.spill.reserve(2 * SEND_BUF_CAPACITY);
+            self.spill.extend_from_slice(&self.times[..self.len]);
+            self.spill.push(t);
+        }
     }
 }
 
@@ -67,7 +80,11 @@ impl std::ops::Deref for SendTimes {
     type Target = [Cycle];
 
     fn deref(&self) -> &[Cycle] {
-        &self.times[..self.len]
+        if self.spill.is_empty() {
+            &self.times[..self.len]
+        } else {
+            &self.spill
+        }
     }
 }
 
@@ -229,6 +246,16 @@ mod tests {
             cfg.lat.dir_dram_latency,
             "first access misses the directory cache"
         );
+    }
+
+    #[test]
+    fn send_times_spill_beyond_the_inline_buffer() {
+        let mut sends = SendTimes::default();
+        for t in 0..(SEND_BUF_CAPACITY as Cycle + 1000) {
+            sends.push(t);
+        }
+        assert_eq!(sends.len(), SEND_BUF_CAPACITY + 1000);
+        assert!(sends.iter().enumerate().all(|(i, t)| *t == i as Cycle));
     }
 
     #[test]

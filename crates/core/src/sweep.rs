@@ -86,6 +86,12 @@ impl RunKey {
         if let Some(p) = self.mods.procs_per_node {
             id.push_str(&format!("+ppn{p}"));
         }
+        // The directory format joins the id only when it deviates from the
+        // paper's full-map protocol, so every previously recorded
+        // checkpoint and golden id keeps its historical spelling.
+        if opts.dir_format != ccn_protocol::DirFormat::FullMap {
+            id.push_str(&format!("+fmt-{}", opts.dir_format.slug()));
+        }
         id
     }
 }

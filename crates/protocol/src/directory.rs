@@ -1,9 +1,11 @@
 //! Home-node directory state machine.
 //!
 //! Each node's coherence controller owns the directory for the lines whose
-//! home is that node. The directory is full-map (one presence bit per node)
-//! and write-back/invalidation-based. Remote copies only are tracked here;
-//! copies in the home node's *own* processor caches are visible to the home
+//! home is that node. The directory is write-back/invalidation-based; *how*
+//! sharers are recorded per line is pluggable (full-map presence bits,
+//! coarse bit vectors, limited pointers, or a sparse bounded-entry table —
+//! see [`crate::sharers`]). Remote copies only are tracked here; copies in
+//! the home node's *own* processor caches are visible to the home
 //! controller through its bus-side snooping state and never need directory
 //! bits.
 //!
@@ -15,153 +17,17 @@
 use ccn_mem::{LineAddr, LineTable, NodeId};
 use ccn_sim::pool::{ListPool, ListRef};
 
-/// Number of presence words in a [`SharerBitmap`].
-const SHARER_WORDS: usize = 2;
-
-/// A set of sharer nodes, stored as a fixed array of 64-bit presence
-/// words (capacity 128 nodes; paper systems use 8–64). The set is `Copy`
-/// and passed by value through directory actions and invalidation
-/// payloads, so collecting or handing out a sharer list never allocates.
-///
-/// Membership walks are word-parallel: `count` sums `count_ones` per
-/// word and [`iter`](Self::iter) strips set bits with `trailing_zeros`
-/// instead of testing all 128 positions bit by bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
-pub struct SharerBitmap([u64; SHARER_WORDS]);
-
-impl SharerBitmap {
-    /// The number of nodes a bitmap can track.
-    pub const CAPACITY: u16 = (SHARER_WORDS * 64) as u16;
-
-    /// The empty set.
-    pub const EMPTY: SharerBitmap = SharerBitmap([0; SHARER_WORDS]);
-
-    /// A set containing only `node`.
-    #[inline]
-    pub fn just(node: NodeId) -> Self {
-        let mut bm = SharerBitmap::EMPTY;
-        bm.insert(node);
-        bm
-    }
-
-    /// Adds `node` to the set.
-    #[inline]
-    pub fn insert(&mut self, node: NodeId) {
-        assert!(node.0 < Self::CAPACITY, "node id beyond bitmap capacity");
-        // The mask keeps the word index provably in range so the access
-        // compiles without a bounds check.
-        self.0[(node.0 >> 6) as usize & (SHARER_WORDS - 1)] |= 1 << (node.0 % 64);
-    }
-
-    /// Removes `node` from the set (no-op for out-of-range ids).
-    #[inline]
-    pub fn remove(&mut self, node: NodeId) {
-        if node.0 < Self::CAPACITY {
-            self.0[(node.0 >> 6) as usize & (SHARER_WORDS - 1)] &= !(1 << (node.0 % 64));
-        }
-    }
-
-    /// Whether `node` is in the set.
-    #[inline]
-    pub fn contains(&self, node: NodeId) -> bool {
-        node.0 < Self::CAPACITY
-            && self.0[(node.0 >> 6) as usize & (SHARER_WORDS - 1)] & (1 << (node.0 % 64)) != 0
-    }
-
-    /// Number of nodes in the set.
-    #[inline]
-    pub fn count(&self) -> u32 {
-        self.0.iter().map(|w| w.count_ones()).sum()
-    }
-
-    /// Whether the set is empty.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.0 == [0; SHARER_WORDS]
-    }
-
-    /// Iterates over the members in ascending order, one `trailing_zeros`
-    /// per member rather than one test per possible node id.
-    #[inline]
-    pub fn iter(&self) -> SharerIter {
-        SharerIter {
-            words: self.0,
-            word: 0,
-        }
-    }
-
-    /// Removes and returns the members in ascending order, leaving the
-    /// set empty.
-    #[inline]
-    pub fn drain(&mut self) -> SharerIter {
-        std::mem::take(self).iter()
-    }
-
-    /// Returns this set with `node` removed.
-    #[inline]
-    pub fn without(mut self, node: NodeId) -> Self {
-        self.remove(node);
-        self
-    }
-
-    /// The raw presence words, lowest nodes first.
-    #[inline]
-    pub fn words(&self) -> [u64; SHARER_WORDS] {
-        self.0
-    }
-
-    /// Reference implementation of [`iter`](Self::iter): test every
-    /// possible node id, one bit at a time. Kept as the oracle the
-    /// word-parallel iterator is differentially tested against.
-    #[cfg(test)]
-    fn iter_per_bit(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..Self::CAPACITY).filter_map(move |i| self.contains(NodeId(i)).then_some(NodeId(i)))
-    }
-}
-
-/// Word-parallel iterator over a [`SharerBitmap`]'s members.
-#[derive(Debug, Clone)]
-pub struct SharerIter {
-    words: [u64; SHARER_WORDS],
-    word: usize,
-}
-
-impl Iterator for SharerIter {
-    type Item = NodeId;
-
-    #[inline]
-    fn next(&mut self) -> Option<NodeId> {
-        while self.word < SHARER_WORDS {
-            let w = self.words[self.word];
-            if w != 0 {
-                let bit = w.trailing_zeros() as u16;
-                // Clear the lowest set bit.
-                self.words[self.word] = w & (w - 1);
-                return Some(NodeId(self.word as u16 * 64 + bit));
-            }
-            self.word += 1;
-        }
-        None
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        let left: usize = self.words[self.word..]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum();
-        (left, Some(left))
-    }
-}
-
-impl ExactSizeIterator for SharerIter {}
+pub use crate::sharers::{DirFormat, SharerBitmap, SharerIter, SharerSet};
 
 /// Stable directory state of a line (remote copies only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirState {
     /// No remote copies.
     Uncached,
-    /// Remote nodes hold read-only copies; memory is up to date.
-    Shared(SharerBitmap),
+    /// Remote nodes hold read-only copies; memory is up to date. The
+    /// record is format-dependent and may over-approximate the true
+    /// sharers (see [`SharerSet`]).
+    Shared(SharerSet),
     /// One remote node holds the only (possibly dirty) copy.
     Dirty(NodeId),
 }
@@ -191,20 +57,26 @@ pub struct DirRequest {
 /// What the home controller must do for a request the directory accepted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirAction {
-    /// Supply the line from home memory. `invalidate` lists the *remote*
-    /// sharers that must be invalidated first (acks collected at home);
-    /// `exclusive` grants ownership.
+    /// Supply the line from home memory. `invalidate`, when present,
+    /// lists the *remote* nodes that must be invalidated first (acks
+    /// collected at home); `exclusive` grants ownership. Under an inexact
+    /// format the list may include nodes that hold no copy — they ack
+    /// anyway (useless invalidations). `None` means no fan-out at all;
+    /// the option keeps the common no-invalidation outcome a few bytes
+    /// wide instead of a zero-filled presence bitmap on the hottest
+    /// directory edge.
     Supply {
         /// Grant an exclusive (writable) copy.
         exclusive: bool,
-        /// Remote sharers to invalidate.
-        invalidate: SharerBitmap,
+        /// Remote nodes to invalidate, if any.
+        invalidate: Option<SharerBitmap>,
     },
-    /// Grant exclusive permission without data (requester already holds the
-    /// line Shared). `invalidate` lists the other remote sharers.
+    /// Grant exclusive permission without data (requester provably holds
+    /// the line Shared). `invalidate`, when present, lists the other
+    /// remote sharers.
     GrantUpgrade {
-        /// Remote sharers to invalidate.
-        invalidate: SharerBitmap,
+        /// Remote sharers to invalidate, if any.
+        invalidate: Option<SharerBitmap>,
     },
     /// Forward the request to the dirty remote owner.
     Forward {
@@ -238,7 +110,10 @@ pub struct InvComplete {
 /// Outcome of a write-back arriving at the home.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WritebackOutcome {
-    /// Normal eviction write-back: directory now Uncached.
+    /// Normal eviction write-back: directory now Uncached. Also returned
+    /// when a write-back crosses a sparse-directory recall's invalidation
+    /// in flight — memory is updated and the recall's ack still settles
+    /// the line.
     Applied,
     /// The write-back raced with a forward to the (gone) owner; memory is
     /// updated and the directory waits for the owner's `FwdMiss`.
@@ -250,6 +125,19 @@ pub enum WritebackOutcome {
         /// The request that was waiting for this write-back.
         request: DirRequest,
     },
+}
+
+/// An invalidation fan-out the machine must send on the directory's
+/// behalf: a sparse-directory *recall* driving `line` out of every cache
+/// so its bounded entry slot can be reused (evict-invalidate). Acks
+/// return to the home like ordinary invalidation acks; a recalled dirty
+/// owner's ack carries the line's data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recall {
+    /// The line being recalled.
+    pub line: LineAddr,
+    /// The nodes whose copies must be invalidated.
+    pub targets: SharerBitmap,
 }
 
 #[derive(Debug, Clone)]
@@ -273,6 +161,10 @@ enum Busy {
         requester: NodeId,
         kind: DirRequestKind,
     },
+    /// A sparse-directory recall is invalidating every copy of the line;
+    /// waiting for the acks. No requester is served on completion — the
+    /// line simply becomes Uncached and buffered requests replay.
+    Recall { remaining: u16 },
 }
 
 #[derive(Debug, Clone)]
@@ -299,7 +191,9 @@ impl Entry {
 ///
 /// The directory is a pure state machine: it decides *what* must happen and
 /// tracks transaction state; the machine model performs the timed actions
-/// (memory reads, network sends) it prescribes.
+/// (memory reads, network sends) it prescribes. The sharer representation
+/// is selected by a [`DirFormat`] at construction; the default is the
+/// paper's full-map bit vector.
 ///
 /// # Example
 ///
@@ -312,11 +206,18 @@ impl Entry {
 /// // A remote node reads: supplied from memory, becomes a sharer.
 /// let outcome = dir.request(line, DirRequest { kind: DirRequestKind::Read, requester: NodeId(1) });
 /// assert!(matches!(outcome, DirOutcome::Act(DirAction::Supply { exclusive: false, .. })));
-/// assert_eq!(dir.state_of(line), DirState::Shared(SharerBitmap::just(NodeId(1))));
+/// assert_eq!(
+///     dir.state_of(line),
+///     DirState::Shared(SharerSet::Map(SharerBitmap::just(NodeId(1))))
+/// );
 /// ```
 #[derive(Debug, Clone)]
 pub struct Directory {
     home: NodeId,
+    /// How sharers are recorded and invalidation targets derived.
+    format: DirFormat,
+    /// Machine size, bounding coarse regions and broadcast fan-outs.
+    nodes: u16,
     /// Per-line entries in a flat open-addressed table: directory lookup
     /// is the hot edge of every remote miss, so it must not hash-and-chase
     /// through a general-purpose map.
@@ -325,22 +226,45 @@ pub struct Directory {
     pending_pool: ListPool<DirRequest>,
     /// Requests buffered because the line was busy (for statistics).
     buffered: u64,
+    /// Sparse format only: which line owns each bounded stable-entry slot.
+    /// Empty for the dense formats, which track every line.
+    slots: Vec<Option<LineAddr>>,
+    /// Recall fan-outs queued for the machine to send (sparse only).
+    recalls: Vec<Recall>,
+    /// Lines recalled under sparse slot pressure (for statistics).
+    recalled: u64,
 }
 
 impl Directory {
-    /// Creates the directory for home node `home`.
+    /// Creates a full-map directory for home node `home`.
     pub fn new(home: NodeId) -> Self {
         Self::with_capacity(home, 0)
     }
 
-    /// Creates the directory pre-sized for about `lines` tracked lines, so
-    /// the steady-state working set never pays a rehash.
+    /// Creates a full-map directory pre-sized for about `lines` tracked
+    /// lines, so the steady-state working set never pays a rehash.
     pub fn with_capacity(home: NodeId, lines: usize) -> Self {
+        Self::with_format(home, lines, DirFormat::FullMap, SharerBitmap::CAPACITY)
+    }
+
+    /// Creates a directory with an explicit sharer-representation format
+    /// on a `nodes`-node machine, pre-sized for about `lines` tracked
+    /// lines.
+    pub fn with_format(home: NodeId, lines: usize, format: DirFormat, nodes: u16) -> Self {
+        let slots = match format {
+            DirFormat::Sparse { slots } => vec![None; slots as usize],
+            _ => Vec::new(),
+        };
         Directory {
             home,
+            format,
+            nodes,
             entries: LineTable::with_capacity(lines),
             pending_pool: ListPool::default(),
             buffered: 0,
+            slots,
+            recalls: Vec::new(),
+            recalled: 0,
         }
     }
 
@@ -354,6 +278,11 @@ impl Directory {
     /// The home node this directory belongs to.
     pub fn home(&self) -> NodeId {
         self.home
+    }
+
+    /// The sharer-representation format this directory runs.
+    pub fn format(&self) -> DirFormat {
+        self.format
     }
 
     /// Stable state of `line` (`Uncached` if never touched).
@@ -373,6 +302,11 @@ impl Directory {
         self.buffered
     }
 
+    /// Number of lines recalled because of sparse slot pressure.
+    pub fn recalled_lines(&self) -> u64 {
+        self.recalled
+    }
+
     fn entry(&mut self, line: LineAddr) -> &mut Entry {
         self.entries.get_or_insert_with(line, Entry::new)
     }
@@ -380,6 +314,8 @@ impl Directory {
     /// Presents a request. See [`DirOutcome`].
     pub fn request(&mut self, line: LineAddr, req: DirRequest) -> DirOutcome {
         let home = self.home;
+        let format = self.format;
+        let nodes = self.nodes;
         let entry = self.entries.get_or_insert_with(line, Entry::new);
         if entry.busy.is_some() {
             self.pending_pool.push_back(&mut entry.pending, req);
@@ -388,26 +324,26 @@ impl Directory {
         }
         let requester_is_home = req.requester == home;
         // The arms below mutate the entry's state in place through the
-        // `&mut` scrutinee: a `DirState` carries a full sharer bitmap, and
+        // `&mut` scrutinee: a `DirState` carries a full sharer record, and
         // copying it out and back through a by-value match costs more than
         // the protocol work itself on this, the hottest directory edge.
-        match (req.kind, &mut entry.state) {
+        let outcome = match (req.kind, &mut entry.state) {
             (DirRequestKind::Read, state @ DirState::Uncached) => {
                 if !requester_is_home {
-                    *state = DirState::Shared(SharerBitmap::just(req.requester));
+                    *state = DirState::Shared(format.just(req.requester, nodes, home));
                 }
                 DirOutcome::Act(DirAction::Supply {
                     exclusive: false,
-                    invalidate: SharerBitmap::EMPTY,
+                    invalidate: None,
                 })
             }
-            (DirRequestKind::Read, DirState::Shared(bm)) => {
+            (DirRequestKind::Read, DirState::Shared(set)) => {
                 if !requester_is_home {
-                    bm.insert(req.requester);
+                    format.note_sharer(set, req.requester, nodes, home);
                 }
                 DirOutcome::Act(DirAction::Supply {
                     exclusive: false,
-                    invalidate: SharerBitmap::EMPTY,
+                    invalidate: None,
                 })
             }
             (DirRequestKind::Read, DirState::Dirty(owner)) => {
@@ -434,17 +370,21 @@ impl Directory {
                 }
                 DirOutcome::Act(DirAction::Supply {
                     exclusive: true,
-                    invalidate: SharerBitmap::EMPTY,
+                    invalidate: None,
                 })
             }
             (
                 kind @ (DirRequestKind::ReadExcl | DirRequestKind::Upgrade),
                 state @ DirState::Shared(_),
             ) => {
-                let DirState::Shared(bm) = *state else {
+                let DirState::Shared(set) = &*state else {
                     unreachable!()
                 };
-                let invalidate = bm.without(req.requester);
+                // The record may over-approximate (coarse regions,
+                // pointer-overflow broadcast): expansion yields every node
+                // that *might* hold a copy, and each one is invalidated.
+                let invalidate = set.expand(nodes, home).without(req.requester);
+                let proves = format.proves_sharer(set, req.requester);
                 let acks = invalidate.count() as u16;
                 *state = if requester_is_home {
                     DirState::Uncached
@@ -458,10 +398,13 @@ impl Directory {
                         kind,
                     });
                 }
-                if kind == DirRequestKind::Upgrade && bm.contains(req.requester) {
+                let invalidate = (acks > 0).then_some(invalidate);
+                if kind == DirRequestKind::Upgrade && proves {
                     DirOutcome::Act(DirAction::GrantUpgrade { invalidate })
                 } else {
-                    // An upgrade whose copy was since invalidated needs data.
+                    // An upgrade whose copy was since invalidated — or
+                    // whose membership the format cannot prove still
+                    // exists — needs data with it.
                     DirOutcome::Act(DirAction::Supply {
                         exclusive: true,
                         invalidate,
@@ -489,7 +432,21 @@ impl Directory {
                     DirOutcome::Act(DirAction::Forward { owner })
                 }
             }
+        };
+        // A sparse directory bounds its *stable* entries: the moment a
+        // line becomes tracked it claims its slot, recalling (or queuing
+        // the recall of) the previous owner. The request itself always
+        // proceeds — slot pressure costs recalls, never correctness.
+        if !self.slots.is_empty() {
+            let tracked = self
+                .entries
+                .get(line)
+                .is_some_and(|e| e.state != DirState::Uncached || e.busy.is_some());
+            if tracked {
+                self.claim_slot(line);
+            }
         }
+        outcome
     }
 
     /// A dirty-eviction write-back from `from` arrived at home.
@@ -529,6 +486,13 @@ impl Directory {
                 entry.busy = None;
                 WritebackOutcome::ReleasesWaiter { request }
             }
+            Some(Busy::Recall { .. }) => {
+                // The owner's eviction write-back crossed the recall's
+                // invalidation in flight: memory is updated by the caller;
+                // the owner's (now data-less) ack still completes the
+                // recall. The state is already Uncached.
+                WritebackOutcome::Applied
+            }
             Some(Busy::AcksPending { .. }) => {
                 panic!("write-back for {line} while collecting invalidation acks")
             }
@@ -543,6 +507,8 @@ impl Directory {
     /// Panics if no matching forward is outstanding.
     pub fn sharing_writeback(&mut self, line: LineAddr, from: NodeId) {
         let home = self.home;
+        let format = self.format;
+        let nodes = self.nodes;
         let entry = self.entry(line);
         match entry.busy.take() {
             Some(Busy::OwnerTransfer {
@@ -552,11 +518,11 @@ impl Directory {
                 ..
             }) => {
                 assert_eq!(owner, from, "sharing write-back from unexpected node");
-                let mut bm = SharerBitmap::just(owner);
+                let mut set = format.just(owner, nodes, home);
                 if requester != home {
-                    bm.insert(requester);
+                    format.note_sharer(&mut set, requester, nodes, home);
                 }
-                entry.state = DirState::Shared(bm);
+                entry.state = DirState::Shared(set);
             }
             other => panic!("unexpected sharing write-back for {line}: busy={other:?}"),
         }
@@ -600,6 +566,8 @@ impl Directory {
     /// outstanding.
     pub fn fwd_miss(&mut self, line: LineAddr, from: NodeId) -> DirRequest {
         let home = self.home;
+        let format = self.format;
+        let nodes = self.nodes;
         let entry = self.entry(line);
         match entry.busy.take() {
             Some(Busy::OwnerTransfer {
@@ -615,7 +583,7 @@ impl Directory {
                 );
                 entry.state = match kind {
                     DirRequestKind::Read if requester != home => {
-                        DirState::Shared(SharerBitmap::just(requester))
+                        DirState::Shared(format.just(requester, nodes, home))
                     }
                     DirRequestKind::Read => DirState::Uncached,
                     _ if requester != home => DirState::Dirty(requester),
@@ -628,7 +596,9 @@ impl Directory {
     }
 
     /// An invalidation ack arrived. Returns the completion when it was the
-    /// last expected ack.
+    /// last ack of a request's invalidation fan-out; recall acks complete
+    /// silently (no requester is waiting — the line just settles and the
+    /// caller's pending drain replays anything buffered).
     ///
     /// # Panics
     ///
@@ -654,6 +624,15 @@ impl Directory {
                     None
                 }
             }
+            Some(Busy::Recall { remaining }) => {
+                assert!(*remaining > 0);
+                *remaining -= 1;
+                if *remaining == 0 {
+                    entry.state = DirState::Uncached;
+                    entry.busy = None;
+                }
+                None
+            }
             other => panic!("unexpected invalidation ack for {line}: busy={other:?}"),
         }
     }
@@ -662,27 +641,35 @@ impl Directory {
     pub fn acks_outstanding(&self, line: LineAddr) -> u16 {
         match self.entries.get(line).and_then(|e| e.busy.as_ref()) {
             Some(Busy::AcksPending { remaining, .. }) => *remaining,
+            Some(Busy::Recall { remaining }) => *remaining,
             _ => 0,
         }
     }
 
     /// Advisory removal of a sharer (replacement hint). Ignored unless the
     /// line is idle and `node` really is a sharer — hints can race with
-    /// anything and must never affect correctness.
+    /// anything and must never affect correctness. The coarse format
+    /// ignores hints entirely: clearing a region bit could drop a
+    /// *different* node's copy from the record, which would be unsound.
     pub fn remove_sharer_hint(&mut self, line: LineAddr, node: NodeId) {
+        if matches!(self.format, DirFormat::Coarse { .. }) {
+            return;
+        }
         let Some(entry) = self.entries.get_mut(line) else {
             return;
         };
         if entry.busy.is_some() {
             return;
         }
-        if let DirState::Shared(mut bm) = entry.state {
-            if bm.contains(node) {
-                bm.remove(node);
-                entry.state = if bm.is_empty() {
+        if let DirState::Shared(mut set) = entry.state {
+            if set.contains(node) {
+                // For an overflowed pointer set this removal is a no-op by
+                // design: the record stays a superset of the true sharers.
+                set.remove(node);
+                entry.state = if set.is_empty() {
                     DirState::Uncached
                 } else {
-                    DirState::Shared(bm)
+                    DirState::Shared(set)
                 };
             }
         }
@@ -690,13 +677,100 @@ impl Directory {
 
     /// If `line` is idle and has buffered requests, removes and returns the
     /// oldest one so the machine can replay it.
+    ///
+    /// For a sparse directory this is also the settle hook: a line that
+    /// went idle without owning its slot (it was overcommitted while a
+    /// transaction was in flight) starts its recall here, *before* any
+    /// buffered request replays.
     pub fn pop_pending_if_idle(&mut self, line: LineAddr) -> Option<DirRequest> {
+        if !self.slots.is_empty() {
+            self.note_settled(line);
+        }
         let entry = self.entries.get_mut(line)?;
         if entry.busy.is_none() {
             self.pending_pool.pop_front(&mut entry.pending)
         } else {
             None
         }
+    }
+
+    /// Removes and returns one queued recall fan-out, oldest first. The
+    /// machine must drain this after [`request`](Self::request) and after
+    /// every pending-replay drain, sending an invalidation to each target;
+    /// the acks complete the recall through [`inv_ack`](Self::inv_ack).
+    pub fn take_recall(&mut self) -> Option<Recall> {
+        if self.recalls.is_empty() {
+            None
+        } else {
+            Some(self.recalls.remove(0))
+        }
+    }
+
+    /// Claims `line`'s sparse slot, displacing (and recalling) the
+    /// previous owner.
+    fn claim_slot(&mut self, line: LineAddr) {
+        let idx = (line.0 as usize) % self.slots.len();
+        match self.slots[idx] {
+            Some(l) if l == line => {}
+            None => self.slots[idx] = Some(line),
+            Some(victim) => {
+                self.slots[idx] = Some(line);
+                // An idle victim is recalled immediately; a busy one is
+                // overcommitted and recalled when it settles (the
+                // `note_settled` hook in `pop_pending_if_idle`).
+                self.recall_if_idle(victim);
+            }
+        }
+    }
+
+    /// Whether `line` owns its sparse slot.
+    fn owns_slot(&self, line: LineAddr) -> bool {
+        self.slots[(line.0 as usize) % self.slots.len()] == Some(line)
+    }
+
+    /// Sparse settle hook: release the slot of a line that went Uncached,
+    /// and recall a line that settled tracked without owning a slot.
+    fn note_settled(&mut self, line: LineAddr) {
+        let Some(entry) = self.entries.get(line) else {
+            return;
+        };
+        if entry.busy.is_some() {
+            return;
+        }
+        if entry.state == DirState::Uncached {
+            let idx = (line.0 as usize) % self.slots.len();
+            if self.slots[idx] == Some(line) {
+                self.slots[idx] = None;
+            }
+        } else if !self.owns_slot(line) {
+            self.recall_if_idle(line);
+        }
+    }
+
+    /// Starts the recall of an idle tracked line: every recorded copy is
+    /// invalidated and the entry stays busy until the acks return.
+    fn recall_if_idle(&mut self, line: LineAddr) {
+        let home = self.home;
+        let nodes = self.nodes;
+        let Some(entry) = self.entries.get_mut(line) else {
+            return;
+        };
+        if entry.busy.is_some() {
+            return;
+        }
+        let targets = match entry.state {
+            DirState::Uncached => return,
+            DirState::Shared(set) => set.expand(nodes, home),
+            DirState::Dirty(owner) => SharerBitmap::just(owner),
+        };
+        let acks = targets.count() as u16;
+        entry.state = DirState::Uncached;
+        if acks == 0 {
+            return;
+        }
+        entry.busy = Some(Busy::Recall { remaining: acks });
+        self.recalls.push(Recall { line, targets });
+        self.recalled += 1;
     }
 
     /// Iterates over all known lines and their stable states (for the
@@ -718,7 +792,9 @@ impl Directory {
     /// elided. Statistics counters are excluded. This is the hashing
     /// primitive the `ccn-verify` model checker uses to deduplicate
     /// explored states, so the encoding of a given state must never depend
-    /// on insertion history.
+    /// on insertion history. Every state a ≤128-node full-map machine can
+    /// produce keeps its historical encoding byte-for-byte; only the new
+    /// wide-map, pointer, and recall states use the new tags.
     pub fn encode_canonical(&self, out: &mut Vec<u8>) {
         fn push_node(out: &mut Vec<u8>, n: NodeId) {
             out.extend_from_slice(&n.0.to_le_bytes());
@@ -749,18 +825,37 @@ impl Directory {
             out.extend_from_slice(&line.0.to_le_bytes());
             match e.state {
                 DirState::Uncached => out.push(0),
-                DirState::Shared(bm) => {
-                    let [low, high] = bm.words();
-                    if high == 0 {
-                        // The historical single-word form: every encoding
-                        // produced before the bitmap grew past 64 nodes
-                        // stays byte-identical.
-                        out.push(1);
-                        out.extend_from_slice(&low.to_le_bytes());
+                DirState::Shared(SharerSet::Map(bm)) => {
+                    let words = bm.words();
+                    if words[2..].iter().all(|w| *w == 0) {
+                        if words[1] == 0 {
+                            // The historical single-word form: encodings
+                            // produced before the bitmap grew past two
+                            // words stay byte-identical.
+                            out.push(1);
+                            out.extend_from_slice(&words[0].to_le_bytes());
+                        } else {
+                            out.push(3);
+                            out.extend_from_slice(&words[0].to_le_bytes());
+                            out.extend_from_slice(&words[1].to_le_bytes());
+                        }
                     } else {
-                        out.push(3);
-                        out.extend_from_slice(&low.to_le_bytes());
-                        out.extend_from_slice(&high.to_le_bytes());
+                        out.push(4);
+                        for w in words {
+                            out.extend_from_slice(&w.to_le_bytes());
+                        }
+                    }
+                }
+                DirState::Shared(SharerSet::Ptrs {
+                    ptrs,
+                    len,
+                    overflow,
+                }) => {
+                    out.push(5);
+                    out.push(len);
+                    out.push(overflow as u8);
+                    for p in &ptrs[..usize::from(len)] {
+                        push_node(out, *p);
                     }
                 }
                 DirState::Dirty(owner) => {
@@ -812,10 +907,37 @@ impl Directory {
                         },
                     );
                 }
+                Some(Busy::Recall { remaining }) => {
+                    out.push(4);
+                    out.extend_from_slice(&remaining.to_le_bytes());
+                }
             }
             out.extend_from_slice(&(e.pending.len() as u32).to_le_bytes());
             for req in self.pending_pool.iter(&e.pending) {
                 push_req(out, req);
+            }
+        }
+        // Sparse directories: slot occupancy and not-yet-dispatched recalls
+        // decide future evict-invalidates, so they are behaviorally
+        // significant and join the encoding. Dense formats have no slots
+        // and keep their historical encoding byte-for-byte.
+        if !self.slots.is_empty() {
+            out.extend_from_slice(&(self.slots.len() as u32).to_le_bytes());
+            for slot in &self.slots {
+                match slot {
+                    None => out.push(0),
+                    Some(l) => {
+                        out.push(1);
+                        out.extend_from_slice(&l.0.to_le_bytes());
+                    }
+                }
+            }
+            out.extend_from_slice(&(self.recalls.len() as u32).to_le_bytes());
+            for rc in &self.recalls {
+                out.extend_from_slice(&rc.line.0.to_le_bytes());
+                for w in rc.targets.words() {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
             }
         }
     }
@@ -850,17 +972,13 @@ mod tests {
         }
     }
 
-    #[test]
-    fn bitmap_basics() {
+    /// A full-map Shared state over exactly `members`.
+    fn shared(members: &[NodeId]) -> DirState {
         let mut bm = SharerBitmap::EMPTY;
-        assert!(bm.is_empty());
-        bm.insert(NodeId(3));
-        bm.insert(NodeId(5));
-        assert!(bm.contains(NodeId(3)));
-        assert!(!bm.contains(NodeId(4)));
-        assert_eq!(bm.count(), 2);
-        assert_eq!(bm.iter().collect::<Vec<_>>(), vec![NodeId(3), NodeId(5)]);
-        assert_eq!(bm.without(NodeId(3)), SharerBitmap::just(NodeId(5)));
+        for m in members {
+            bm.insert(*m);
+        }
+        DirState::Shared(SharerSet::Map(bm))
     }
 
     #[test]
@@ -874,9 +992,7 @@ mod tests {
             })
         ));
         d.request(LINE, read(R2));
-        let mut expect = SharerBitmap::just(R1);
-        expect.insert(R2);
-        assert_eq!(d.state_of(LINE), DirState::Shared(expect));
+        assert_eq!(d.state_of(LINE), shared(&[R1, R2]));
     }
 
     #[test]
@@ -900,7 +1016,7 @@ mod tests {
             panic!("expected supply, got {outcome:?}");
         };
         assert!(exclusive);
-        assert_eq!(invalidate.count(), 2);
+        assert_eq!(invalidate.expect("two sharers to invalidate").count(), 2);
         assert!(d.is_busy(LINE));
         assert_eq!(d.state_of(LINE), DirState::Dirty(R3));
         assert_eq!(d.acks_outstanding(LINE), 2);
@@ -918,7 +1034,7 @@ mod tests {
         let outcome = d.request(LINE, upg(R1));
         assert!(matches!(
             outcome,
-            DirOutcome::Act(DirAction::GrantUpgrade { invalidate }) if invalidate == SharerBitmap::just(R2)
+            DirOutcome::Act(DirAction::GrantUpgrade { invalidate }) if invalidate == Some(SharerBitmap::just(R2))
         ));
         assert_eq!(d.state_of(LINE), DirState::Dirty(R1));
     }
@@ -947,9 +1063,7 @@ mod tests {
         assert!(matches!(outcome, DirOutcome::Act(DirAction::Forward { owner }) if owner == R1));
         assert!(d.is_busy(LINE));
         d.sharing_writeback(LINE, R1);
-        let mut bm = SharerBitmap::just(R1);
-        bm.insert(R2);
-        assert_eq!(d.state_of(LINE), DirState::Shared(bm));
+        assert_eq!(d.state_of(LINE), shared(&[R1, R2]));
     }
 
     #[test]
@@ -971,7 +1085,7 @@ mod tests {
         assert!(matches!(outcome, DirOutcome::Act(DirAction::Forward { owner }) if owner == R1));
         d.sharing_writeback(LINE, R1);
         // Home copies are not directory bits: only R1 remains.
-        assert_eq!(d.state_of(LINE), DirState::Shared(SharerBitmap::just(R1)));
+        assert_eq!(d.state_of(LINE), shared(&[R1]));
     }
 
     #[test]
@@ -999,7 +1113,7 @@ mod tests {
         let replay = d.fwd_miss(LINE, R1);
         assert_eq!(replay.requester, R2);
         assert_eq!(replay.kind, DirRequestKind::Read);
-        assert_eq!(d.state_of(LINE), DirState::Shared(SharerBitmap::just(R2)));
+        assert_eq!(d.state_of(LINE), shared(&[R2]));
         assert!(!d.is_busy(LINE));
     }
 
@@ -1056,7 +1170,7 @@ mod tests {
         let outcome = d.request(LINE, readx(R1));
         assert!(matches!(
             outcome,
-            DirOutcome::Act(DirAction::Supply { exclusive: true, invalidate }) if invalidate.is_empty()
+            DirOutcome::Act(DirAction::Supply { exclusive: true, invalidate }) if invalidate.is_none()
         ));
         assert!(!d.is_busy(LINE));
         assert_eq!(d.state_of(LINE), DirState::Dirty(R1));
@@ -1068,11 +1182,11 @@ mod tests {
         d.request(LINE, read(R1));
         d.request(LINE, read(R2));
         d.remove_sharer_hint(LINE, R1);
-        assert_eq!(d.state_of(LINE), DirState::Shared(SharerBitmap::just(R2)));
+        assert_eq!(d.state_of(LINE), shared(&[R2]));
         // Non-sharer, unknown line, busy line: all ignored.
         d.remove_sharer_hint(LINE, R3);
         d.remove_sharer_hint(LineAddr(999), R1);
-        d.request(LINE, readx(R3)); // busy collecting acks? no: R2 inv => busy
+        d.request(LINE, readx(R3)); // invalidating R2: line goes busy
         d.remove_sharer_hint(LINE, R2);
         assert!(d.is_busy(LINE));
         // Last sharer removal empties the entry.
@@ -1089,149 +1203,204 @@ mod tests {
         let outcome = d.request(LINE, readx(HOME));
         assert!(matches!(
             outcome,
-            DirOutcome::Act(DirAction::Supply { exclusive: true, invalidate }) if invalidate == SharerBitmap::just(R1)
+            DirOutcome::Act(DirAction::Supply { exclusive: true, invalidate }) if invalidate == Some(SharerBitmap::just(R1))
         ));
         d.inv_ack(LINE);
         assert_eq!(d.state_of(LINE), DirState::Uncached);
     }
 
-    #[test]
-    fn bitmap_insert_and_remove_are_idempotent() {
-        let mut bm = SharerBitmap::EMPTY;
-        bm.insert(R1);
-        bm.insert(R1);
-        assert_eq!(bm.count(), 1);
-        assert_eq!(bm, SharerBitmap::just(R1));
-        bm.remove(R1);
-        bm.remove(R1);
-        assert!(bm.is_empty());
-        assert_eq!(bm, SharerBitmap::EMPTY);
-    }
+    // ---- format-specific behavior -------------------------------------
 
     #[test]
-    fn bitmap_without_an_absent_node_is_a_no_op() {
-        let bm = SharerBitmap::just(R1);
-        assert_eq!(bm.without(R2), bm);
-        assert_eq!(SharerBitmap::EMPTY.without(R1), SharerBitmap::EMPTY);
-        // `without` is by-value: the original is untouched either way.
-        assert!(bm.contains(R1));
-        assert!(bm.without(R1).is_empty());
-    }
-
-    #[test]
-    fn bitmap_iterates_in_ascending_node_order() {
-        let mut bm = SharerBitmap::EMPTY;
-        for n in [NodeId(63), NodeId(0), NodeId(17), NodeId(5)] {
-            bm.insert(n);
+    fn coarse_writes_over_invalidate_the_region() {
+        let mut d = Directory::with_format(HOME, 0, DirFormat::Coarse { region: 4 }, 8);
+        d.request(LINE, read(R1)); // records region {1,2,3} (home excluded)
+        d.request(LINE, read(NodeId(5))); // records region {4,5,6,7}
+        let outcome = d.request(LINE, readx(NodeId(6)));
+        let DirOutcome::Act(DirAction::Supply {
+            exclusive: true,
+            invalidate,
+        }) = outcome
+        else {
+            panic!("expected exclusive supply, got {outcome:?}");
+        };
+        // Every node the record *might* cover is invalidated, minus the
+        // requester: {1,2,3,4,5,7}.
+        assert_eq!(
+            invalidate
+                .expect("region fan-out")
+                .iter()
+                .map(|n| n.0)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5, 7]
+        );
+        assert_eq!(d.acks_outstanding(LINE), 6);
+        for _ in 0..5 {
+            assert!(d.inv_ack(LINE).is_none());
         }
-        let order: Vec<u16> = bm.iter().map(|n| n.0).collect();
-        assert_eq!(order, vec![0, 5, 17, 63]);
-        assert_eq!(bm.count(), 4);
+        let done = d.inv_ack(LINE).expect("last ack completes");
+        assert_eq!(done.requester, NodeId(6));
+        assert_eq!(d.state_of(LINE), DirState::Dirty(NodeId(6)));
     }
 
     #[test]
-    fn bitmap_handles_the_64_node_word_boundary() {
-        // Nodes 63 and 64 live in different presence words; both sides of
-        // the boundary must be visible to every word-parallel operation.
-        let mut bm = SharerBitmap::EMPTY;
-        bm.insert(NodeId(63));
-        bm.insert(NodeId(64));
-        assert!(bm.contains(NodeId(63)));
-        assert!(bm.contains(NodeId(64)));
-        assert_eq!(bm.count(), 2);
-        assert_eq!(bm.iter().collect::<Vec<_>>(), vec![NodeId(63), NodeId(64)]);
-        assert_eq!(bm.words(), [1 << 63, 1]);
-        bm.remove(NodeId(63));
-        assert_eq!(bm.iter().collect::<Vec<_>>(), vec![NodeId(64)]);
-        // Out-of-range queries are false, not panics; removal of an
-        // out-of-range id must not clobber bit 0 (shift-amount wrap).
-        assert!(!bm.contains(NodeId(SharerBitmap::CAPACITY)));
-        assert!(!bm.contains(NodeId(1000)));
-        let mut low = SharerBitmap::just(NodeId(0));
-        low.insert(NodeId(SharerBitmap::CAPACITY - 1));
-        low.remove(NodeId(SharerBitmap::CAPACITY));
-        low.remove(NodeId(1000));
-        assert!(low.contains(NodeId(0)));
-        assert_eq!(low.count(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "beyond bitmap capacity")]
-    fn bitmap_insert_beyond_capacity_panics() {
-        let mut bm = SharerBitmap::EMPTY;
-        bm.insert(NodeId(SharerBitmap::CAPACITY));
-    }
-
-    /// Deterministic xorshift for the differential battery below.
-    fn xorshift(state: &mut u64) -> u64 {
-        *state ^= *state << 13;
-        *state ^= *state >> 7;
-        *state ^= *state << 17;
-        *state
-    }
-
-    #[test]
-    fn word_parallel_iter_matches_per_bit_reference() {
-        // Random member sets, always including both sides of the word
-        // boundary at node 64: the word-parallel iterator must agree with
-        // the per-bit oracle on order, count and membership.
-        let mut state = 0x1234_5678_9abc_def0u64;
-        for round in 0..200 {
-            let mut bm = SharerBitmap::EMPTY;
-            for _ in 0..(round % 17) {
-                bm.insert(NodeId(
-                    (xorshift(&mut state) % u64::from(SharerBitmap::CAPACITY)) as u16,
-                ));
-            }
-            if round % 3 == 0 {
-                bm.insert(NodeId(63));
-                bm.insert(NodeId(64));
-            }
-            let fast: Vec<NodeId> = bm.iter().collect();
-            let slow: Vec<NodeId> = bm.iter_per_bit().collect();
-            assert_eq!(fast, slow, "iteration order diverged on {bm:?}");
-            assert_eq!(bm.count() as usize, slow.len(), "count diverged on {bm:?}");
-            assert_eq!(bm.iter().len(), slow.len(), "size_hint diverged on {bm:?}");
-            assert_eq!(bm.is_empty(), slow.is_empty());
+    fn coarse_never_grants_upgrades_and_ignores_hints() {
+        let f = DirFormat::Coarse { region: 4 };
+        let mut d = Directory::with_format(HOME, 0, f, 8);
+        d.request(LINE, read(R1));
+        // R1's membership cannot be proven from a region bit — the
+        // upgrade is demoted to a full exclusive supply.
+        let outcome = d.request(LINE, upg(R1));
+        assert!(matches!(
+            outcome,
+            DirOutcome::Act(DirAction::Supply {
+                exclusive: true,
+                ..
+            })
+        ));
+        while d.acks_outstanding(LINE) > 0 {
+            d.inv_ack(LINE);
         }
+        // Hint removal would under-approximate the region: ignored.
+        let mut d2 = Directory::with_format(HOME, 0, f, 8);
+        d2.request(LINE, read(R1));
+        d2.remove_sharer_hint(LINE, R1);
+        assert!(matches!(d2.state_of(LINE), DirState::Shared(_)));
     }
 
     #[test]
-    fn bitmap_insert_remove_churn_matches_reference_set() {
-        use std::collections::BTreeSet;
-        let mut bm = SharerBitmap::EMPTY;
-        let mut reference: BTreeSet<u16> = BTreeSet::new();
-        let mut state = 0xdead_beef_cafe_f00du64;
-        for _ in 0..5000 {
-            let r = xorshift(&mut state);
-            let node = (r % u64::from(SharerBitmap::CAPACITY)) as u16;
-            if r & (1 << 40) == 0 {
-                bm.insert(NodeId(node));
-                reference.insert(node);
-            } else {
-                bm.remove(NodeId(node));
-                reference.remove(&node);
-            }
-            assert_eq!(bm.count() as usize, reference.len());
-            assert_eq!(bm.contains(NodeId(node)), reference.contains(&node));
-        }
-        let got: Vec<u16> = bm.iter().map(|n| n.0).collect();
-        let want: Vec<u16> = reference.iter().copied().collect();
-        assert_eq!(got, want);
+    fn limited_pointers_grant_upgrades_until_overflow() {
+        let mut d = Directory::with_format(HOME, 0, DirFormat::Limited { ptrs: 2 }, 8);
+        d.request(LINE, read(R1));
+        d.request(LINE, read(R2));
+        // Two pointers: exact membership, upgrade granted data-less.
+        let outcome = d.request(LINE, upg(R1));
+        assert!(matches!(
+            outcome,
+            DirOutcome::Act(DirAction::GrantUpgrade { invalidate }) if invalidate == Some(SharerBitmap::just(R2))
+        ));
+        d.inv_ack(LINE);
+        assert_eq!(d.state_of(LINE), DirState::Dirty(R1));
     }
 
     #[test]
-    fn drain_yields_members_in_order_and_empties_the_set() {
-        let mut bm = SharerBitmap::EMPTY;
-        for n in [64, 2, 127, 63, 0] {
-            bm.insert(NodeId(n));
+    fn limited_overflow_broadcasts_invalidations() {
+        let mut d = Directory::with_format(HOME, 0, DirFormat::Limited { ptrs: 2 }, 6);
+        d.request(LINE, read(R1));
+        d.request(LINE, read(R2));
+        d.request(LINE, read(R3)); // third sharer: pointer overflow
+        assert!(matches!(
+            d.state_of(LINE),
+            DirState::Shared(SharerSet::Ptrs { overflow: true, .. })
+        ));
+        // A write now invalidates every node except home and requester —
+        // including nodes that never held the line (useless
+        // invalidations, the cost of the format).
+        let outcome = d.request(LINE, readx(R1));
+        let DirOutcome::Act(DirAction::Supply {
+            exclusive: true,
+            invalidate,
+        }) = outcome
+        else {
+            panic!("expected exclusive supply, got {outcome:?}");
+        };
+        assert_eq!(
+            invalidate
+                .expect("broadcast fan-out")
+                .iter()
+                .map(|n| n.0)
+                .collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        // An overflowed record also demotes upgrades (handled above as
+        // ReadExcl-with-data), and the transaction completes normally.
+        for _ in 0..4 {
+            d.inv_ack(LINE);
         }
-        let drained: Vec<u16> = bm.drain().map(|n| n.0).collect();
-        assert_eq!(drained, vec![0, 2, 63, 64, 127]);
-        assert!(bm.is_empty());
-        assert_eq!(bm.iter().count(), 0);
-        assert_eq!(bm.drain().count(), 0);
+        assert_eq!(d.state_of(LINE), DirState::Dirty(R1));
     }
+
+    #[test]
+    fn sparse_slot_claim_recalls_the_idle_victim() {
+        let (a, b) = (LineAddr(8), LineAddr(16)); // collide in 1 slot
+        let mut d = Directory::with_format(HOME, 0, DirFormat::Sparse { slots: 1 }, 4);
+        d.request(a, read(R1));
+        assert_eq!(d.state_of(a), shared(&[R1]));
+        // B claims the only slot: A is recalled (invalidated at R1).
+        d.request(b, read(R2));
+        assert!(d.is_busy(a));
+        assert_eq!(d.acks_outstanding(a), 1);
+        let rc = d.take_recall().expect("recall queued");
+        assert_eq!(rc.line, a);
+        assert_eq!(rc.targets, SharerBitmap::just(R1));
+        assert_eq!(d.take_recall(), None);
+        // The ack settles A; no requester completion is produced.
+        assert_eq!(d.inv_ack(a), None);
+        assert!(!d.is_busy(a));
+        assert_eq!(d.state_of(a), DirState::Uncached);
+        assert_eq!(d.state_of(b), shared(&[R2]));
+        assert_eq!(d.recalled_lines(), 1);
+    }
+
+    #[test]
+    fn sparse_overcommits_busy_victims_and_recalls_on_settle() {
+        let (a, b) = (LineAddr(8), LineAddr(16));
+        let mut d = Directory::with_format(HOME, 0, DirFormat::Sparse { slots: 1 }, 4);
+        d.request(a, readx(R1)); // A: Dirty(R1), owns the slot
+        d.request(a, read(R2)); // A busy: OwnerTransfer to R1
+        d.request(b, read(R3)); // B steals the slot; A is busy → overcommit
+        assert_eq!(d.take_recall(), None, "busy victims are not recalled yet");
+        // A settles (owner shares back); the settle hook starts its recall
+        // before anything buffered replays.
+        d.sharing_writeback(a, R1);
+        assert_eq!(d.pop_pending_if_idle(a), None, "recall makes A busy");
+        let rc = d.take_recall().expect("recall queued at settle");
+        assert_eq!(rc.line, a);
+        assert_eq!(
+            rc.targets.iter().map(|n| n.0).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(d.inv_ack(a), None);
+        assert_eq!(d.inv_ack(a), None);
+        assert_eq!(d.state_of(a), DirState::Uncached);
+        assert!(!d.is_busy(a));
+    }
+
+    #[test]
+    fn sparse_recall_tolerates_a_racing_writeback() {
+        let (a, b) = (LineAddr(8), LineAddr(16));
+        let mut d = Directory::with_format(HOME, 0, DirFormat::Sparse { slots: 1 }, 4);
+        d.request(a, readx(R1)); // A: Dirty(R1)
+        d.request(b, read(R2)); // recall A (invalidation headed to R1)
+        let rc = d.take_recall().expect("dirty line recalled");
+        assert_eq!(rc.targets, SharerBitmap::just(R1));
+        // R1's eviction write-back crosses the recall invalidation.
+        assert_eq!(d.writeback(a, R1), WritebackOutcome::Applied);
+        assert!(d.is_busy(a), "recall still waiting for the ack");
+        assert_eq!(d.inv_ack(a), None);
+        assert!(!d.is_busy(a));
+        assert_eq!(d.state_of(a), DirState::Uncached);
+    }
+
+    #[test]
+    fn sparse_requests_replay_after_the_recall() {
+        let (a, b) = (LineAddr(8), LineAddr(16));
+        let mut d = Directory::with_format(HOME, 0, DirFormat::Sparse { slots: 1 }, 4);
+        d.request(a, read(R1));
+        d.request(b, read(R2)); // recall A
+        assert_eq!(d.request(a, read(R3)), DirOutcome::Busy); // behind recall
+        let _ = d.take_recall();
+        assert_eq!(d.inv_ack(a), None); // recall completes
+        let replay = d.pop_pending_if_idle(a).expect("buffered request replays");
+        assert_eq!(replay.requester, R3);
+        // The replay re-claims the slot, recalling B in turn.
+        d.request(a, replay);
+        assert_eq!(d.state_of(a), shared(&[R3]));
+        let rc = d.take_recall().expect("B recalled by the re-claim");
+        assert_eq!(rc.line, b);
+    }
+
+    // ---- canonical encoding -------------------------------------------
 
     #[test]
     fn canonical_encoding_keeps_the_single_word_shared_form() {
@@ -1247,14 +1416,50 @@ mod tests {
         assert_eq!(enc[14], 1, "single-word Shared must keep tag 1");
         let bits = u64::from_le_bytes(enc[15..23].try_into().unwrap());
         assert_eq!(bits, (1 << R1.0) | (1 << R3.0));
-        // A sharer past node 63 needs the wide form, distinct from every
-        // single-word encoding.
+        // A sharer past node 63 needs the two-word form, distinct from
+        // every single-word encoding.
         let mut wide = Directory::new(HOME);
         wide.request(LINE, read(NodeId(64)));
         let mut wenc = Vec::new();
         wide.encode_canonical(&mut wenc);
-        assert_eq!(wenc[14], 3, "wide Shared uses its own tag");
+        assert_eq!(wenc[14], 3, "two-word Shared uses its own tag");
         assert_eq!(wenc.len(), enc.len() + 8);
+        // And a sharer past node 127 takes the full-width form.
+        let mut wider = Directory::new(HOME);
+        wider.request(LINE, read(NodeId(128)));
+        let mut wwenc = Vec::new();
+        wider.encode_canonical(&mut wwenc);
+        assert_eq!(wwenc[14], 4, "wide Shared uses the full-width tag");
+    }
+
+    #[test]
+    fn canonical_encoding_covers_pointer_and_recall_states() {
+        let mut d = Directory::with_format(HOME, 0, DirFormat::Limited { ptrs: 2 }, 8);
+        d.request(LINE, read(R2));
+        d.request(LINE, read(R1));
+        let mut enc = Vec::new();
+        d.encode_canonical(&mut enc);
+        assert_eq!(enc[14], 5, "pointer sets use their own tag");
+        assert_eq!(enc[15], 2, "two pointers recorded");
+        assert_eq!(enc[16], 0, "no overflow");
+        // Pointers are kept sorted: insertion order cannot leak.
+        let mut rev = Directory::with_format(HOME, 0, DirFormat::Limited { ptrs: 2 }, 8);
+        rev.request(LINE, read(R1));
+        rev.request(LINE, read(R2));
+        let mut renc = Vec::new();
+        rev.encode_canonical(&mut renc);
+        assert_eq!(enc, renc);
+        // A recall in flight is transaction state and must be encoded.
+        let (a, b) = (LineAddr(8), LineAddr(16));
+        let mut s = Directory::with_format(HOME, 0, DirFormat::Sparse { slots: 1 }, 4);
+        s.request(a, read(R1));
+        s.request(b, read(R2));
+        let (mut with_recall, mut settled) = (Vec::new(), Vec::new());
+        s.encode_canonical(&mut with_recall);
+        let _ = s.take_recall();
+        s.inv_ack(a);
+        s.encode_canonical(&mut settled);
+        assert_ne!(with_recall, settled);
     }
 
     #[test]

@@ -298,26 +298,33 @@ impl HandlerKind {
     }
 }
 
-/// Capacity of a [`StepBuf`], sized for the largest expansion the
-/// protocol can produce: `HomeReadExclShared` at the 63-sharer fan-out of
-/// a full 64-node machine runs 12 fixed steps plus two per invalidation
-/// (138 total), with headroom for protocol growth.
+/// Inline capacity of a [`StepBuf`], sized for the largest expansion the
+/// protocol produces on a 64-node machine: `HomeReadExclShared` at the
+/// 63-sharer fan-out runs 12 fixed steps plus two per invalidation
+/// (138 total), with headroom for protocol growth. Wider fan-outs —
+/// 256- and 1024-node machines reach 1023 invalidations — spill to the
+/// heap, a cold path outside the zero-alloc measured configurations.
 pub const STEP_BUF_CAPACITY: usize = 160;
 
-/// A fixed-capacity, inline step buffer.
+/// A step buffer with a fixed inline store and a heap spill.
 ///
 /// Expanding a handler used to build a fresh `Vec<Step>` per invocation —
 /// one heap allocation on the hottest edge of the simulator. A `StepBuf`
 /// lives inside the machine and is refilled in place by
 /// [`fill`](Self::fill); the steady state never touches the allocator.
+/// Expansions wider than [`STEP_BUF_CAPACITY`] (large-machine
+/// invalidation fan-outs) move into a spill vector instead of panicking.
 #[derive(Debug, Clone)]
 pub struct StepBuf {
     /// The handler the buffer currently holds (`None` until first fill).
     kind: Option<HandlerKind>,
-    /// Number of valid steps.
+    /// Number of valid inline steps (ignored once `spill` is in use).
     len: usize,
-    /// Step storage; only `steps[..len]` is meaningful.
+    /// Inline step storage; only `steps[..len]` is meaningful.
     steps: [Step; STEP_BUF_CAPACITY],
+    /// Heap overflow store; when non-empty it holds the *entire*
+    /// expansion and the inline array is dead.
+    spill: Vec<Step>,
 }
 
 impl StepBuf {
@@ -327,6 +334,7 @@ impl StepBuf {
             kind: None,
             len: 0,
             steps: [Step::Op(SubOp::Dispatch); STEP_BUF_CAPACITY],
+            spill: Vec::new(),
         }
     }
 
@@ -341,19 +349,25 @@ impl StepBuf {
 
     /// The expanded steps, in execution order.
     pub fn steps(&self) -> &[Step] {
-        &self.steps[..self.len]
+        if self.spill.is_empty() {
+            &self.steps[..self.len]
+        } else {
+            &self.spill
+        }
     }
 
     #[inline]
     fn push(&mut self, step: Step) {
-        if self.len == STEP_BUF_CAPACITY {
-            panic!(
-                "step buffer overflow expanding {:?} (capacity {STEP_BUF_CAPACITY})",
-                self.kind.expect("buffers are filled before pushes")
-            );
+        if !self.spill.is_empty() {
+            self.spill.push(step);
+        } else if self.len < STEP_BUF_CAPACITY {
+            self.steps[self.len] = step;
+            self.len += 1;
+        } else {
+            self.spill.reserve(2 * STEP_BUF_CAPACITY);
+            self.spill.extend_from_slice(&self.steps[..self.len]);
+            self.spill.push(step);
         }
-        self.steps[self.len] = step;
-        self.len += 1;
     }
 
     #[inline]
@@ -380,18 +394,15 @@ impl StepBuf {
     /// Replaces the buffer's contents with the step sequence for `kind`
     /// at the given invalidation fan-out (ignored by handlers without
     /// fan-out). Previous contents are discarded; the buffer is reused
-    /// across invocations without reallocating.
-    ///
-    /// # Panics
-    ///
-    /// Panics — naming the handler — if the expansion exceeds
-    /// [`STEP_BUF_CAPACITY`] rather than silently truncating.
+    /// across invocations without reallocating, except for fan-outs wide
+    /// enough to overflow the inline store (see [`STEP_BUF_CAPACITY`]).
     pub fn fill(&mut self, kind: HandlerKind, fanout: Fanout) {
         use HandlerKind::*;
         use Step::*;
         use SubOp::*;
         self.kind = Some(kind);
         self.len = 0;
+        self.spill.clear();
         let steps = self;
         match kind {
             BusReadRemote => {
@@ -984,10 +995,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "step buffer overflow expanding HomeReadExclShared")]
-    fn step_buf_overflow_panics_with_the_handler_name() {
+    fn step_buf_spills_for_kilonode_fanouts_and_recovers() {
         let mut buf = StepBuf::new();
-        buf.fill(HandlerKind::HomeReadExclShared, Fanout::remote(1000));
+        buf.fill(HandlerKind::HomeReadExclShared, Fanout::remote(1023));
+        assert_eq!(buf.steps().len(), 11 + 2 * 1023);
+        assert!(matches!(buf.steps()[0], Step::Op(SubOp::Dispatch)));
+        // Refilling with a small expansion returns to the inline store.
+        buf.fill(HandlerKind::HomeReadExclShared, Fanout::remote(3));
+        assert_eq!(buf.steps().len(), 11 + 2 * 3);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!
 //! * [`msg`] — the network message vocabulary and their queue classes
 //!   (the controller's three input queues).
+//! * [`sharers`] — pluggable directory sharer representations (full-map,
+//!   coarse vector, limited pointers, sparse) and the [`DirFormat`]
+//!   registry selecting one per run.
 //! * [`directory`] — the home-node directory state machine, including the
 //!   transient (busy) states and per-line pending-request buffering.
 //! * [`subop`] — protocol-engine *sub-operations* and their occupancies for
@@ -28,11 +31,13 @@
 pub mod directory;
 pub mod handlers;
 pub mod msg;
+pub mod sharers;
 pub mod subop;
 
 pub use directory::{
-    DirAction, DirOutcome, DirRequest, DirRequestKind, DirState, Directory, SharerBitmap,
+    DirAction, DirOutcome, DirRequest, DirRequestKind, DirState, Directory, Recall, SharerBitmap,
 };
 pub use handlers::{HandlerKind, HandlerSpec, Step};
 pub use msg::{Msg, MsgClass, MsgKind};
+pub use sharers::{DirFormat, SharerSet, DIR_FORMATS, MAX_NODES};
 pub use subop::{EngineKind, OccupancyTable, SubOp};

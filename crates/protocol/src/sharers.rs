@@ -1,0 +1,927 @@
+//! Pluggable sharer-set representations for the home directory.
+//!
+//! The paper evaluated its four controller architectures on full-map
+//! directories at small node counts; reproducing the RCCPI story at 256+
+//! nodes requires the classic scaled directory formats. This module holds
+//! the seam: [`SharerBitmap`] (the raw presence-bit vector), [`SharerSet`]
+//! (what a directory entry actually stores per line), and [`DirFormat`]
+//! (the per-run policy that decides how sharers are recorded, how an
+//! invalidation target set is derived from the record, and how much
+//! directory memory the modeled hardware spends per line).
+//!
+//! Registered formats (see [`DIR_FORMATS`]):
+//!
+//! * **full** — one presence bit per node; exact sharer sets.
+//! * **coarse:K** — one presence bit per K-node region; a write
+//!   invalidates every node of every recorded region (over-invalidation),
+//!   cutting directory memory by K×.
+//! * **limited:I** — `Dir_i_B`: `I` exact node pointers plus a broadcast
+//!   bit; on pointer overflow a write invalidates *all* nodes.
+//! * **sparse:S** — exact full-map entries, but only `S` stable entries
+//!   per home node; claiming an occupied slot recalls (invalidates) the
+//!   victim line everywhere, the way a directory cache with
+//!   evict-invalidate behaves without a backing full directory.
+//!
+//! All formats are *conservative*: a recorded set is always a superset of
+//! the true sharers, so over-invalidation can cost performance but never
+//! correctness. The bounded model checker in `ccn-verify` checks exactly
+//! this (safety with over-invalidation allowed) for every format.
+
+use ccn_mem::NodeId;
+
+/// Number of presence words in a [`SharerBitmap`].
+const SHARER_WORDS: usize = 16;
+
+/// The largest machine any directory format can track (presence-bit
+/// capacity of [`SharerBitmap`]).
+pub const MAX_NODES: u16 = (SHARER_WORDS * 64) as u16;
+
+/// Maximum exact pointers a limited-pointer (`Dir_i_B`) entry can hold.
+pub const MAX_PTRS: u8 = 8;
+
+/// A set of sharer nodes, stored as a fixed array of 64-bit presence
+/// words (capacity 1024 nodes; paper systems use 8–64). The set is `Copy`
+/// and passed by value through directory actions and invalidation
+/// payloads, so collecting or handing out a sharer list never allocates.
+///
+/// Membership walks are word-parallel: `count` sums `count_ones` per
+/// word and [`iter`](Self::iter) strips set bits with `trailing_zeros`
+/// instead of testing all 1024 positions bit by bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct SharerBitmap([u64; SHARER_WORDS]);
+
+impl SharerBitmap {
+    /// The number of nodes a bitmap can track.
+    pub const CAPACITY: u16 = (SHARER_WORDS * 64) as u16;
+
+    /// The empty set.
+    pub const EMPTY: SharerBitmap = SharerBitmap([0; SHARER_WORDS]);
+
+    /// A set containing only `node`.
+    #[inline]
+    pub fn just(node: NodeId) -> Self {
+        let mut bm = SharerBitmap::EMPTY;
+        bm.insert(node);
+        bm
+    }
+
+    /// Adds `node` to the set.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) {
+        assert!(node.0 < Self::CAPACITY, "node id beyond bitmap capacity");
+        // The mask keeps the word index provably in range so the access
+        // compiles without a bounds check.
+        self.0[(node.0 >> 6) as usize & (SHARER_WORDS - 1)] |= 1 << (node.0 % 64);
+    }
+
+    /// Removes `node` from the set (no-op for out-of-range ids).
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) {
+        if node.0 < Self::CAPACITY {
+            self.0[(node.0 >> 6) as usize & (SHARER_WORDS - 1)] &= !(1 << (node.0 % 64));
+        }
+    }
+
+    /// Whether `node` is in the set.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.0 < Self::CAPACITY
+            && self.0[(node.0 >> 6) as usize & (SHARER_WORDS - 1)] & (1 << (node.0 % 64)) != 0
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0; SHARER_WORDS]
+    }
+
+    /// Iterates over the members in ascending order, one `trailing_zeros`
+    /// per member rather than one test per possible node id.
+    #[inline]
+    pub fn iter(&self) -> SharerIter {
+        SharerIter {
+            words: self.0,
+            word: 0,
+        }
+    }
+
+    /// Removes and returns the members in ascending order, leaving the
+    /// set empty.
+    #[inline]
+    pub fn drain(&mut self) -> SharerIter {
+        std::mem::take(self).iter()
+    }
+
+    /// Returns this set with `node` removed.
+    #[inline]
+    pub fn without(mut self, node: NodeId) -> Self {
+        self.remove(node);
+        self
+    }
+
+    /// The raw presence words, lowest nodes first.
+    #[inline]
+    pub fn words(&self) -> [u64; SHARER_WORDS] {
+        self.0
+    }
+
+    /// Rebuilds a set from its raw presence words (the inverse of
+    /// [`words`](Self::words), for snapshot carriers).
+    #[inline]
+    pub fn from_words(words: [u64; SHARER_WORDS]) -> Self {
+        SharerBitmap(words)
+    }
+
+    /// A set containing every node below `nodes` except `skip` — the
+    /// broadcast-invalidation target list of an overflowed
+    /// limited-pointer entry.
+    pub fn all_below_except(nodes: u16, skip: NodeId) -> Self {
+        let nodes = nodes.min(Self::CAPACITY);
+        let mut bm = SharerBitmap::EMPTY;
+        for w in 0..usize::from(nodes >> 6) {
+            bm.0[w] = u64::MAX;
+        }
+        let rem = nodes % 64;
+        if rem != 0 {
+            bm.0[usize::from(nodes >> 6)] = (1u64 << rem) - 1;
+        }
+        bm.remove(skip);
+        bm
+    }
+
+    /// Reference implementation of [`iter`](Self::iter): test every
+    /// possible node id, one bit at a time. Kept as the oracle the
+    /// word-parallel iterator is differentially tested against.
+    #[cfg(test)]
+    fn iter_per_bit(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..Self::CAPACITY).filter_map(move |i| self.contains(NodeId(i)).then_some(NodeId(i)))
+    }
+}
+
+/// Word-parallel iterator over a [`SharerBitmap`]'s members.
+#[derive(Debug, Clone)]
+pub struct SharerIter {
+    words: [u64; SHARER_WORDS],
+    word: usize,
+}
+
+impl Iterator for SharerIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        while self.word < SHARER_WORDS {
+            let w = self.words[self.word];
+            if w != 0 {
+                let bit = w.trailing_zeros() as u16;
+                // Clear the lowest set bit.
+                self.words[self.word] = w & (w - 1);
+                return Some(NodeId(self.word as u16 * 64 + bit));
+            }
+            self.word += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left: usize = self.words[self.word..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SharerIter {}
+
+/// What a directory entry stores for a line with read-only copies — the
+/// per-line representation a [`DirFormat`] maintains.
+///
+/// The stored set is always a *superset* of the true remote sharers:
+/// full-map and sparse entries are exact, coarse entries round every
+/// sharer up to its region, and an overflowed limited-pointer entry
+/// stands for "everyone". [`expand`](Self::expand) turns the record back
+/// into a concrete invalidation target list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharerSet {
+    /// Presence bits (exact for full-map/sparse, region-rounded for
+    /// coarse vectors).
+    Map(SharerBitmap),
+    /// Limited pointers (`Dir_i_B`): up to [`MAX_PTRS`] exact node ids,
+    /// kept sorted so equal sets compare and encode identically. On
+    /// overflow the pointers are dropped and the broadcast bit is set.
+    Ptrs {
+        /// Sorted node pointers; slots at `len` and beyond are zero.
+        ptrs: [NodeId; MAX_PTRS as usize],
+        /// Number of valid pointers.
+        len: u8,
+        /// Broadcast bit: the pointer array overflowed and the set now
+        /// stands for every node in the machine.
+        overflow: bool,
+    },
+}
+
+impl SharerSet {
+    /// An empty limited-pointer set.
+    pub const NO_PTRS: SharerSet = SharerSet::Ptrs {
+        ptrs: [NodeId(0); MAX_PTRS as usize],
+        len: 0,
+        overflow: false,
+    };
+
+    /// Whether `node` may hold a copy. Over-approximate: an overflowed
+    /// pointer set contains everyone, a coarse map contains the whole
+    /// region.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        match self {
+            SharerSet::Map(bm) => bm.contains(node),
+            SharerSet::Ptrs {
+                ptrs,
+                len,
+                overflow,
+            } => *overflow || ptrs[..usize::from(*len)].contains(&node),
+        }
+    }
+
+    /// Number of *recorded* members (presence bits or pointers). An
+    /// overflowed pointer set records nothing and returns 0 even though
+    /// it stands for every node — use [`expand`](Self::expand) for the
+    /// real target count.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        match self {
+            SharerSet::Map(bm) => bm.count(),
+            SharerSet::Ptrs { len, .. } => u32::from(*len),
+        }
+    }
+
+    /// Whether the set stands for no node at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            SharerSet::Map(bm) => bm.is_empty(),
+            SharerSet::Ptrs { len, overflow, .. } => *len == 0 && !*overflow,
+        }
+    }
+
+    /// The concrete invalidation target list this record stands for, on
+    /// a `nodes`-node machine whose home (never a directory-tracked
+    /// sharer) is `home`.
+    pub fn expand(&self, nodes: u16, home: NodeId) -> SharerBitmap {
+        match self {
+            SharerSet::Map(bm) => *bm,
+            SharerSet::Ptrs {
+                ptrs,
+                len,
+                overflow,
+            } => {
+                if *overflow {
+                    SharerBitmap::all_below_except(nodes, home)
+                } else {
+                    let mut bm = SharerBitmap::EMPTY;
+                    for p in &ptrs[..usize::from(*len)] {
+                        bm.insert(*p);
+                    }
+                    bm
+                }
+            }
+        }
+    }
+
+    /// Removes an exactly-recorded member (bitmap bit or pointer). A
+    /// no-op on an overflowed pointer set, which records no individual
+    /// members.
+    pub fn remove(&mut self, node: NodeId) {
+        match self {
+            SharerSet::Map(bm) => bm.remove(node),
+            SharerSet::Ptrs {
+                ptrs,
+                len,
+                overflow,
+            } => {
+                if *overflow {
+                    return;
+                }
+                let n = usize::from(*len);
+                if let Some(i) = ptrs[..n].iter().position(|p| *p == node) {
+                    ptrs.copy_within(i + 1..n, i);
+                    ptrs[n - 1] = NodeId(0);
+                    *len -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// A directory sharer-representation format, selected per run
+/// (`repro --dir-format`). See the module docs for the catalog.
+///
+/// The format decides three things: how a new sharer is recorded in a
+/// [`SharerSet`] ([`note_sharer`](Self::note_sharer)), whether a recorded
+/// membership is exact enough to grant a data-less upgrade
+/// ([`is_exact`](Self::is_exact)), and how much directory memory the
+/// modeled hardware spends ([`bits_per_entry`](Self::bits_per_entry)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DirFormat {
+    /// One presence bit per node; exact sharer sets.
+    #[default]
+    FullMap,
+    /// One presence bit per `region`-node region: recording a sharer
+    /// sets its whole region, so a write over-invalidates the region.
+    Coarse {
+        /// Nodes covered by one presence bit (≥ 2).
+        region: u16,
+    },
+    /// `Dir_i_B` limited pointers: `ptrs` exact pointers, broadcast
+    /// invalidation once they overflow.
+    Limited {
+        /// Number of exact pointers (1..=[`MAX_PTRS`]).
+        ptrs: u8,
+    },
+    /// Exact full-map entries, but only `slots` stable entries per home
+    /// node; claiming an occupied slot recalls the victim line.
+    Sparse {
+        /// Stable directory entries per home node (≥ 1).
+        slots: u32,
+    },
+}
+
+impl DirFormat {
+    /// The family name, without parameters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DirFormat::FullMap => "full",
+            DirFormat::Coarse { .. } => "coarse",
+            DirFormat::Limited { .. } => "limited",
+            DirFormat::Sparse { .. } => "sparse",
+        }
+    }
+
+    /// The canonical `name:param` spelling accepted by
+    /// [`parse`](Self::parse) (e.g. `limited:4`).
+    pub fn label(&self) -> String {
+        match self {
+            DirFormat::FullMap => "full".to_string(),
+            DirFormat::Coarse { region } => format!("coarse:{region}"),
+            DirFormat::Limited { ptrs } => format!("limited:{ptrs}"),
+            DirFormat::Sparse { slots } => format!("sparse:{slots}"),
+        }
+    }
+
+    /// A filename/run-id-safe spelling of [`label`](Self::label)
+    /// (`limited4`, `coarse8`, …).
+    pub fn slug(&self) -> String {
+        match self {
+            DirFormat::FullMap => "full".to_string(),
+            DirFormat::Coarse { region } => format!("coarse{region}"),
+            DirFormat::Limited { ptrs } => format!("limited{ptrs}"),
+            DirFormat::Sparse { slots } => format!("sparse{slots}"),
+        }
+    }
+
+    /// Parses a `--dir-format` argument: a family name with an optional
+    /// `:param` (`full`, `coarse:4`, `limited:4`, `sparse:256`). A bare
+    /// family name uses the registry default parameter.
+    pub fn parse(s: &str) -> Result<DirFormat, String> {
+        let (name, param) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        let num = |what: &str, default: u64| -> Result<u64, String> {
+            match param {
+                None => Ok(default),
+                Some(p) => p
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad {what} {p:?} in directory format {s:?}")),
+            }
+        };
+        match name {
+            "full" | "full-map" | "fullmap" => match param {
+                None => Ok(DirFormat::FullMap),
+                Some(_) => Err(format!("directory format {s:?} takes no parameter")),
+            },
+            "coarse" => {
+                let region = num("region size", 4)?;
+                if !(2..=u64::from(MAX_NODES)).contains(&region) {
+                    return Err(format!(
+                        "coarse region size must be in 2..={MAX_NODES}, got {region}"
+                    ));
+                }
+                Ok(DirFormat::Coarse {
+                    region: region as u16,
+                })
+            }
+            "limited" => {
+                let ptrs = num("pointer count", 4)?;
+                if !(1..=u64::from(MAX_PTRS)).contains(&ptrs) {
+                    return Err(format!(
+                        "limited pointer count must be in 1..={MAX_PTRS}, got {ptrs}"
+                    ));
+                }
+                Ok(DirFormat::Limited { ptrs: ptrs as u8 })
+            }
+            "sparse" => {
+                let slots = num("slot count", 1024)?;
+                if slots == 0 {
+                    return Err("sparse directory needs at least 1 slot".to_string());
+                }
+                Ok(DirFormat::Sparse {
+                    slots: slots.min(u64::from(u32::MAX)) as u32,
+                })
+            }
+            _ => Err(format!(
+                "unknown directory format {s:?} (expected one of: {})",
+                format_names().join(", ")
+            )),
+        }
+    }
+
+    /// The largest node count this format can track. Exceeding it is a
+    /// configuration error, not a runtime panic.
+    pub fn capacity(&self) -> u16 {
+        MAX_NODES
+    }
+
+    /// Directory memory per *entry* in bits, on a `nodes`-node machine:
+    /// the presence field this format would burn in hardware (the data
+    /// the paper's Figure 1 calls directory memory overhead).
+    pub fn bits_per_entry(&self, nodes: u16) -> u32 {
+        let nodes = u32::from(nodes.max(2));
+        // State tag (2 bits) + owner pointer, common to every format.
+        let common = 2 + log2_ceil(nodes);
+        match self {
+            DirFormat::FullMap | DirFormat::Sparse { .. } => common + nodes,
+            DirFormat::Coarse { region } => common + nodes.div_ceil(u32::from(*region)),
+            DirFormat::Limited { ptrs } => common + u32::from(*ptrs) * log2_ceil(nodes) + 1,
+        }
+    }
+
+    /// Directory entries the format keeps per home node when the home
+    /// owns `lines` lines of memory: one per line for the dense formats,
+    /// the slot count for sparse.
+    pub fn entries_for(&self, lines: u64) -> u64 {
+        match self {
+            DirFormat::Sparse { slots } => lines.min(u64::from(*slots)),
+            _ => lines,
+        }
+    }
+
+    /// Whether every record this format produces is exact: membership
+    /// tests answer for individual nodes and invalidation fan-outs hit
+    /// only true sharers. Coarse records round to regions; limited
+    /// pointers stop being exact once they overflow to broadcast.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, DirFormat::FullMap | DirFormat::Sparse { .. })
+    }
+
+    /// Whether the record *proves* `node` currently holds a Shared copy —
+    /// the grounds for granting a data-less upgrade. Exact formats prove
+    /// it by membership; limited pointers prove it until they overflow; a
+    /// coarse region bit never says anything about an individual node,
+    /// so the upgrade must be demoted to an exclusive supply with data
+    /// (handing exclusive permission to a node with no copy would be
+    /// unsound).
+    pub fn proves_sharer(&self, set: &SharerSet, node: NodeId) -> bool {
+        match self {
+            DirFormat::Coarse { .. } => false,
+            _ => match set {
+                SharerSet::Ptrs { overflow: true, .. } => false,
+                s => s.contains(node),
+            },
+        }
+    }
+
+    /// An empty sharer record in this format's representation.
+    pub fn empty_set(&self) -> SharerSet {
+        match self {
+            DirFormat::Limited { .. } => SharerSet::NO_PTRS,
+            _ => SharerSet::Map(SharerBitmap::EMPTY),
+        }
+    }
+
+    /// Records `node` as a sharer in `set`, on a `nodes`-node machine
+    /// with home node `home` (the home's copies are bus-visible and
+    /// never recorded).
+    pub fn note_sharer(&self, set: &mut SharerSet, node: NodeId, nodes: u16, home: NodeId) {
+        match (self, set) {
+            (DirFormat::Coarse { region }, SharerSet::Map(bm)) => {
+                let start = node.0 - node.0 % region;
+                let end = (start + region).min(nodes);
+                for n in start..end {
+                    if NodeId(n) != home {
+                        bm.insert(NodeId(n));
+                    }
+                }
+            }
+            (
+                DirFormat::Limited { ptrs: cap },
+                SharerSet::Ptrs {
+                    ptrs,
+                    len,
+                    overflow,
+                },
+            ) => {
+                if *overflow {
+                    return;
+                }
+                let n = usize::from(*len);
+                let pos = ptrs[..n].partition_point(|p| p.0 < node.0);
+                if pos < n && ptrs[pos] == node {
+                    return;
+                }
+                if n < usize::from(*cap) {
+                    ptrs.copy_within(pos..n, pos + 1);
+                    ptrs[pos] = node;
+                    *len += 1;
+                } else {
+                    // Pointer overflow: drop the pointers and raise the
+                    // broadcast bit — the canonical Dir_i_B response.
+                    *ptrs = [NodeId(0); MAX_PTRS as usize];
+                    *len = 0;
+                    *overflow = true;
+                }
+            }
+            (_, SharerSet::Map(bm)) => bm.insert(node),
+            (f, s) => unreachable!("sharer set {s:?} does not match format {f:?}"),
+        }
+    }
+
+    /// A set containing exactly the record of `node` (the first-sharer
+    /// transition).
+    pub fn just(&self, node: NodeId, nodes: u16, home: NodeId) -> SharerSet {
+        let mut set = self.empty_set();
+        self.note_sharer(&mut set, node, nodes, home);
+        set
+    }
+}
+
+#[inline]
+fn log2_ceil(n: u32) -> u32 {
+    32 - n.saturating_sub(1).leading_zeros()
+}
+
+/// The registered directory formats, in registry order — the canonical
+/// instance of each family. CI's `dir-formats` job model-checks and
+/// conformance-tests each of these; the sweep layer accepts any
+/// parameterization via [`DirFormat::parse`].
+pub const DIR_FORMATS: [DirFormat; 4] = [
+    DirFormat::FullMap,
+    DirFormat::Coarse { region: 4 },
+    DirFormat::Limited { ptrs: 4 },
+    DirFormat::Sparse { slots: 1024 },
+];
+
+/// The family names of the registered formats, for error messages and
+/// CLI help.
+pub fn format_names() -> Vec<&'static str> {
+    DIR_FORMATS.iter().map(|f| f.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_basics() {
+        let mut bm = SharerBitmap::EMPTY;
+        assert!(bm.is_empty());
+        bm.insert(NodeId(3));
+        bm.insert(NodeId(5));
+        assert!(bm.contains(NodeId(3)));
+        assert!(!bm.contains(NodeId(4)));
+        assert_eq!(bm.count(), 2);
+        assert_eq!(bm.iter().collect::<Vec<_>>(), vec![NodeId(3), NodeId(5)]);
+        assert_eq!(bm.without(NodeId(3)), SharerBitmap::just(NodeId(5)));
+    }
+
+    #[test]
+    fn bitmap_insert_and_remove_are_idempotent() {
+        let mut bm = SharerBitmap::EMPTY;
+        bm.insert(NodeId(1));
+        bm.insert(NodeId(1));
+        assert_eq!(bm.count(), 1);
+        assert_eq!(bm, SharerBitmap::just(NodeId(1)));
+        bm.remove(NodeId(1));
+        bm.remove(NodeId(1));
+        assert!(bm.is_empty());
+        assert_eq!(bm, SharerBitmap::EMPTY);
+    }
+
+    #[test]
+    fn bitmap_without_an_absent_node_is_a_no_op() {
+        let bm = SharerBitmap::just(NodeId(1));
+        assert_eq!(bm.without(NodeId(2)), bm);
+        assert_eq!(SharerBitmap::EMPTY.without(NodeId(1)), SharerBitmap::EMPTY);
+        // `without` is by-value: the original is untouched either way.
+        assert!(bm.contains(NodeId(1)));
+        assert!(bm.without(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn bitmap_iterates_in_ascending_node_order() {
+        let mut bm = SharerBitmap::EMPTY;
+        for n in [NodeId(63), NodeId(0), NodeId(17), NodeId(5)] {
+            bm.insert(n);
+        }
+        let order: Vec<u16> = bm.iter().map(|n| n.0).collect();
+        assert_eq!(order, vec![0, 5, 17, 63]);
+        assert_eq!(bm.count(), 4);
+    }
+
+    #[test]
+    fn bitmap_handles_word_boundaries() {
+        // Nodes 63 and 64 live in different presence words; both sides of
+        // the boundary must be visible to every word-parallel operation,
+        // and the same at the top of the widened array.
+        let mut bm = SharerBitmap::EMPTY;
+        bm.insert(NodeId(63));
+        bm.insert(NodeId(64));
+        assert!(bm.contains(NodeId(63)));
+        assert!(bm.contains(NodeId(64)));
+        assert_eq!(bm.count(), 2);
+        assert_eq!(bm.iter().collect::<Vec<_>>(), vec![NodeId(63), NodeId(64)]);
+        let words = bm.words();
+        assert_eq!(words[0], 1 << 63);
+        assert_eq!(words[1], 1);
+        assert!(words[2..].iter().all(|w| *w == 0));
+        bm.remove(NodeId(63));
+        assert_eq!(bm.iter().collect::<Vec<_>>(), vec![NodeId(64)]);
+        // Out-of-range queries are false, not panics; removal of an
+        // out-of-range id must not clobber bit 0 (shift-amount wrap).
+        assert!(!bm.contains(NodeId(SharerBitmap::CAPACITY)));
+        assert!(!bm.contains(NodeId(2000)));
+        let mut high = SharerBitmap::just(NodeId(0));
+        high.insert(NodeId(SharerBitmap::CAPACITY - 1));
+        high.remove(NodeId(SharerBitmap::CAPACITY));
+        high.remove(NodeId(2000));
+        assert!(high.contains(NodeId(0)));
+        assert!(high.contains(NodeId(SharerBitmap::CAPACITY - 1)));
+        assert_eq!(high.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond bitmap capacity")]
+    fn bitmap_insert_beyond_capacity_panics() {
+        let mut bm = SharerBitmap::EMPTY;
+        bm.insert(NodeId(SharerBitmap::CAPACITY));
+    }
+
+    /// Deterministic xorshift for the differential battery below.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn word_parallel_iter_matches_per_bit_reference() {
+        // Random member sets, always including both sides of the word
+        // boundary at node 64: the word-parallel iterator must agree with
+        // the per-bit oracle on order, count and membership.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for round in 0..200 {
+            let mut bm = SharerBitmap::EMPTY;
+            for _ in 0..(round % 17) {
+                bm.insert(NodeId(
+                    (xorshift(&mut state) % u64::from(SharerBitmap::CAPACITY)) as u16,
+                ));
+            }
+            if round % 3 == 0 {
+                bm.insert(NodeId(63));
+                bm.insert(NodeId(64));
+            }
+            let fast: Vec<NodeId> = bm.iter().collect();
+            let slow: Vec<NodeId> = bm.iter_per_bit().collect();
+            assert_eq!(fast, slow, "iteration order diverged on {bm:?}");
+            assert_eq!(bm.count() as usize, slow.len(), "count diverged on {bm:?}");
+            assert_eq!(bm.iter().len(), slow.len(), "size_hint diverged on {bm:?}");
+            assert_eq!(bm.is_empty(), slow.is_empty());
+        }
+    }
+
+    #[test]
+    fn bitmap_insert_remove_churn_matches_reference_set() {
+        use std::collections::BTreeSet;
+        let mut bm = SharerBitmap::EMPTY;
+        let mut reference: BTreeSet<u16> = BTreeSet::new();
+        let mut state = 0xdead_beef_cafe_f00du64;
+        for _ in 0..5000 {
+            let r = xorshift(&mut state);
+            let node = (r % u64::from(SharerBitmap::CAPACITY)) as u16;
+            if r & (1 << 40) == 0 {
+                bm.insert(NodeId(node));
+                reference.insert(node);
+            } else {
+                bm.remove(NodeId(node));
+                reference.remove(&node);
+            }
+            assert_eq!(bm.count() as usize, reference.len());
+            assert_eq!(bm.contains(NodeId(node)), reference.contains(&node));
+        }
+        let got: Vec<u16> = bm.iter().map(|n| n.0).collect();
+        let want: Vec<u16> = reference.iter().copied().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn drain_yields_members_in_order_and_empties_the_set() {
+        let mut bm = SharerBitmap::EMPTY;
+        for n in [64, 2, 1023, 63, 0] {
+            bm.insert(NodeId(n));
+        }
+        let drained: Vec<u16> = bm.drain().map(|n| n.0).collect();
+        assert_eq!(drained, vec![0, 2, 63, 64, 1023]);
+        assert!(bm.is_empty());
+        assert_eq!(bm.iter().count(), 0);
+        assert_eq!(bm.drain().count(), 0);
+    }
+
+    #[test]
+    fn all_below_except_builds_broadcast_targets() {
+        let bm = SharerBitmap::all_below_except(6, NodeId(2));
+        assert_eq!(
+            bm.iter().map(|n| n.0).collect::<Vec<_>>(),
+            vec![0, 1, 3, 4, 5]
+        );
+        // Word-boundary counts and full-capacity machines.
+        assert_eq!(SharerBitmap::all_below_except(64, NodeId(0)).count(), 63);
+        assert_eq!(SharerBitmap::all_below_except(65, NodeId(64)).count(), 64);
+        let full = SharerBitmap::all_below_except(MAX_NODES, NodeId(1023));
+        assert_eq!(full.count(), u32::from(MAX_NODES) - 1);
+        assert!(!full.contains(NodeId(1023)));
+    }
+
+    #[test]
+    fn coarse_note_sharer_rounds_up_to_the_region() {
+        let f = DirFormat::Coarse { region: 4 };
+        let home = NodeId(0);
+        let mut set = f.empty_set();
+        f.note_sharer(&mut set, NodeId(5), 16, home);
+        // Region {4,5,6,7} is recorded, nothing else.
+        for n in 0..16 {
+            assert_eq!(set.contains(NodeId(n)), (4..8).contains(&n), "node {n}");
+        }
+        // The home's region never records the home itself, and regions
+        // clamp at the machine size.
+        let mut set = f.empty_set();
+        f.note_sharer(&mut set, NodeId(1), 6, home);
+        assert!(!set.contains(NodeId(0)));
+        assert!(set.contains(NodeId(1)));
+        assert!(set.contains(NodeId(3)));
+        let mut set = f.empty_set();
+        f.note_sharer(&mut set, NodeId(5), 6, home);
+        assert!(set.contains(NodeId(4)));
+        assert!(set.contains(NodeId(5)));
+        assert!(!set.contains(NodeId(6)));
+        assert_eq!(set.expand(6, home).count(), 2);
+    }
+
+    #[test]
+    fn limited_pointers_stay_sorted_and_overflow_to_broadcast() {
+        let f = DirFormat::Limited { ptrs: 2 };
+        let home = NodeId(0);
+        let mut set = f.just(NodeId(9), 16, home);
+        f.note_sharer(&mut set, NodeId(3), 16, home);
+        f.note_sharer(&mut set, NodeId(3), 16, home); // duplicate: no-op
+        assert_eq!(set.count(), 2);
+        assert!(set.contains(NodeId(3)) && set.contains(NodeId(9)));
+        assert!(!set.contains(NodeId(4)));
+        assert_eq!(
+            set.expand(16, home).iter().map(|n| n.0).collect::<Vec<_>>(),
+            vec![3, 9]
+        );
+        // Same members, different insertion order: identical record.
+        let mut other = f.just(NodeId(3), 16, home);
+        f.note_sharer(&mut other, NodeId(9), 16, home);
+        assert_eq!(set, other);
+        // Third sharer overflows to broadcast.
+        f.note_sharer(&mut set, NodeId(12), 16, home);
+        assert!(matches!(
+            set,
+            SharerSet::Ptrs {
+                len: 0,
+                overflow: true,
+                ..
+            }
+        ));
+        assert!(set.contains(NodeId(7)), "broadcast contains everyone");
+        assert!(!set.is_empty());
+        let targets = set.expand(16, home);
+        assert_eq!(targets.count(), 15, "broadcast hits all but the home");
+        assert!(!targets.contains(home));
+        // Exact removal is impossible after overflow.
+        set.remove(NodeId(7));
+        assert!(set.contains(NodeId(7)));
+    }
+
+    #[test]
+    fn pointer_removal_shifts_and_rezeroes() {
+        let f = DirFormat::Limited { ptrs: 4 };
+        let home = NodeId(0);
+        let mut set = f.just(NodeId(2), 16, home);
+        f.note_sharer(&mut set, NodeId(7), 16, home);
+        f.note_sharer(&mut set, NodeId(4), 16, home);
+        set.remove(NodeId(4));
+        assert_eq!(set.count(), 2);
+        assert!(!set.contains(NodeId(4)));
+        // Removing the rest leaves the canonical empty record.
+        set.remove(NodeId(2));
+        set.remove(NodeId(7));
+        assert!(set.is_empty());
+        assert_eq!(set, SharerSet::NO_PTRS);
+        set.remove(NodeId(9)); // absent: no-op
+        assert_eq!(set, SharerSet::NO_PTRS);
+    }
+
+    #[test]
+    fn parse_round_trips_registry_labels() {
+        for f in DIR_FORMATS {
+            assert_eq!(DirFormat::parse(&f.label()), Ok(f));
+            assert_eq!(DirFormat::parse(f.name()).map(|p| p.name()), Ok(f.name()));
+        }
+        assert_eq!(DirFormat::parse("full-map"), Ok(DirFormat::FullMap));
+        assert_eq!(
+            DirFormat::parse("coarse:8"),
+            Ok(DirFormat::Coarse { region: 8 })
+        );
+        assert_eq!(
+            DirFormat::parse("limited:1"),
+            Ok(DirFormat::Limited { ptrs: 1 })
+        );
+        assert_eq!(
+            DirFormat::parse("sparse:64"),
+            Ok(DirFormat::Sparse { slots: 64 })
+        );
+        for bad in [
+            "fullest",
+            "full:2",
+            "coarse:1",
+            "coarse:x",
+            "limited:0",
+            "limited:99",
+            "sparse:0",
+        ] {
+            assert!(DirFormat::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn storage_accounting_matches_the_textbook_formulas() {
+        // At 1024 nodes: full-map burns 1024 presence bits; coarse:4 a
+        // quarter of that; limited:4 four 10-bit pointers + broadcast.
+        let common = 2 + 10; // tag + owner pointer
+        assert_eq!(DirFormat::FullMap.bits_per_entry(1024), common + 1024);
+        assert_eq!(
+            DirFormat::Coarse { region: 4 }.bits_per_entry(1024),
+            common + 256
+        );
+        assert_eq!(
+            DirFormat::Limited { ptrs: 4 }.bits_per_entry(1024),
+            common + 41
+        );
+        assert_eq!(
+            DirFormat::Sparse { slots: 64 }.bits_per_entry(1024),
+            common + 1024
+        );
+        // Sparse bounds entries; dense formats track every line.
+        assert_eq!(DirFormat::Sparse { slots: 64 }.entries_for(5000), 64);
+        assert_eq!(DirFormat::Sparse { slots: 64 }.entries_for(10), 10);
+        assert_eq!(DirFormat::FullMap.entries_for(5000), 5000);
+    }
+
+    #[test]
+    fn exactness_gates_upgrade_grants() {
+        assert!(DirFormat::FullMap.is_exact());
+        assert!(DirFormat::Sparse { slots: 8 }.is_exact());
+        assert!(!DirFormat::Coarse { region: 4 }.is_exact());
+        assert!(!DirFormat::Limited { ptrs: 4 }.is_exact());
+        // A coarse record never proves an individual node's membership,
+        // even when the bit covering it is set.
+        let coarse = DirFormat::Coarse { region: 4 };
+        let set = coarse.just(NodeId(1), 8, NodeId(0));
+        assert!(set.contains(NodeId(1)));
+        assert!(!coarse.proves_sharer(&set, NodeId(1)));
+        // Limited pointers prove membership exactly until they overflow.
+        let limited = DirFormat::Limited { ptrs: 2 };
+        let mut set = limited.just(NodeId(1), 8, NodeId(0));
+        assert!(limited.proves_sharer(&set, NodeId(1)));
+        assert!(!limited.proves_sharer(&set, NodeId(2)));
+        limited.note_sharer(&mut set, NodeId(2), 8, NodeId(0));
+        limited.note_sharer(&mut set, NodeId(3), 8, NodeId(0));
+        assert!(set.contains(NodeId(1)), "overflow still covers everyone");
+        assert!(!limited.proves_sharer(&set, NodeId(1)));
+        // Full-map membership is always proof.
+        let full = DirFormat::FullMap;
+        let set = full.just(NodeId(1), 8, NodeId(0));
+        assert!(full.proves_sharer(&set, NodeId(1)));
+        assert!(!full.proves_sharer(&set, NodeId(2)));
+    }
+}

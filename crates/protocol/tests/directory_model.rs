@@ -56,8 +56,10 @@ fn apply(dir: &mut Directory, world: &mut World, req: DirRequest) {
             invalidate,
         } => {
             // Machine: send invalidations, collect acks.
-            for _ in invalidate.iter() {
-                let _ = dir.inv_ack(LINE);
+            if let Some(inv) = invalidate {
+                for _ in inv.iter() {
+                    let _ = dir.inv_ack(LINE);
+                }
             }
             *world = if req.requester == HOME {
                 World::Uncached
@@ -75,8 +77,10 @@ fn apply(dir: &mut Directory, world: &mut World, req: DirRequest) {
             };
         }
         DirAction::GrantUpgrade { invalidate } => {
-            for _ in invalidate.iter() {
-                let _ = dir.inv_ack(LINE);
+            if let Some(inv) = invalidate {
+                for _ in inv.iter() {
+                    let _ = dir.inv_ack(LINE);
+                }
             }
             *world = World::Dirty(req.requester);
         }

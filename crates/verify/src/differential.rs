@@ -258,11 +258,25 @@ pub fn conf_config(arch: Architecture) -> SystemConfig {
 /// Runs one (case, architecture) pair and returns the record plus the
 /// full snapshot (for diffing on mismatch).
 pub fn run_case(case: ConfCase, arch: Architecture) -> (ConfRecord, FunctionalSnapshot) {
+    run_case_with_format(case, arch, ccn_protocol::DirFormat::FullMap)
+}
+
+/// [`run_case`] under a chosen directory sharer representation. The
+/// scrub epilogue drives every directory empty, so the functional
+/// snapshot — and therefore the digest — must not depend on the format:
+/// coarse and limited-pointer runs over-invalidate and sparse runs
+/// recall, but what gets *written where* is identical.
+pub fn run_case_with_format(
+    case: ConfCase,
+    arch: Architecture,
+    format: ccn_protocol::DirFormat,
+) -> (ConfRecord, FunctionalSnapshot) {
     let app = ConfApp {
         case,
         l2_bytes: CONF_L2_BYTES,
     };
-    let mut machine = Machine::new(conf_config(arch), &app).expect("valid conformance config");
+    let mut machine = Machine::new(conf_config(arch).with_dir_format(format), &app)
+        .expect("valid conformance config");
     let report = machine.run_with_event_limit(EVENT_LIMIT);
     machine.check_quiescent().unwrap_or_else(|e| {
         panic!(

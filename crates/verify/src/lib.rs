@@ -33,7 +33,8 @@ pub mod model;
 pub mod shrink;
 
 pub use differential::{
-    conformance_cases, run_case, run_conformance, ConfApp, ConfCase, ConfRecord, ARCHS,
+    conformance_cases, run_case, run_case_with_format, run_conformance, ConfApp, ConfCase,
+    ConfRecord, ARCHS,
 };
 pub use explore::{explore, Bounds, Report, Step, Violation};
 pub use model::{CopyState, Label, ModelConfig, ModelState, Mutation, Ordering};

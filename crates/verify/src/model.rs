@@ -28,7 +28,7 @@ use ccn_mem::{LineAddr, NodeId};
 use ccn_protocol::directory::{
     DirAction, DirOutcome, DirRequest, DirRequestKind, DirState, Directory, WritebackOutcome,
 };
-use ccn_protocol::{Msg, MsgClass, MsgKind, SharerBitmap};
+use ccn_protocol::{DirFormat, Msg, MsgClass, MsgKind, SharerBitmap};
 
 /// Message-ordering discipline the model's network enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,6 +101,11 @@ pub struct ModelConfig {
     pub ordering: Ordering,
     /// Seeded protocol bug, if any.
     pub mutation: Mutation,
+    /// Directory sharer representation the home nodes run. Coarse and
+    /// limited-pointer formats over-invalidate (safety is preserved, some
+    /// invalidations are useless); sparse directories add evict-invalidate
+    /// recalls to the explored behavior.
+    pub format: DirFormat,
 }
 
 impl Default for ModelConfig {
@@ -112,6 +117,7 @@ impl Default for ModelConfig {
             evictions: true,
             ordering: Ordering::Causal,
             mutation: Mutation::None,
+            format: DirFormat::FullMap,
         }
     }
 }
@@ -245,7 +251,11 @@ impl ModelState {
         let n = cfg.nodes as usize;
         let l = cfg.lines as usize;
         ModelState {
-            dirs: (0..cfg.nodes).map(|i| Directory::new(NodeId(i))).collect(),
+            dirs: (0..cfg.nodes)
+                .map(|i| {
+                    Directory::with_format(NodeId(i), cfg.lines as usize, cfg.format, cfg.nodes)
+                })
+                .collect(),
             caches: vec![vec![CopyState::Invalid; l]; n],
             mshrs: vec![vec![None; l]; n],
             flights: Vec::new(),
@@ -638,7 +648,7 @@ impl ModelState {
         let home = cfg.home_of(line);
         let la = cfg.addr(line);
         let outcome = self.dirs[home.index()].request(la, DirRequest { kind, requester });
-        match outcome {
+        let outcome_note = match outcome {
             DirOutcome::Busy => "; line busy, request buffered at home".into(),
             DirOutcome::Act(DirAction::AwaitWriteback) => {
                 "; home waits for the requester's in-flight write-back".into()
@@ -659,7 +669,29 @@ impl ModelState {
             DirOutcome::Act(DirAction::GrantUpgrade { invalidate }) => {
                 self.home_supply(cfg, line, kind, requester, true, invalidate, true)
             }
+        };
+        let mut note = outcome_note;
+        note.push_str(&self.drain_recalls(cfg, home.index()));
+        note
+    }
+
+    /// Dispatches evict-invalidate recalls a sparse directory queued while
+    /// handling a request (mirrors `Machine::drain_recalls`). A no-op for
+    /// the dense formats, which never recall.
+    fn drain_recalls(&mut self, cfg: &ModelConfig, dir: usize) -> String {
+        let home = NodeId(dir as u16);
+        let mut note = String::new();
+        while let Some(rc) = self.dirs[dir].take_recall() {
+            let line = rc.line.0 as u8;
+            for target in rc.targets.iter() {
+                self.send(cfg, MsgKind::InvReq, line, home, target, home, 0, 0);
+                note.push_str(&format!(
+                    "; slot recall: InvReq for line {line} to node {}",
+                    target.0
+                ));
+            }
         }
+        note
     }
 
     /// Supplies a line (or upgrade permission) from the home: local-copy
@@ -673,7 +705,7 @@ impl ModelState {
         kind: DirRequestKind,
         requester: NodeId,
         exclusive: bool,
-        invalidate: SharerBitmap,
+        invalidate: Option<SharerBitmap>,
         grant_only: bool,
     ) -> String {
         let home = cfg.home_of(line);
@@ -697,7 +729,7 @@ impl ModelState {
             note.push_str("; home downgrades its dirty copy");
         }
         let payload = self.memory[li];
-        let sharers: Vec<NodeId> = invalidate.iter().collect();
+        let sharers: Vec<NodeId> = invalidate.map_or_else(Vec::new, |s| s.iter().collect());
         let acks = sharers.len() as u16;
         for (i, sharer) in sharers.iter().enumerate() {
             if cfg.mutation == Mutation::HomeDropsInv && i + 1 == sharers.len() {
@@ -771,6 +803,10 @@ impl ModelState {
             let sub = self.home_request(cfg, line, req.kind, req.requester);
             note.push_str(&sub);
         }
+        // The settle hook inside `pop_pending_if_idle` can queue a recall
+        // even when nothing was buffered (an overcommitted sparse slot
+        // claims its victim the moment the line goes idle).
+        note.push_str(&self.drain_recalls(cfg, home.index()));
         note
     }
 
@@ -846,27 +882,59 @@ impl ModelState {
             MsgKind::ReadFwd | MsgKind::ReadExclFwd => self.handle_forward(cfg, msg),
             MsgKind::InvReq => {
                 let mut s = String::new();
+                // A sparse-directory recall can invalidate a *dirty* copy;
+                // the data rides the ack back to home memory, flagged in
+                // `acks_pending` (mirrors `Machine::handle_inv_req`).
+                let mut payload = 0;
+                let mut dirty = 0;
                 if cfg.mutation == Mutation::SharerIgnoresInv {
                     s.push_str("; node KEEPS its copy [mutation]");
                 } else {
-                    if self.caches[ti][li] == CopyState::Invalid {
-                        s.push_str("; copy already gone (useless invalidation)");
+                    match self.caches[ti][li] {
+                        CopyState::Invalid => {
+                            s.push_str("; copy already gone (useless invalidation)");
+                        }
+                        CopyState::Shared(_) => {}
+                        CopyState::Modified(v) => {
+                            payload = v;
+                            dirty = 1;
+                            s.push_str("; recalled dirty copy rides the ack");
+                        }
                     }
                     self.caches[ti][li] = CopyState::Invalid;
                 }
                 if cfg.mutation == Mutation::SharerDropsInvAck {
                     s.push_str("; node DROPS the InvAck [mutation]");
                 } else {
-                    self.send(cfg, MsgKind::InvAck, line, to, home, msg.requester, 0, 0);
+                    self.send(
+                        cfg,
+                        MsgKind::InvAck,
+                        line,
+                        to,
+                        home,
+                        msg.requester,
+                        dirty,
+                        payload,
+                    );
                     s.push_str("; InvAck to home");
                 }
                 s
             }
             MsgKind::InvAck => {
+                if msg.acks_pending != 0 {
+                    // A recalled dirty copy's data (see the InvReq arm).
+                    self.memory[li] = msg.payload;
+                }
                 let out = self.guard("inv-ack", move |d| d.inv_ack(msg.line), ti);
                 match out {
                     Err(why) => format!("; WEDGE: {why}"),
-                    Ok(None) => "; more acks outstanding".into(),
+                    Ok(None) => {
+                        // Recall acks resolve to `None`; the last one idles
+                        // the line, so buffered requests must replay.
+                        let mut s = String::from("; more acks outstanding");
+                        s.push_str(&self.drain_pending(cfg, line));
+                        s
+                    }
                     Ok(Some(done)) => {
                         let mut s = String::from("; last invalidation ack");
                         if done.requester == home {
@@ -1498,7 +1566,7 @@ mod tests {
         assert_eq!(st.copy(1, 0), CopyState::Shared(0));
         assert_eq!(
             st.dirs[0].state_of(LineAddr(0)),
-            DirState::Shared(SharerBitmap::just(NodeId(1)))
+            DirState::Shared(ccn_protocol::SharerSet::Map(SharerBitmap::just(NodeId(1))))
         );
         assert!(st.is_quiescent(&cfg));
         assert!(st.check(&cfg).is_none());
@@ -1654,5 +1722,124 @@ mod tests {
         deliver_all(&cfg, &mut st);
         let (kind, _) = st.check(&cfg).expect("mutation must violate coherence");
         assert_eq!(kind, "swmr");
+    }
+
+    #[test]
+    fn sparse_recall_keeps_the_model_coherent() {
+        let cfg = ModelConfig {
+            nodes: 2,
+            lines: 3,
+            format: DirFormat::Sparse { slots: 1 },
+            ..ModelConfig::default()
+        };
+        let mut st = ModelState::new(&cfg);
+        // Node 1 fills line 0; its home (node 0) has a single dir slot.
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 0,
+                write: false,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        assert_eq!(st.copy(1, 0), CopyState::Shared(0));
+        // Reading line 2 — same home, same slot — evicts line 0 from the
+        // directory, recalling (invalidating) node 1's clean copy.
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 2,
+                write: false,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        assert_eq!(st.copy(1, 2), CopyState::Shared(0));
+        assert_eq!(st.copy(1, 0), CopyState::Invalid);
+        assert!(st.dirs[0].recalled_lines() > 0, "the recall must have run");
+        assert!(st.is_quiescent(&cfg));
+        assert!(st.check(&cfg).is_none());
+        assert!(st.check_quiescent(&cfg).is_none());
+    }
+
+    #[test]
+    fn sparse_recall_of_a_dirty_line_saves_the_data() {
+        let cfg = ModelConfig {
+            nodes: 2,
+            lines: 3,
+            format: DirFormat::Sparse { slots: 1 },
+            ..ModelConfig::default()
+        };
+        let mut st = ModelState::new(&cfg);
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 0,
+                write: true,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        assert_eq!(st.copy(1, 0), CopyState::Modified(1));
+        // The slot steal recalls the *dirty* line; the data must ride the
+        // ack back into home memory (the lost-write invariant checks it).
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 2,
+                write: false,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        assert_eq!(st.copy(1, 0), CopyState::Invalid);
+        assert_eq!(st.version_of(0), 1);
+        assert!(st.is_quiescent(&cfg));
+        assert!(st.check(&cfg).is_none());
+        assert!(st.check_quiescent(&cfg).is_none());
+    }
+
+    #[test]
+    fn coarse_over_invalidation_stays_coherent() {
+        let cfg = ModelConfig {
+            nodes: 4,
+            lines: 1,
+            format: DirFormat::Coarse { region: 2 },
+            ..ModelConfig::default()
+        };
+        let mut st = ModelState::new(&cfg);
+        // Node 2 reads; the coarse map records its whole {2, 3} region.
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 2,
+                line: 0,
+                write: false,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        // Node 1's write fans an InvReq to node 3 as well — useless but
+        // harmless; coherence and directory agreement must survive.
+        st.apply(
+            &cfg,
+            Label::Issue {
+                node: 1,
+                line: 0,
+                write: true,
+            },
+        )
+        .unwrap();
+        deliver_all(&cfg, &mut st);
+        assert_eq!(st.copy(2, 0), CopyState::Invalid);
+        assert_eq!(st.copy(1, 0), CopyState::Modified(1));
+        assert!(st.is_quiescent(&cfg));
+        assert!(st.check(&cfg).is_none());
+        assert!(st.check_quiescent(&cfg).is_none());
     }
 }

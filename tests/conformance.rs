@@ -32,6 +32,34 @@ fn architectures_agree_on_the_torture_envelope() {
 }
 
 #[test]
+fn directory_formats_agree_on_the_functional_outcome() {
+    use ccnuma_repro::ccn_protocol::DirFormat;
+    use ccnuma_repro::ccn_verify::run_case_with_format;
+    // Coarse and limited-pointer formats over-invalidate and a tight
+    // sparse directory recalls aggressively, but none of that may change
+    // *what* is computed: per case, every format must reproduce the
+    // full-map functional digest bit for bit.
+    for case in conformance_cases(3) {
+        let (base, _) = run_case_with_format(case, Architecture::Hwc, DirFormat::FullMap);
+        for format in [
+            DirFormat::Coarse { region: 4 },
+            DirFormat::Limited { ptrs: 2 },
+            DirFormat::Sparse { slots: 16 },
+        ] {
+            let (rec, _) = run_case_with_format(case, Architecture::Hwc, format);
+            assert_eq!(
+                rec.digest,
+                base.digest,
+                "format {} diverged from full-map on case {}",
+                format.label(),
+                case.case
+            );
+            assert_eq!(rec.directory, 0, "scrub must leave no directory residue");
+        }
+    }
+}
+
+#[test]
 fn conformance_runs_are_reproducible() {
     // The digest is a pure function of the case: two runs of the same
     // (case, architecture) pair must agree bit-for-bit, which is what

@@ -110,6 +110,7 @@ fn more_procs_per_node_hurts_all_to_all_apps() {
         scale: ccnuma_repro::ccn_workloads::suite::Scale::Tiny,
         nodes: 16,
         procs_per_node: 4,
+        ..Options::quick()
     };
     let narrow = run_one(
         SuiteApp::Radix,

@@ -42,6 +42,33 @@ fn artifacts(app: &dyn Application, cfg: &SystemConfig, threads: usize) -> (Stri
 }
 
 #[test]
+fn inexact_formats_stay_thread_count_invariant() {
+    use ccnuma_repro::ccn_protocol::DirFormat;
+    // Over-invalidating sharer representations add invalidation fan-out,
+    // and a tight sparse directory adds evict-invalidate recalls; none
+    // of that traffic may depend on the shard schedule. One
+    // representative per non-full-map family.
+    let app = Scenario::new(example("kv_readheavy.json"));
+    for format in [
+        DirFormat::Coarse { region: 2 },
+        DirFormat::Limited { ptrs: 1 },
+        DirFormat::Sparse { slots: 16 },
+    ] {
+        let cfg = scenario_config(Architecture::TwoPpc, 4, 2).with_dir_format(format);
+        let seq = artifacts(&app, &cfg, 1);
+        for threads in [2usize, 4] {
+            let par = artifacts(&app, &cfg, threads);
+            assert_eq!(
+                seq,
+                par,
+                "format {} diverged at {threads} threads",
+                format.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn every_architecture_is_thread_count_invariant() {
     for file in ["kv_readheavy.json", "lock_convoy.json"] {
         let app = Scenario::new(example(file));

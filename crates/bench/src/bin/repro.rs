@@ -7,7 +7,8 @@
 //!
 //! targets: table1 table2 table3 table4 table5 table6 table7
 //!          fig6 fig7 fig8 fig9 fig10 fig11 fig12
-//!          ablations summary run stats trace validate verify golden bench all
+//!          ablations summary run stats trace explain validate verify
+//!          golden bench all
 //!
 //! repro scenario list | check [SPEC...] | run SPEC... | record SPEC | replay FILE
 //! ```
@@ -52,9 +53,20 @@
 //! writes the sampled per-component time series as JSON under `--out`
 //! (default `results/`). `trace` runs the same simulation with protocol
 //! tracing on and exports a Chrome `trace_event` file loadable in
-//! Perfetto or `chrome://tracing` to the same directory. Both JSON
-//! artifacts are deterministic: byte-identical across reruns and worker
-//! counts. See `docs/OBSERVABILITY.md`.
+//! Perfetto or `chrome://tracing` to the same directory
+//! (`--ring-capacity N` sizes the span ring; the artifact header carries
+//! the dropped-span count). Both JSON artifacts are deterministic:
+//! byte-identical across reruns and worker counts.
+//!
+//! `explain` runs the same reference simulation with the transaction
+//! flight recorder on (`--ring-capacity N` retained transactions) and
+//! prints the `--top K` slowest misses — each with its causal hop chain
+//! and an exact cycle decomposition into bus, queueing, occupancy,
+//! network and protocol-stall components — followed by the machine-wide
+//! blame table (per-component shares of all and of p99-tail miss
+//! cycles). `--txn ID` explains one transaction by its stable id
+//! (e.g. `P3#17`) instead. Output is byte-identical across reruns and
+//! `--threads N`. See `docs/OBSERVABILITY.md`.
 //!
 //! The default scale runs the full 16×4 machine with scaled-down data sets
 //! (minutes); `--paper` uses the paper's Table 5 sizes (hours); `--quick`
@@ -68,7 +80,10 @@
 //! completed simulation under `results/checkpoints/`. An interrupted
 //! sweep resumes from its checkpoint; `--fresh` discards recorded results
 //! first. Result tables are byte-identical for every `--jobs` value: all
-//! timing-dependent telemetry goes to stderr.
+//! timing-dependent telemetry goes to stderr. `--metrics DIR` drops a
+//! per-run metrics sidecar (the full latency distributions) for every
+//! simulated job; `--blame` additionally records each run's transaction
+//! flight and stamps a per-component blame summary into the sidecar.
 //!
 //! Orthogonally, `--threads N` runs each *individual* simulation on the
 //! conservative-parallel execution core (`Machine::run_parallel`): the
@@ -203,7 +218,7 @@ fn main() {
     let mut failed = false;
     let mut totals = Totals::default();
     for target in targets {
-        let runner = sweep_runner(target, opts, jobs, sim_threads, &revision, fresh);
+        let runner = sweep_runner(target, opts, jobs, sim_threads, &revision, fresh, &args);
         let start = Instant::now();
         let output = render_target(target, opts, jobs, &args, runner.as_ref(), &mut failed);
         print!("{output}");
@@ -249,6 +264,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--metrics",
     "--threads",
     "--dir-format",
+    "--ring-capacity",
+    "--top",
+    "--txn",
 ];
 
 /// The non-flag arguments, with every value flag's value skipped.
@@ -291,6 +309,7 @@ fn sweep_runner(
     sim_threads: usize,
     revision: &str,
     fresh: bool,
+    args: &[String],
 ) -> Option<Runner> {
     if !SWEEP_TARGETS.contains(&target) {
         return None;
@@ -300,15 +319,23 @@ fn sweep_runner(
     if fresh {
         let _ = std::fs::remove_file(&path);
     }
-    Some(
-        Runner::parallel(opts, jobs)
-            .with_sim_threads(sim_threads)
-            .with_checkpoint(path)
-            .with_meta(vec![
-                ("sweep", Json::Str(sweep.to_string())),
-                ("revision", Json::Str(revision.to_string())),
-            ]),
-    )
+    let mut runner = Runner::parallel(opts, jobs)
+        .with_sim_threads(sim_threads)
+        .with_checkpoint(path)
+        .with_meta(vec![
+            ("sweep", Json::Str(sweep.to_string())),
+            ("revision", Json::Str(revision.to_string())),
+        ]);
+    // `--metrics DIR` drops a per-run metrics sidecar next to the
+    // checkpoints; `--blame` additionally runs each simulation with the
+    // flight recorder on so every sidecar carries a blame summary.
+    if let Some(dir) = flag_value(args, "--metrics") {
+        runner = runner.with_metrics_dir(dir);
+    }
+    if args.iter().any(|a| a == "--blame") {
+        runner = runner.with_blame((uint_flag(args, "--ring-capacity", 1 << 20) as usize).max(1));
+    }
+    Some(runner)
 }
 
 /// Accumulated harness telemetry across every sweep target in one
@@ -451,6 +478,7 @@ fn render_target(
         }
         "stats" => render(&mut out, run_stats_target(opts, args)),
         "trace" => render(&mut out, run_trace_target(opts, args)),
+        "explain" => render(&mut out, run_explain_target(opts, args)),
         "validate" => {
             let (report, ok) = validate(opts);
             render(&mut out, report);
@@ -833,8 +861,9 @@ fn run_stats_target(opts: Options, args: &[String]) -> String {
 fn run_trace_target(opts: Options, args: &[String]) -> String {
     let every = uint_flag(args, "--sample-every", 1000);
     let threads = (uint_flag(args, "--threads", 1) as usize).max(1);
+    let capacity = (uint_flag(args, "--ring-capacity", 1 << 20) as usize).max(1);
     let mut machine = obs_machine(opts);
-    machine.enable_trace(1 << 20);
+    machine.enable_trace(capacity);
     machine.enable_sampler(every);
     let report = machine.run_parallel(threads);
     let mut out = String::new();
@@ -858,6 +887,122 @@ fn run_trace_target(opts: Options, args: &[String]) -> String {
         "load it at https://ui.perfetto.dev or chrome://tracing"
     );
     out
+}
+
+/// The `explain` target: the reference simulation with the transaction
+/// flight recorder on. Prints the slowest misses with their causal hop
+/// chains and exact cycle decompositions, then the machine-wide blame
+/// table; `--txn ID` explains one transaction by id instead.
+fn run_explain_target(opts: Options, args: &[String]) -> String {
+    let top = (uint_flag(args, "--top", 5) as usize).max(1);
+    let capacity = (uint_flag(args, "--ring-capacity", 1 << 20) as usize).max(1);
+    let threads = (uint_flag(args, "--threads", 1) as usize).max(1);
+    let mut machine = obs_machine(opts);
+    machine.enable_flight_recorder(capacity);
+    machine.run_parallel(threads);
+    let recorder = machine.flight().expect("flight recorder was enabled");
+    let blame = recorder.blame();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flight recorder: Ocean on HWC, {} transaction(s) completed ({} retained, {} dropped)",
+        blame.transactions, blame.retained, blame.dropped
+    );
+    match flag_value(args, "--txn") {
+        Some(spec) => {
+            let Some(id) = ccn_obs::TxnId::parse(&spec) else {
+                let _ = writeln!(out, "--txn wants an id like P3#17, got '{spec}'");
+                return out;
+            };
+            match recorder.find(id) {
+                Some(rec) => explain_txn(&mut out, rec),
+                None => {
+                    let _ = writeln!(out, "transaction {id} is not in the recorder ring");
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(out, "\nslowest {top} transaction(s):");
+            for rec in recorder.slowest(top) {
+                explain_txn(&mut out, rec);
+            }
+        }
+    }
+    render_blame(&mut out, &blame);
+    out
+}
+
+/// One transaction's explanation: identity line, exact decomposition,
+/// and the causal hop chain across node/engine tracks.
+fn explain_txn(out: &mut String, rec: &ccn_obs::TxnRecord) {
+    let latency = rec.latency();
+    let _ = writeln!(
+        out,
+        "\n{}  {} of line {:#x} by node {}: cycles {}..{} = {} cycle(s)",
+        rec.id, rec.op, rec.line, rec.node, rec.issue, rec.complete, latency
+    );
+    let parts: Vec<String> = ccn_obs::Category::ALL
+        .iter()
+        .filter_map(|cat| {
+            let cycles = rec.components[cat.index()];
+            (cycles > 0).then(|| {
+                format!(
+                    "{} {} ({:.1}%)",
+                    cat.label(),
+                    cycles,
+                    100.0 * cycles as f64 / latency.max(1) as f64
+                )
+            })
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "  decomposition: {} = {} cycle(s)",
+        parts.join(" + "),
+        rec.components_sum()
+    );
+    for hop in &rec.hops {
+        let _ = writeln!(
+            out,
+            "    @{:<10} node{:<4} engine{}  {:<44} [{}] {} cycle(s)",
+            hop.time, hop.at_node, hop.engine, hop.handler, hop.phase, hop.occupancy
+        );
+    }
+}
+
+/// The machine-wide blame table: each component's share of all measured
+/// miss cycles and of the p99 latency tail's cycles.
+fn render_blame(out: &mut String, blame: &ccn_obs::BlameSummary) {
+    let _ = writeln!(
+        out,
+        "\nblame: {} miss cycle(s) across {} retained transaction(s)",
+        blame.total_cycles, blame.retained
+    );
+    if let Some(threshold) = blame.p99_threshold {
+        let _ = writeln!(
+            out,
+            "p99 tail: transactions at >= {threshold} cycle(s), {} cycle(s) total",
+            blame.tail_cycles
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>8} {:>14} {:>10}",
+        "component", "cycles", "share", "tail cycles", "tail share"
+    );
+    for cat in ccn_obs::Category::ALL {
+        let cycles = blame.component_cycles[cat.index()];
+        let tail = blame.tail_component_cycles[cat.index()];
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14} {:>7.1}% {:>14} {:>9.1}%",
+            cat.label(),
+            cycles,
+            100.0 * cycles as f64 / blame.total_cycles.max(1) as f64,
+            tail,
+            100.0 * tail as f64 / blame.tail_cycles.max(1) as f64
+        );
+    }
 }
 
 /// The `verify` target: bounded exhaustive model checking, a checker

@@ -46,6 +46,7 @@ pub const TARGETS: &[&str] = &[
     "run",
     "stats",
     "trace",
+    "explain",
     "validate",
     "verify",
     "golden",
@@ -61,6 +62,7 @@ pub const EXTRA_TARGETS: &[&str] = &[
     "run",
     "stats",
     "trace",
+    "explain",
     "validate",
     "verify",
     "golden",

@@ -352,8 +352,8 @@ fn req(kind: DirRequestKind, requester: NodeId) -> DirRequest {
 /// One full reference simulation: Ocean on the HWC architecture — quick
 /// scale for the smoke gate, the default reproduction scale otherwise.
 /// Throughput is simulation events per wall-clock second. With `obs`,
-/// the run carries the full observability load: a protocol-trace ring
-/// and the stats-spine sampler.
+/// the run carries the full observability load: a protocol-trace ring,
+/// the stats-spine sampler, and the transaction flight recorder.
 fn bench_end_to_end(quick: bool, obs: bool) -> CaseResult {
     let opts = if quick {
         Options::quick()
@@ -367,6 +367,7 @@ fn bench_end_to_end(quick: bool, obs: bool) -> CaseResult {
     if obs {
         machine.enable_trace(1 << 16);
         machine.enable_sampler(if quick { 500 } else { 10_000 });
+        machine.enable_flight_recorder(1 << 16);
     }
     // Arm the allocation gate: the machine starts counting when it
     // resets statistics for the measured phase and stops when the event
@@ -392,7 +393,11 @@ fn bench_end_to_end(quick: bool, obs: bool) -> CaseResult {
         );
     }
     if obs {
-        std::hint::black_box((machine.trace().len(), machine.timeline().map(|t| t.len())));
+        std::hint::black_box((
+            machine.trace().len(),
+            machine.timeline().map(|t| t.len()),
+            machine.flight().map(|f| f.transactions()),
+        ));
     }
     CaseResult {
         name: "end_to_end_reference",

@@ -42,6 +42,20 @@ pub enum BusOp {
     DataDeliver,
 }
 
+impl BusOp {
+    /// Stable label for traces and flight-recorder records.
+    pub fn label(self) -> &'static str {
+        match self {
+            BusOp::Read => "Read",
+            BusOp::ReadExcl => "ReadExcl",
+            BusOp::Upgrade => "Upgrade",
+            BusOp::WriteBack => "WriteBack",
+            BusOp::Invalidate => "Invalidate",
+            BusOp::DataDeliver => "DataDeliver",
+        }
+    }
+}
+
 /// Timing parameters of the SMP bus.
 #[derive(Debug, Clone, Copy)]
 pub struct BusConfig {
@@ -189,6 +203,22 @@ impl Component for SmpBus {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bus_op_labels_are_unique() {
+        let ops = [
+            BusOp::Read,
+            BusOp::ReadExcl,
+            BusOp::Upgrade,
+            BusOp::WriteBack,
+            BusOp::Invalidate,
+            BusOp::DataDeliver,
+        ];
+        let mut labels: Vec<&str> = ops.iter().map(|o| o.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ops.len());
+    }
 
     #[test]
     fn address_slots_are_paced() {

@@ -316,7 +316,10 @@ impl<R> ccn_sim::Component for CoherenceController<R> {
             .counter("occupancy_cycles", agg.occupancy)
             .counter("queue_depth", total_depth as u64)
             .gauge("mean_queue_delay", agg.queue_delay.mean())
-            .gauge("p99_queue_delay", agg.queue_delay_hist.quantile(0.99));
+            .gauge(
+                "p99_queue_delay",
+                agg.queue_delay_hist.quantile(0.99).unwrap_or(0.0),
+            );
         for (idx, e) in self.engines.iter().enumerate() {
             snap.children.push(
                 ccn_sim::ComponentStats::named(format!(

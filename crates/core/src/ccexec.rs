@@ -20,6 +20,28 @@ use crate::steps::{run_steps, CcRequest, StepRun};
 impl Machine {
     pub(crate) fn execute_handler(&mut self, n: usize, engine: usize, req: CcRequest, now: Cycle) {
         self.set_current_engine(engine as u8);
+        // Key the handler to the transaction it serves (the requesting
+        // node / line pair) and attribute the time since the previous
+        // milestone: dispatch-queue wait for fresh work, protocol stall
+        // for replays of Busy/Recall-deferred requests. Write-backs run
+        // on behalf of no live transaction.
+        self.flight_key = match &req {
+            CcRequest::Bus { line, .. } => Some((n as u16, line.0)),
+            CcRequest::Replay {
+                line, requester, ..
+            } => Some((requester.0, line.0)),
+            CcRequest::Net(msg) => Some((msg.requester.0, msg.line.0)),
+            CcRequest::Writeback { .. } => None,
+        };
+        let stall = matches!(req, CcRequest::Replay { .. });
+        self.record_flight_milestone(
+            now,
+            if stall {
+                ccn_obs::flight::Category::Stall
+            } else {
+                ccn_obs::flight::Category::Queue
+            },
+        );
         let end = match req {
             CcRequest::Bus { kind, line } => {
                 if self.home_index(line) == n {
@@ -88,6 +110,26 @@ impl Machine {
             start,
         );
         self.record_trace(start, n, kind.paper_label(), line, run.end - start);
+        if let Some((node, txn_line)) = self.flight_key {
+            self.record_flight(ccn_obs::FlightEvent::Hop {
+                node,
+                line: txn_line,
+                hop: ccn_obs::flight::Hop {
+                    time: start,
+                    at_node: n as u16,
+                    engine: self.current_engine,
+                    occupancy: run.end - start,
+                    handler: kind.paper_label(),
+                    phase: kind.phase().label(),
+                },
+            });
+            self.record_flight(ccn_obs::FlightEvent::Milestone {
+                node,
+                line: txn_line,
+                time: run.end,
+                cat: ccn_obs::flight::Category::Occupancy,
+            });
+        }
         run
     }
 

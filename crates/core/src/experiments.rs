@@ -143,9 +143,31 @@ pub fn run_one_threaded(
     mods: ConfigMods,
     threads: usize,
 ) -> SimReport {
+    run_one_instrumented(app, arch, opts, mods, threads, None)
+}
+
+/// [`run_one_threaded`] with an optional transaction flight recorder of
+/// the given ring capacity. When enabled, the returned report carries a
+/// [`blame`](SimReport::blame) summary; timing and every other report
+/// field are unchanged (the recorder is strictly observational).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_one`].
+pub fn run_one_instrumented(
+    app: SuiteApp,
+    arch: Architecture,
+    opts: Options,
+    mods: ConfigMods,
+    threads: usize,
+    flight_capacity: Option<usize>,
+) -> SimReport {
     let cfg = config_for(app, arch, opts, mods);
     let instance = app.instantiate(opts.scale);
     let mut machine = Machine::new(cfg, instance.as_ref()).expect("experiment config is valid");
+    if let Some(capacity) = flight_capacity {
+        machine.enable_flight_recorder(capacity);
+    }
     machine.run_parallel(threads)
 }
 

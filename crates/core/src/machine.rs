@@ -10,6 +10,7 @@ use ccn_mem::{
     AccessKind, AddressMap, LineAddr, LineState, LineTable, NodeId, PageMap, ProcId, SetAssocCache,
 };
 use ccn_net::Network;
+use ccn_obs::flight::{Category, FlightEvent, FlightRecorder};
 use ccn_protocol::directory::{DirRequestKind, DirState, SharerBitmap, SharerSet};
 use ccn_protocol::{Msg, MsgClass};
 use ccn_sim::{Component, ComponentStats, Cycle, EventQueue, FxHashMap, FxHashSet, Port};
@@ -245,6 +246,12 @@ pub struct Machine {
     pub(crate) current_engine: u8,
     /// Optional bounded protocol trace (oldest events dropped).
     pub(crate) trace: Option<TraceRing>,
+    /// Optional transaction flight recorder (see
+    /// [`enable_flight_recorder`](Machine::enable_flight_recorder)).
+    pub(crate) flight: Option<FlightRecorder>,
+    /// Transaction key `(requesting node, line)` of the handler currently
+    /// executing, so occupancy spans land on the right transaction.
+    pub(crate) flight_key: Option<(u16, u64)>,
     /// Events scheduled by shard wheels of a finished parallel run, folded
     /// into [`Machine::events_scheduled`] at reassembly.
     pub(crate) extra_scheduled: u64,
@@ -372,6 +379,8 @@ impl Machine {
             sampler: None,
             current_engine: 0,
             trace: None,
+            flight: None,
+            flight_key: None,
             extra_scheduled: 0,
             #[cfg(feature = "component-trace")]
             trace_hook: None,
@@ -581,6 +590,54 @@ impl Machine {
     #[cfg(feature = "component-trace")]
     pub fn set_trace_hook(&mut self, hook: fn(&TraceEvent)) {
         self.trace_hook = Some(hook);
+    }
+
+    /// Records every coherence transaction's causal span events into a
+    /// [`FlightRecorder`] retaining the most recent `capacity` completed
+    /// transactions — each with an exact cycle decomposition into bus,
+    /// queueing, occupancy, network and protocol-stall components that
+    /// sums to its recorded miss latency. Strictly observational; call
+    /// before [`run`](Machine::run).
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::new(capacity));
+    }
+
+    /// The transaction flight recorder, if
+    /// [`enable_flight_recorder`](Machine::enable_flight_recorder) was
+    /// called.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    pub(crate) fn record_flight(&mut self, event: FlightEvent) {
+        if let Some(ctx) = self.queue.shard_ctx() {
+            // Shard machines buffer flight events per window, tagged with
+            // the executing event's log index; the barrier merges them
+            // into the coordinator's recorder in canonical order, so ids,
+            // decompositions and ring drops match the sequential run.
+            if ctx.collect_flight {
+                let xi = ctx.cur_xi;
+                ctx.flight_log.push((xi, event));
+            }
+            return;
+        }
+        if let Some(recorder) = &mut self.flight {
+            recorder.apply(event);
+        }
+    }
+
+    /// Records a milestone for the transaction the currently-executing
+    /// handler serves (no-op when the handler runs on a transaction the
+    /// recorder is not tracking, e.g. evictions and recalls).
+    pub(crate) fn record_flight_milestone(&mut self, time: Cycle, cat: Category) {
+        if let Some((node, line)) = self.flight_key {
+            self.record_flight(FlightEvent::Milestone {
+                node,
+                line,
+                time,
+                cat,
+            });
+        }
     }
 
     /// Marks `engine` as the executor of the handler about to run, so
@@ -871,6 +928,12 @@ impl Machine {
         ccn_sim::alloc_gate::phase_start();
         self.measure_start = t;
         self.start_measurement_local(t);
+        // Aggregate flight-recorder state resets with the histograms it
+        // mirrors; in-flight transactions stay live (their fills land in
+        // the measured miss-latency histograms, so the recorder keeps
+        // them too). Parallel runs route the same reset through the
+        // stalling shard's event log instead (see `apply_sync`).
+        self.record_flight(FlightEvent::MeasureReset);
         Component::reset_stats(&mut self.net);
         SyncState::reset_stats(&mut self.sync);
         if let Some(sampler) = &mut self.sampler {
@@ -945,6 +1008,21 @@ impl Machine {
         } else {
             DirRequestKind::ReadExcl
         };
+        // The transaction begins here: the miss is detected and the
+        // processor blocked. Fast paths below complete without further
+        // milestones (pure bus service); the slow path adds one per hop.
+        let op = match kind {
+            DirRequestKind::Read => ccn_bus::BusOp::Read,
+            DirRequestKind::Upgrade => ccn_bus::BusOp::Upgrade,
+            DirRequestKind::ReadExcl => ccn_bus::BusOp::ReadExcl,
+        };
+        self.record_flight(FlightEvent::Begin {
+            node: n as u16,
+            proc: p as u32,
+            line: line.0,
+            time: t,
+            op: op.label(),
+        });
         // 1) Intra-node service from another local cache. Fill timing
         // follows the granted data-bus slot, so big SMP nodes feel their
         // shared-bus bandwidth.
@@ -1056,6 +1134,14 @@ impl Machine {
             EngineRole::Remote
         };
         let latched = snoop + self.cfg.lat.cc_request_latch;
+        // Issue → bus latch rides the local bus (arbitration + snoop +
+        // controller latch); everything after is queueing at the engine.
+        self.record_flight(FlightEvent::Milestone {
+            node: n as u16,
+            line: line.0,
+            time: latched,
+            cat: Category::Bus,
+        });
         self.enqueue_cc(
             n,
             role,
@@ -1161,6 +1247,15 @@ impl Machine {
         // The message is already at the NI; it enters the dispatch queue
         // immediately.
         let time = self.queue.now();
+        // Wire time up to this delivery belongs to the network; the
+        // requester/line pair keys the transaction the message serves
+        // (a no-op for untracked traffic such as write-backs).
+        self.record_flight(FlightEvent::Milestone {
+            node: msg.requester.0,
+            line: msg.line.0,
+            time,
+            cat: Category::Net,
+        });
         self.enqueue_cc(n, role, msg.kind.class(), time, CcRequest::Net(msg));
     }
 
@@ -1180,6 +1275,13 @@ impl Machine {
             let latency = at - self.procs[p].local_time;
             self.miss_latency.record(latency);
             self.node_miss_latency[n].record(latency);
+            // Completion shares the histogram's guard, so the recorder's
+            // transaction count and latencies agree with it exactly.
+            self.record_flight(FlightEvent::Complete {
+                node: n as u16,
+                line: line.0,
+                time: at,
+            });
         }
         self.procs[p].l2.unpin(line);
         let eviction = if self.procs[p].l2.state_of(line) != LineState::Invalid {
@@ -1515,6 +1617,7 @@ impl Machine {
             net_transit_hist: self.net.transit_histogram().clone(),
             useless_invalidations: self.useless_invalidations,
             trace_dropped: self.trace_dropped(),
+            blame: self.flight.as_ref().map(|f| f.blame()),
             arrival_cv: {
                 let mut inter = ccn_sim::stats::Accumulator::new();
                 for node in &self.nodes {

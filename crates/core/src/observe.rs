@@ -47,6 +47,26 @@ impl Machine {
                 vec![("line", Json::UInt(ev.line.0))],
             );
         }
+        // Trace-ring health travels in the document header, so a viewer
+        // (or the trace artifact's reader) sees truncation at a glance.
+        trace.set_other_data("trace_dropped", Json::UInt(self.trace_dropped()));
+        if let Some(recorder) = self.flight() {
+            // Flow arrows link each transaction's handler spans across
+            // node/engine tracks, in hop order; single-hop transactions
+            // have nothing to link and are skipped by `add_flow`.
+            trace.set_other_data("flight_dropped", Json::UInt(recorder.dropped()));
+            for rec in recorder.completed() {
+                let id = (u64::from(rec.id.proc) << 32) | u64::from(rec.id.seq);
+                trace.add_flow(
+                    id,
+                    rec.id.to_string(),
+                    rec.hops
+                        .iter()
+                        .map(|h| (u64::from(h.at_node), u64::from(h.engine), h.time))
+                        .collect(),
+                );
+            }
+        }
         if let Some(timeline) = self.timeline() {
             let keys: Vec<(String, &str)> = timeline
                 .series_keys()
@@ -89,7 +109,11 @@ fn controller_node_index(path: &str) -> Option<usize> {
 /// latency distributions behind the report's scalar summaries, in the
 /// deterministic JSON histogram form.
 pub fn report_metrics(report: &SimReport) -> Json {
-    Json::obj([
+    let mut fields = vec![
+        (
+            "schema_version",
+            Json::UInt(ccn_obs::SIDECAR_SCHEMA_VERSION),
+        ),
         ("architecture", Json::Str(report.architecture.clone())),
         ("workload", Json::Str(report.workload.clone())),
         ("exec_cycles", Json::UInt(report.exec_cycles)),
@@ -114,7 +138,11 @@ pub fn report_metrics(report: &SimReport) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if let Some(blame) = &report.blame {
+        fields.push(("blame", blame.to_json()));
+    }
+    Json::obj(fields)
 }
 
 #[cfg(test)]

@@ -147,6 +147,13 @@ pub(crate) struct ShardCtx {
     /// Trace events recorded this window, tagged with the executing
     /// event's log index for canonical re-ordering at the barrier.
     pub trace_log: Vec<(u32, TraceEvent)>,
+    /// Whether the coordinator has a transaction flight recorder enabled
+    /// (shard machines collect into `flight_log` instead of applying).
+    pub collect_flight: bool,
+    /// Flight-recorder events recorded this window, tagged like
+    /// `trace_log` and merged into the coordinator's recorder at the
+    /// barrier in canonical order.
+    pub flight_log: Vec<(u32, ccn_obs::FlightEvent)>,
     /// Set when the current event hit a synchronization operation; the
     /// coordinator applies it and resumes the shard.
     pub stall: Option<StallRecord>,
@@ -481,6 +488,8 @@ fn execute(
                 pending_sends: Vec::new(),
                 collect_trace: coord.trace.is_some(),
                 trace_log: Vec::new(),
+                collect_flight: coord.flight.is_some(),
+                flight_log: Vec::new(),
                 stall: None,
             })),
             procs: Sliced::part(range.start * ppn, procs),
@@ -504,6 +513,8 @@ fn execute(
             sampler: None,
             current_engine: 0,
             trace: None,
+            flight: None,
+            flight_key: None,
             extra_scheduled: 0,
             #[cfg(feature = "component-trace")]
             trace_hook: None,
@@ -719,6 +730,7 @@ fn execute(
             // merge traces, seal keys, deliver cross-shard work.
             let mut logs: Vec<Vec<LogRec<()>>> = Vec::with_capacity(nshards);
             let mut traces: Vec<Vec<(u32, TraceEvent)>> = Vec::with_capacity(nshards);
+            let mut flights: Vec<Vec<(u32, ccn_obs::FlightEvent)>> = Vec::with_capacity(nshards);
             for m in machines.iter_mut() {
                 let ctx = m
                     .as_mut()
@@ -729,6 +741,7 @@ fn execute(
                 logs.push(std::mem::take(&mut ctx.exec_log));
                 sends.append(&mut ctx.pending_sends);
                 traces.push(std::mem::take(&mut ctx.trace_log));
+                flights.push(std::mem::take(&mut ctx.flight_log));
             }
             executed += logs.iter().map(Vec::len).sum::<usize>() as u64;
             if executed > max_events {
@@ -742,7 +755,7 @@ fn execute(
             // The merged order itself is only consumed by the trace ring
             // and the (at most once per run) hub-stats reset; ranks alone
             // seal every escaping key.
-            if coord.trace.is_some() || net_reset.is_some() {
+            if coord.trace.is_some() || coord.flight.is_some() || net_reset.is_some() {
                 merger.rank_into(end, &mut order);
             } else {
                 merger.rank_only(end);
@@ -759,6 +772,25 @@ fn execute(
                 debug_assert!(
                     ptr.iter().zip(&traces).all(|(&p, t)| p == t.len()),
                     "trace events left unmerged at the barrier"
+                );
+            }
+            if let Some(recorder) = &mut coord.flight {
+                // Same canonical-order merge as the trace ring: per-shard
+                // buffers are sorted by log index with intra-event order
+                // preserved, so the coordinator's recorder sees the exact
+                // sequential event stream (ids, ring drops and the
+                // measurement reset all land at their sequential spots).
+                let mut ptr = vec![0usize; nshards];
+                for &(s, xi) in &order {
+                    let s = s as usize;
+                    while ptr[s] < flights[s].len() && flights[s][ptr[s]].0 == xi {
+                        recorder.apply(flights[s][ptr[s]].1);
+                        ptr[s] += 1;
+                    }
+                }
+                debug_assert!(
+                    ptr.iter().zip(&flights).all(|(&p, t)| p == t.len()),
+                    "flight events left unmerged at the barrier"
                 );
             }
             for m in machines.iter_mut() {
@@ -988,6 +1020,22 @@ fn apply_sync(
                     SyncState::reset_stats(&mut coord.sync);
                     if let Some(sampler) = &mut coord.sampler {
                         sampler.arm(rec.t);
+                    }
+                    if coord.flight.is_some() {
+                        // Route the recorder's measurement reset through
+                        // the stalling shard's event log: the barrier
+                        // merge preserves intra-event push order, so the
+                        // reset reaches the coordinator's recorder at the
+                        // exact position `start_measurement` applies it
+                        // sequentially.
+                        let ctx = machines[shard]
+                            .as_mut()
+                            .expect("machine home")
+                            .queue
+                            .shard_ctx()
+                            .expect("shard machine");
+                        ctx.flight_log
+                            .push((rec.xi, ccn_obs::FlightEvent::MeasureReset));
                     }
                 }
             }

@@ -109,6 +109,10 @@ pub struct SimReport {
     /// controllers (1 ≈ Poisson; larger = bursty, the paper's explanation
     /// for FFT's outsized queueing delay).
     pub arrival_cv: f64,
+    /// Machine-wide per-component miss-cycle blame decomposition (`None`
+    /// unless the transaction flight recorder was enabled; see
+    /// [`Machine::enable_flight_recorder`](crate::Machine::enable_flight_recorder)).
+    pub blame: Option<ccn_obs::BlameSummary>,
 }
 
 impl SimReport {
@@ -250,17 +254,17 @@ impl SimReport {
             out,
             "miss latency: mean {:.0} ns, p50 {:.0} ns, p90 {:.0} ns, p99 {:.0} ns, max {:.0} ns; arrival burstiness CV {:.2}",
             self.miss_latency_ns.0,
-            ns * self.miss_latency_hist.quantile(0.50),
-            ns * self.miss_latency_hist.quantile(0.90),
-            ns * self.miss_latency_hist.quantile(0.99),
+            ns * self.miss_latency_hist.quantile(0.50).unwrap_or(0.0),
+            ns * self.miss_latency_hist.quantile(0.90).unwrap_or(0.0),
+            ns * self.miss_latency_hist.quantile(0.99).unwrap_or(0.0),
             self.miss_latency_ns.1,
             self.arrival_cv
         );
         let _ = writeln!(
             out,
             "queueing: controller p99 {:.0} ns, network transit p99 {:.0} ns",
-            ns * self.cc_queue_delay_hist.quantile(0.99),
-            ns * self.net_transit_hist.quantile(0.99)
+            ns * self.cc_queue_delay_hist.quantile(0.99).unwrap_or(0.0),
+            ns * self.net_transit_hist.quantile(0.99).unwrap_or(0.0)
         );
         if self.trace_dropped > 0 {
             let _ = writeln!(
@@ -374,6 +378,7 @@ mod tests {
             useless_invalidations: 0,
             trace_dropped: 0,
             arrival_cv: 0.0,
+            blame: None,
         }
     }
 

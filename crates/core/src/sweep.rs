@@ -23,7 +23,7 @@ use ccn_harness::{checkpoint, run_jobs, CheckpointWriter, Job, Json, PoolConfig,
 use ccn_workloads::suite::{Scale, SuiteApp};
 
 use crate::config::Architecture;
-use crate::experiments::{run_one_threaded, ConfigMods, Options};
+use crate::experiments::{run_one_instrumented, ConfigMods, Options};
 use crate::report::SimReport;
 
 /// Short stable tag for a problem scale (used in job ids and checkpoint
@@ -263,6 +263,7 @@ pub struct Runner {
     checkpoint: Option<PathBuf>,
     checkpoint_meta: Vec<(&'static str, Json)>,
     metrics_dir: Option<PathBuf>,
+    flight_capacity: Option<usize>,
     tally: Mutex<SweepStats>,
 }
 
@@ -280,6 +281,7 @@ impl Runner {
             checkpoint: None,
             checkpoint_meta: Vec::new(),
             metrics_dir: None,
+            flight_capacity: None,
             tally: Mutex::new(SweepStats::default()),
         }
     }
@@ -296,6 +298,7 @@ impl Runner {
             checkpoint: None,
             checkpoint_meta: Vec::new(),
             metrics_dir: None,
+            flight_capacity: None,
             tally: Mutex::new(SweepStats::default()),
         }
     }
@@ -331,6 +334,16 @@ impl Runner {
     /// sidecar the recording sweep wrote.
     pub fn with_metrics_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.metrics_dir = Some(dir.into());
+        self
+    }
+
+    /// Runs every job with a transaction flight recorder of the given
+    /// ring capacity, so each metrics sidecar carries a per-run `blame`
+    /// summary (component shares of total and tail miss cycles). The
+    /// recorder is strictly observational: records and checkpoints are
+    /// byte-identical with it on or off.
+    pub fn with_blame(mut self, ring_capacity: usize) -> Self {
+        self.flight_capacity = Some(ring_capacity.max(1));
         self
     }
 
@@ -381,8 +394,10 @@ impl Runner {
         let jobs: Vec<(String, RunKey)> = keys.iter().map(|k| (k.id(opts), *k)).collect();
         let metrics_dir = self.metrics_dir.clone();
         let sim_threads = self.sim_threads;
+        let flight_capacity = self.flight_capacity;
         self.run_keyed(jobs, move |k| {
-            let report = run_one_threaded(k.app, k.arch, opts, k.mods, sim_threads);
+            let report =
+                run_one_instrumented(k.app, k.arch, opts, k.mods, sim_threads, flight_capacity);
             if let Some(dir) = &metrics_dir {
                 let payload = crate::observe::report_metrics(&report);
                 ccn_obs::write_sidecar(dir, &k.id(opts), &payload)

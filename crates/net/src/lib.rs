@@ -218,7 +218,7 @@ impl Component for Network {
         let mut snap = ComponentStats::named("net")
             .counter("messages", self.messages)
             .counter("bytes", self.bytes)
-            .gauge("p99_transit", self.transit.quantile(0.99));
+            .gauge("p99_transit", self.transit.quantile(0.99).unwrap_or(0.0));
         for port in self.egress.iter().chain(self.ingress.iter()) {
             snap.children.push(port.stats_snapshot());
         }

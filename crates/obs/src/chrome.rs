@@ -43,6 +43,14 @@ struct Counter {
     values: Vec<(String, f64)>,
 }
 
+#[derive(Debug, Clone)]
+struct Flow {
+    id: u64,
+    name: String,
+    /// `(pid, tid, ts)` anchors, in causal order.
+    points: Vec<(u64, u64, Cycle)>,
+}
+
 /// Accumulates simulation events and renders them as one Chrome
 /// `trace_event` JSON document.
 ///
@@ -58,8 +66,10 @@ struct Counter {
 pub struct ChromeTrace {
     spans: Vec<Span>,
     counters: Vec<Counter>,
+    flows: Vec<Flow>,
     process_names: BTreeMap<u64, String>,
     thread_names: BTreeMap<(u64, u64), String>,
+    other_data: BTreeMap<String, Json>,
 }
 
 impl ChromeTrace {
@@ -119,9 +129,35 @@ impl ChromeTrace {
         });
     }
 
+    /// Adds a flow (`"s"`/`"t"`/`"f"` chain) linking the given
+    /// `(pid, tid, ts)` anchors in causal order — the arrows tracing one
+    /// transaction across node/engine tracks. Flows with fewer than two
+    /// anchors have nothing to link and are dropped.
+    pub fn add_flow(&mut self, id: u64, name: impl Into<String>, points: Vec<(u64, u64, Cycle)>) {
+        if points.len() < 2 {
+            return;
+        }
+        self.flows.push(Flow {
+            id,
+            name: name.into(),
+            points,
+        });
+    }
+
+    /// Sets one entry of the document's top-level `otherData` metadata
+    /// object (e.g. the trace ring's dropped-event count).
+    pub fn set_other_data(&mut self, key: impl Into<String>, value: Json) {
+        self.other_data.insert(key.into(), value);
+    }
+
     /// Number of span events added so far.
     pub fn span_count(&self) -> usize {
         self.spans.len()
+    }
+
+    /// Number of flow chains added so far.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
     }
 
     /// Renders the trace as a `trace_event` JSON document: metadata
@@ -164,6 +200,32 @@ impl ChromeTrace {
             }
             events.push(Json::obj(obj));
         }
+        let mut flows = self.flows;
+        flows.sort_by(|a, b| a.id.cmp(&b.id).then_with(|| a.name.cmp(&b.name)));
+        for f in flows {
+            let last = f.points.len() - 1;
+            for (i, (pid, tid, ts)) in f.points.into_iter().enumerate() {
+                let ph = match i {
+                    0 => "s",
+                    _ if i == last => "f",
+                    _ => "t",
+                };
+                let mut obj = vec![
+                    ("ph", Json::Str(ph.into())),
+                    ("pid", Json::UInt(pid)),
+                    ("tid", Json::UInt(tid)),
+                    ("name", Json::Str(f.name.clone())),
+                    ("cat", Json::Str("txn".into())),
+                    ("id", Json::UInt(f.id)),
+                    ("ts", Json::Num(cycles_to_us(ts))),
+                ];
+                if ph == "f" {
+                    // Bind the terminating arrow to the enclosing slice.
+                    obj.push(("bp", Json::Str("e".into())));
+                }
+                events.push(Json::obj(obj));
+            }
+        }
         let mut counters = self.counters;
         counters
             .sort_by(|a, b| (a.pid, a.name.as_str(), a.ts).cmp(&(b.pid, b.name.as_str(), b.ts)));
@@ -184,10 +246,17 @@ impl ChromeTrace {
                 ),
             ]));
         }
-        Json::obj([
+        let mut doc = vec![
             ("displayTimeUnit", Json::Str("ns".into())),
             ("traceEvents", Json::Arr(events)),
-        ])
+        ];
+        if !self.other_data.is_empty() {
+            doc.push((
+                "otherData",
+                Json::Obj(self.other_data.into_iter().collect()),
+            ));
+        }
+        Json::obj(doc)
     }
 }
 
@@ -252,6 +321,42 @@ mod tests {
         );
         // The document parses back as JSON.
         ccn_harness::json::parse(&j.to_string()).unwrap();
+    }
+
+    #[test]
+    fn flows_render_start_step_finish() {
+        let mut t = ChromeTrace::new();
+        t.add_flow(7, "P0#3", vec![(0, 0, 10), (1, 0, 40), (0, 0, 90)]);
+        // Too short to link anything: dropped.
+        t.add_flow(8, "P1#0", vec![(0, 0, 5)]);
+        assert_eq!(t.flow_count(), 1);
+        let evs = events(&t.into_json());
+        let phs: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert_eq!(phs, ["s", "t", "f"]);
+        let finish = evs.last().unwrap();
+        assert_eq!(finish.get("bp").and_then(Json::as_str), Some("e"));
+        assert_eq!(finish.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(finish.get("cat").and_then(Json::as_str), Some("txn"));
+    }
+
+    #[test]
+    fn other_data_appears_only_when_set() {
+        let bare = ChromeTrace::new().into_json();
+        assert!(bare.get("otherData").is_none());
+        let mut t = ChromeTrace::new();
+        t.set_other_data("trace_dropped", Json::UInt(12));
+        let j = t.into_json();
+        assert_eq!(
+            j.get("otherData")
+                .unwrap()
+                .get("trace_dropped")
+                .unwrap()
+                .as_u64(),
+            Some(12)
+        );
     }
 
     #[test]

@@ -1,0 +1,807 @@
+//! Transaction flight recorder: per-transaction causal tracing with an
+//! exact cycle decomposition.
+//!
+//! Every coherence transaction (an L2 miss from issue to fill) gets a
+//! stable [`TxnId`] at issue; the simulator feeds the recorder one
+//! [`FlightEvent`] per hop (bus latch, controller dispatch, handler
+//! occupancy, network delivery, protocol replay). When the fill arrives,
+//! the recorder telescopes the milestones into a per-[`Category`] cycle
+//! decomposition that sums *exactly* to the transaction's end-to-end miss
+//! latency — the same quantity the machine-wide miss-latency histogram
+//! records — so `repro explain` output and the aggregate tables can never
+//! disagree.
+//!
+//! The recorder is strictly observational: it only consumes event times
+//! the simulator already computed, never influences scheduling, and keeps
+//! completed transactions in a bounded ring (oldest dropped and counted),
+//! so goldens and digests are byte-identical with it on or off.
+//!
+//! Determinism rules: events are applied in the simulator's canonical
+//! event order (parallel shards buffer events per window and the barrier
+//! merges them in sequential order), ids are assigned per-processor in
+//! issue order, and every query sorts with total tie-breaks — so all
+//! artifacts derived from the recorder are byte-identical across reruns,
+//! `--jobs` counts, and `--threads N`.
+
+use ccn_harness::Json;
+use ccn_sim::Cycle;
+use std::collections::{HashMap, VecDeque};
+
+/// Stable identity of one coherence transaction: the issuing processor's
+/// global index and a per-processor issue sequence number. Renders as
+/// `P<proc>#<seq>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// Global index of the issuing processor.
+    pub proc: u32,
+    /// Issue sequence number within that processor (0-based).
+    pub seq: u32,
+}
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}#{}", self.proc, self.seq)
+    }
+}
+
+impl TxnId {
+    /// Parses the `P<proc>#<seq>` rendering back into an id.
+    pub fn parse(s: &str) -> Option<TxnId> {
+        let rest = s.strip_prefix('P')?;
+        let (proc, seq) = rest.split_once('#')?;
+        Some(TxnId {
+            proc: proc.parse().ok()?,
+            seq: seq.parse().ok()?,
+        })
+    }
+}
+
+/// Where a transaction's cycles are attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// Local bus: arbitration, snoop, data transfer, and fill overhead
+    /// (also the residual closing segment up to the fill).
+    Bus,
+    /// Waiting in a coherence-controller inbound queue for an engine.
+    Queue,
+    /// Protocol-handler occupancy on an engine.
+    Occupancy,
+    /// Network transit (inject to deliver), both request and reply legs.
+    Net,
+    /// Protocol stall: directory Busy/Recall/retry replay delay.
+    Stall,
+}
+
+impl Category {
+    /// All categories, in decomposition (and rendering) order.
+    pub const ALL: [Category; 5] = [
+        Category::Bus,
+        Category::Queue,
+        Category::Occupancy,
+        Category::Net,
+        Category::Stall,
+    ];
+
+    /// Dense index for per-category arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Category::Bus => 0,
+            Category::Queue => 1,
+            Category::Occupancy => 2,
+            Category::Net => 3,
+            Category::Stall => 4,
+        }
+    }
+
+    /// Stable lowercase label (JSON keys, table headers).
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Bus => "bus",
+            Category::Queue => "queue",
+            Category::Occupancy => "occupancy",
+            Category::Net => "net",
+            Category::Stall => "stall",
+        }
+    }
+}
+
+/// One recorded handler execution on behalf of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Handler start time (engine acquire).
+    pub time: Cycle,
+    /// Node the handler ran on.
+    pub at_node: u16,
+    /// Engine within that node's controller.
+    pub engine: u8,
+    /// Handler occupancy in cycles.
+    pub occupancy: Cycle,
+    /// Handler label (Table 4 row name).
+    pub handler: &'static str,
+    /// Transaction phase the handler belongs to.
+    pub phase: &'static str,
+}
+
+/// One instrumentation event fed to the recorder by the simulator.
+///
+/// Transactions are keyed by `(node, line)` — the requesting node and the
+/// cache line — which is unique while the transaction is outstanding
+/// (one MSHR per line per node).
+#[derive(Debug, Clone, Copy)]
+pub enum FlightEvent {
+    /// A processor issued a miss: a new transaction begins.
+    Begin {
+        /// Requesting node.
+        node: u16,
+        /// Issuing processor (global index).
+        proc: u32,
+        /// Cache line address.
+        line: u64,
+        /// Issue time (miss detected, processor blocked).
+        time: Cycle,
+        /// Bus operation label for the request.
+        op: &'static str,
+    },
+    /// A causal milestone: cycles from the previous milestone up to
+    /// `time` are attributed to `cat`.
+    Milestone {
+        /// Requesting node (transaction key).
+        node: u16,
+        /// Cache line address (transaction key).
+        line: u64,
+        /// Milestone time.
+        time: Cycle,
+        /// Category the preceding segment belongs to.
+        cat: Category,
+    },
+    /// A protocol handler executed on behalf of the transaction
+    /// (descriptive; attribution happens via `Milestone` events).
+    Hop {
+        /// Requesting node (transaction key).
+        node: u16,
+        /// Cache line address (transaction key).
+        line: u64,
+        /// The hop itself.
+        hop: Hop,
+    },
+    /// The fill arrived: the transaction completes at `time`.
+    Complete {
+        /// Requesting node (transaction key).
+        node: u16,
+        /// Cache line address (transaction key).
+        line: u64,
+        /// Fill time; `time - issue` is the recorded miss latency.
+        time: Cycle,
+    },
+    /// The measured phase starts: reset aggregates, keep live
+    /// transactions (in-flight misses crossing the boundary land in the
+    /// measured miss-latency histograms, so the recorder keeps them too).
+    MeasureReset,
+}
+
+/// A completed transaction with its exact cycle decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// Stable transaction id.
+    pub id: TxnId,
+    /// Requesting node.
+    pub node: u16,
+    /// Cache line address.
+    pub line: u64,
+    /// Bus operation label of the original request.
+    pub op: &'static str,
+    /// Issue time.
+    pub issue: Cycle,
+    /// Fill time.
+    pub complete: Cycle,
+    /// Cycles per category, indexed by [`Category::index`]. Sums exactly
+    /// to [`latency`](TxnRecord::latency).
+    pub components: [u64; 5],
+    /// Handler executions on behalf of this transaction, in event order.
+    pub hops: Vec<Hop>,
+}
+
+impl TxnRecord {
+    /// End-to-end miss latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.complete - self.issue
+    }
+
+    /// Sum of the per-category components (always equals
+    /// [`latency`](TxnRecord::latency)).
+    pub fn components_sum(&self) -> u64 {
+        self.components.iter().sum()
+    }
+}
+
+#[derive(Debug)]
+struct LiveTxn {
+    id: TxnId,
+    op: &'static str,
+    issue: Cycle,
+    /// `(category, milestone time)` in event order.
+    milestones: Vec<(Category, Cycle)>,
+    hops: Vec<Hop>,
+}
+
+/// Machine-wide blame decomposition over the measured phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlameSummary {
+    /// Transactions completed since the measurement reset (including
+    /// records the bounded ring has since dropped).
+    pub transactions: u64,
+    /// Completed records still retained in the ring.
+    pub retained: u64,
+    /// Completed records the bounded ring discarded.
+    pub dropped: u64,
+    /// Total miss cycles across all completed transactions.
+    pub total_cycles: u64,
+    /// Miss cycles per category (sums to `total_cycles`); immune to ring
+    /// drops — accumulated incrementally at completion.
+    pub component_cycles: [u64; 5],
+    /// Latency (cycles) of the p99 transaction among retained records
+    /// (`None` when nothing is retained).
+    pub p99_threshold: Option<u64>,
+    /// Total miss cycles of the p99 tail (retained records with latency
+    /// at or above the threshold).
+    pub tail_cycles: u64,
+    /// Miss cycles per category within the p99 tail.
+    pub tail_component_cycles: [u64; 5],
+}
+
+impl BlameSummary {
+    /// Deterministic JSON form (sorted keys; stable category labels).
+    pub fn to_json(&self) -> Json {
+        fn comps(c: &[u64; 5]) -> Json {
+            Json::Obj(
+                Category::ALL
+                    .iter()
+                    .map(|cat| (cat.label().to_string(), Json::UInt(c[cat.index()])))
+                    .collect(),
+            )
+        }
+        Json::obj([
+            ("transactions", Json::UInt(self.transactions)),
+            ("retained", Json::UInt(self.retained)),
+            ("dropped", Json::UInt(self.dropped)),
+            ("total_cycles", Json::UInt(self.total_cycles)),
+            ("component_cycles", comps(&self.component_cycles)),
+            (
+                "p99_threshold",
+                match self.p99_threshold {
+                    Some(t) => Json::UInt(t),
+                    None => Json::Null,
+                },
+            ),
+            ("tail_cycles", Json::UInt(self.tail_cycles)),
+            ("tail_component_cycles", comps(&self.tail_component_cycles)),
+        ])
+    }
+}
+
+/// The flight recorder: applies [`FlightEvent`]s and keeps completed
+/// transactions in a bounded ring plus incremental per-category totals.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    /// Next issue sequence number per processor.
+    next_seq: HashMap<u32, u32>,
+    /// In-flight transactions keyed by `(node, line)`.
+    live: HashMap<(u16, u64), LiveTxn>,
+    /// Completed transactions, oldest first.
+    completed: VecDeque<TxnRecord>,
+    capacity: usize,
+    dropped: u64,
+    /// Completions since the last measurement reset.
+    transactions: u64,
+    total_cycles: u64,
+    component_cycles: [u64; 5],
+    /// Recycled milestone buffers (the apply path reuses them so the
+    /// steady state stays off the allocator once warm).
+    milestone_pool: Vec<Vec<(Category, Cycle)>>,
+    hop_pool: Vec<Vec<Hop>>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` completed transactions.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            next_seq: HashMap::new(),
+            live: HashMap::new(),
+            completed: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            dropped: 0,
+            transactions: 0,
+            total_cycles: 0,
+            component_cycles: [0; 5],
+            milestone_pool: Vec::new(),
+            hop_pool: Vec::new(),
+        }
+    }
+
+    /// Applies one instrumentation event.
+    pub fn apply(&mut self, event: FlightEvent) {
+        match event {
+            FlightEvent::Begin {
+                node,
+                proc,
+                line,
+                time,
+                op,
+            } => {
+                let seq = self.next_seq.entry(proc).or_insert(0);
+                let id = TxnId { proc, seq: *seq };
+                *seq += 1;
+                let txn = LiveTxn {
+                    id,
+                    op,
+                    issue: time,
+                    milestones: self.milestone_pool.pop().unwrap_or_default(),
+                    hops: self.hop_pool.pop().unwrap_or_default(),
+                };
+                if let Some(stale) = self.live.insert((node, line), txn) {
+                    self.recycle(stale.milestones, stale.hops);
+                }
+            }
+            FlightEvent::Milestone {
+                node,
+                line,
+                time,
+                cat,
+            } => {
+                if let Some(txn) = self.live.get_mut(&(node, line)) {
+                    txn.milestones.push((cat, time));
+                }
+            }
+            FlightEvent::Hop { node, line, hop } => {
+                if let Some(txn) = self.live.get_mut(&(node, line)) {
+                    txn.hops.push(hop);
+                }
+            }
+            FlightEvent::Complete { node, line, time } => {
+                if let Some(txn) = self.live.remove(&(node, line)) {
+                    self.finish(node, line, time, txn);
+                }
+            }
+            FlightEvent::MeasureReset => {
+                self.transactions = 0;
+                self.total_cycles = 0;
+                self.component_cycles = [0; 5];
+                self.dropped = 0;
+                while let Some(rec) = self.completed.pop_front() {
+                    self.hop_pool.push({
+                        let mut h = rec.hops;
+                        h.clear();
+                        h
+                    });
+                }
+            }
+        }
+    }
+
+    /// Telescopes the milestones into the exact decomposition and files
+    /// the completed record.
+    fn finish(&mut self, node: u16, line: u64, complete: Cycle, txn: LiveTxn) {
+        debug_assert!(complete >= txn.issue, "fill before issue");
+        let complete = complete.max(txn.issue);
+        let mut components = [0u64; 5];
+        let mut last = txn.issue;
+        for &(cat, t) in &txn.milestones {
+            // Clamp to the fill time: an occupancy milestone can land
+            // past the fill (the critical word returns before the handler
+            // retires) and side-path milestones can arrive out of time
+            // order; clamping keeps every segment non-negative and the
+            // total telescoping exactly to `complete - issue`.
+            let ct = t.min(complete);
+            components[cat.index()] += ct.saturating_sub(last);
+            last = last.max(ct);
+        }
+        // The closing segment (last milestone to fill) rides the local
+        // bus: data transfer plus fill overhead.
+        components[Category::Bus.index()] += complete - last;
+        let latency: u64 = complete - txn.issue;
+        debug_assert_eq!(components.iter().sum::<u64>(), latency);
+        self.transactions += 1;
+        self.total_cycles += latency;
+        for (total, c) in self.component_cycles.iter_mut().zip(components) {
+            *total += c;
+        }
+        let LiveTxn {
+            id,
+            op,
+            issue,
+            milestones,
+            hops,
+        } = txn;
+        self.milestone_pool.push({
+            let mut m = milestones;
+            m.clear();
+            m
+        });
+        if self.capacity == 0 {
+            self.dropped += 1;
+            self.hop_pool.push({
+                let mut h = hops;
+                h.clear();
+                h
+            });
+            return;
+        }
+        if self.completed.len() == self.capacity {
+            if let Some(old) = self.completed.pop_front() {
+                self.dropped += 1;
+                self.hop_pool.push({
+                    let mut h = old.hops;
+                    h.clear();
+                    h
+                });
+            }
+        }
+        self.completed.push_back(TxnRecord {
+            id,
+            node,
+            line,
+            op,
+            issue,
+            complete,
+            components,
+            hops,
+        });
+    }
+
+    fn recycle(&mut self, mut milestones: Vec<(Category, Cycle)>, mut hops: Vec<Hop>) {
+        milestones.clear();
+        hops.clear();
+        self.milestone_pool.push(milestones);
+        self.hop_pool.push(hops);
+    }
+
+    /// Completed transactions retained in the ring, oldest first.
+    pub fn completed(&self) -> impl Iterator<Item = &TxnRecord> {
+        self.completed.iter()
+    }
+
+    /// How many completed records the bounded ring has discarded.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Transactions completed since the last measurement reset.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// The retained record with this id, if any.
+    pub fn find(&self, id: TxnId) -> Option<&TxnRecord> {
+        self.completed.iter().find(|r| r.id == id)
+    }
+
+    /// The `k` slowest retained transactions, ordered by latency
+    /// descending with the transaction id as a total tie-break.
+    pub fn slowest(&self, k: usize) -> Vec<&TxnRecord> {
+        let mut all: Vec<&TxnRecord> = self.completed.iter().collect();
+        all.sort_by(|a, b| b.latency().cmp(&a.latency()).then_with(|| a.id.cmp(&b.id)));
+        all.truncate(k);
+        all
+    }
+
+    /// Machine-wide blame decomposition (totals are drop-immune; the
+    /// p99-tail slice is computed over retained records).
+    pub fn blame(&self) -> BlameSummary {
+        let mut p99_threshold = None;
+        let mut tail_cycles = 0;
+        let mut tail_component_cycles = [0u64; 5];
+        if !self.completed.is_empty() {
+            let mut lat: Vec<u64> = self.completed.iter().map(|r| r.latency()).collect();
+            lat.sort_unstable();
+            let n = lat.len();
+            // Rank ceil(0.99 * n), 1-indexed: the latency at or above
+            // which a transaction is in the top 1%.
+            let rank = (n * 99).div_ceil(100).max(1);
+            let threshold = lat[rank - 1];
+            p99_threshold = Some(threshold);
+            for r in &self.completed {
+                if r.latency() >= threshold {
+                    tail_cycles += r.latency();
+                    for (t, c) in tail_component_cycles.iter_mut().zip(r.components) {
+                        *t += c;
+                    }
+                }
+            }
+        }
+        BlameSummary {
+            transactions: self.transactions,
+            retained: self.completed.len() as u64,
+            dropped: self.dropped,
+            total_cycles: self.total_cycles,
+            component_cycles: self.component_cycles,
+            p99_threshold,
+            tail_cycles,
+            tail_component_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(rec: &mut FlightRecorder, node: u16, proc: u32, line: u64, time: Cycle) {
+        rec.apply(FlightEvent::Begin {
+            node,
+            proc,
+            line,
+            time,
+            op: "Read",
+        });
+    }
+
+    #[test]
+    fn txn_id_renders_and_parses() {
+        let id = TxnId { proc: 12, seq: 345 };
+        assert_eq!(id.to_string(), "P12#345");
+        assert_eq!(TxnId::parse("P12#345"), Some(id));
+        assert_eq!(TxnId::parse("12#345"), None);
+        assert_eq!(TxnId::parse("P12"), None);
+        assert_eq!(TxnId::parse("P#"), None);
+    }
+
+    #[test]
+    fn decomposition_sums_exactly_to_latency() {
+        let mut rec = FlightRecorder::new(16);
+        begin(&mut rec, 0, 0, 64, 100);
+        for (cat, t) in [
+            (Category::Bus, 120),
+            (Category::Queue, 135),
+            (Category::Occupancy, 155),
+            (Category::Net, 180),
+        ] {
+            rec.apply(FlightEvent::Milestone {
+                node: 0,
+                line: 64,
+                time: t,
+                cat,
+            });
+        }
+        rec.apply(FlightEvent::Complete {
+            node: 0,
+            line: 64,
+            time: 200,
+        });
+        let r = rec.completed().next().unwrap();
+        assert_eq!(r.latency(), 100);
+        assert_eq!(r.components_sum(), 100);
+        assert_eq!(r.components, [20 + 20, 15, 20, 25, 0]);
+    }
+
+    #[test]
+    fn out_of_order_and_overshooting_milestones_still_sum_exactly() {
+        let mut rec = FlightRecorder::new(16);
+        begin(&mut rec, 3, 7, 128, 1000);
+        // An occupancy milestone past the fill time (handler retires
+        // after the critical word) and a side-path milestone that moves
+        // backwards in time.
+        for (cat, t) in [
+            (Category::Net, 1100),
+            (Category::Occupancy, 1400),
+            (Category::Stall, 1050),
+            (Category::Net, 1250),
+        ] {
+            rec.apply(FlightEvent::Milestone {
+                node: 3,
+                line: 128,
+                time: t,
+                cat,
+            });
+        }
+        rec.apply(FlightEvent::Complete {
+            node: 3,
+            line: 128,
+            time: 1300,
+        });
+        let r = rec.completed().next().unwrap();
+        assert_eq!(r.latency(), 300);
+        assert_eq!(r.components_sum(), 300, "clamped telescoping is exact");
+        // Occupancy clamps to the fill; the backwards stall milestone
+        // contributes nothing; the final net milestone is inside the
+        // already-attributed range.
+        assert_eq!(r.components, [0, 0, 200, 100, 0]);
+    }
+
+    #[test]
+    fn ids_are_per_processor_issue_order() {
+        let mut rec = FlightRecorder::new(16);
+        begin(&mut rec, 0, 0, 64, 10);
+        rec.apply(FlightEvent::Complete {
+            node: 0,
+            line: 64,
+            time: 20,
+        });
+        begin(&mut rec, 1, 4, 64, 12);
+        begin(&mut rec, 0, 0, 192, 30);
+        rec.apply(FlightEvent::Complete {
+            node: 0,
+            line: 192,
+            time: 44,
+        });
+        let ids: Vec<String> = rec.completed().map(|r| r.id.to_string()).collect();
+        assert_eq!(ids, ["P0#0", "P0#1"]);
+        // The other processor's transaction is still live.
+        assert_eq!(rec.transactions(), 2);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut rec = FlightRecorder::new(2);
+        for i in 0..4u64 {
+            begin(&mut rec, 0, 0, 64 * (i + 1), 10 * i);
+            rec.apply(FlightEvent::Complete {
+                node: 0,
+                line: 64 * (i + 1),
+                time: 10 * i + 5,
+            });
+        }
+        assert_eq!(rec.dropped(), 2);
+        assert_eq!(rec.transactions(), 4);
+        let blame = rec.blame();
+        // Totals are immune to ring drops.
+        assert_eq!(blame.total_cycles, 4 * 5);
+        assert_eq!(blame.retained, 2);
+        assert_eq!(blame.dropped, 2);
+    }
+
+    #[test]
+    fn zero_capacity_counts_every_completion_as_dropped() {
+        let mut rec = FlightRecorder::new(0);
+        begin(&mut rec, 0, 0, 64, 0);
+        rec.apply(FlightEvent::Complete {
+            node: 0,
+            line: 64,
+            time: 9,
+        });
+        assert_eq!(rec.dropped(), 1);
+        assert_eq!(rec.completed().count(), 0);
+        assert_eq!(rec.blame().total_cycles, 9);
+    }
+
+    #[test]
+    fn milestones_for_unknown_transactions_are_ignored() {
+        let mut rec = FlightRecorder::new(4);
+        rec.apply(FlightEvent::Milestone {
+            node: 9,
+            line: 640,
+            time: 5,
+            cat: Category::Net,
+        });
+        rec.apply(FlightEvent::Complete {
+            node: 9,
+            line: 640,
+            time: 6,
+        });
+        assert_eq!(rec.transactions(), 0);
+    }
+
+    #[test]
+    fn measure_reset_clears_aggregates_but_keeps_live() {
+        let mut rec = FlightRecorder::new(4);
+        begin(&mut rec, 0, 0, 64, 0);
+        rec.apply(FlightEvent::Complete {
+            node: 0,
+            line: 64,
+            time: 7,
+        });
+        begin(&mut rec, 1, 4, 128, 3);
+        rec.apply(FlightEvent::MeasureReset);
+        assert_eq!(rec.transactions(), 0);
+        assert_eq!(rec.completed().count(), 0);
+        assert_eq!(rec.blame().total_cycles, 0);
+        // The in-flight transaction crossed the boundary and still
+        // completes into the measured window.
+        rec.apply(FlightEvent::Complete {
+            node: 1,
+            line: 128,
+            time: 23,
+        });
+        assert_eq!(rec.transactions(), 1);
+        assert_eq!(rec.completed().next().unwrap().latency(), 20);
+        // Ids keep advancing across the reset.
+        begin(&mut rec, 0, 0, 64, 30);
+        rec.apply(FlightEvent::Complete {
+            node: 0,
+            line: 64,
+            time: 35,
+        });
+        assert_eq!(rec.completed().nth(1).unwrap().id.to_string(), "P0#1");
+    }
+
+    #[test]
+    fn slowest_orders_by_latency_then_id() {
+        let mut rec = FlightRecorder::new(8);
+        for (proc, line, issue, fill) in
+            [(0u32, 64u64, 0u64, 50u64), (1, 128, 0, 90), (2, 192, 0, 50)]
+        {
+            begin(&mut rec, 0, proc, line, issue);
+            rec.apply(FlightEvent::Complete {
+                node: 0,
+                line,
+                time: fill,
+            });
+        }
+        let top: Vec<String> = rec.slowest(3).iter().map(|r| r.id.to_string()).collect();
+        assert_eq!(top, ["P1#0", "P0#0", "P2#0"]);
+        assert_eq!(rec.slowest(1).len(), 1);
+        assert_eq!(rec.find(TxnId { proc: 2, seq: 0 }).unwrap().latency(), 50);
+        assert!(rec.find(TxnId { proc: 9, seq: 9 }).is_none());
+    }
+
+    #[test]
+    fn blame_p99_tail_over_retained() {
+        let mut rec = FlightRecorder::new(256);
+        for i in 0..100u64 {
+            begin(&mut rec, 0, i as u32, 64 * (i + 1), 0);
+            rec.apply(FlightEvent::Complete {
+                node: 0,
+                line: 64 * (i + 1),
+                time: i + 1,
+            });
+        }
+        let blame = rec.blame();
+        // Rank ceil(0.99*100) = 99 → threshold is the 99th smallest
+        // latency; the tail holds the two records at or above it.
+        assert_eq!(blame.p99_threshold, Some(99));
+        assert_eq!(blame.tail_cycles, 99 + 100);
+        assert_eq!(blame.total_cycles, (1..=100).sum::<u64>());
+        // All-bus decomposition: no milestones were recorded.
+        assert_eq!(
+            blame.component_cycles[Category::Bus.index()],
+            blame.total_cycles
+        );
+        assert_eq!(blame.transactions, 100);
+    }
+
+    #[test]
+    fn blame_json_is_deterministic() {
+        let mut rec = FlightRecorder::new(4);
+        begin(&mut rec, 0, 0, 64, 0);
+        rec.apply(FlightEvent::Complete {
+            node: 0,
+            line: 64,
+            time: 10,
+        });
+        let a = rec.blame().to_json().to_string();
+        let b = rec.blame().to_json().to_string();
+        assert_eq!(a, b);
+        assert!(a.contains("\"component_cycles\""));
+        assert!(a.contains("\"p99_threshold\":10"));
+        let empty = FlightRecorder::new(4).blame().to_json().to_string();
+        assert!(empty.contains("\"p99_threshold\":null"));
+    }
+
+    #[test]
+    fn hops_are_recorded_in_order() {
+        let mut rec = FlightRecorder::new(4);
+        begin(&mut rec, 2, 5, 64, 0);
+        for (t, handler) in [(10, "home_read_clean"), (30, "req_data_resp")] {
+            rec.apply(FlightEvent::Hop {
+                node: 2,
+                line: 64,
+                hop: Hop {
+                    time: t,
+                    at_node: 1,
+                    engine: 0,
+                    occupancy: 14,
+                    handler,
+                    phase: "home-request",
+                },
+            });
+        }
+        rec.apply(FlightEvent::Complete {
+            node: 2,
+            line: 64,
+            time: 50,
+        });
+        let r = rec.completed().next().unwrap();
+        assert_eq!(r.hops.len(), 2);
+        assert_eq!(r.hops[0].handler, "home_read_clean");
+        assert_eq!(r.hops[1].time, 30);
+    }
+}

@@ -13,6 +13,9 @@
 //! - [`ChromeTrace`] converts protocol-handler executions and timeline
 //!   counters into the Chrome `trace_event` JSON format that
 //!   `chrome://tracing` and Perfetto load directly;
+//! - [`FlightRecorder`] assigns every coherence transaction a stable id
+//!   and turns its causally-linked span events into an exact per-category
+//!   cycle decomposition (queueing, occupancy, bus, network, stall);
 //! - [`write_sidecar`] drops per-run metrics files next to a sweep's
 //!   checkpoints so `repro --jobs N` runs keep their distributions.
 //!
@@ -23,11 +26,15 @@
 #![forbid(unsafe_code)]
 
 pub mod chrome;
+pub mod flight;
 pub mod sidecar;
 pub mod timeline;
 
 pub use chrome::{cycles_to_us, ChromeTrace};
-pub use sidecar::{sidecar_path, write_sidecar};
+pub use flight::{BlameSummary, Category, FlightEvent, FlightRecorder, TxnId, TxnRecord};
+pub use sidecar::{
+    read_sidecar, sidecar_path, write_sidecar, SidecarError, SIDECAR_SCHEMA_VERSION,
+};
 pub use timeline::{Sampler, SeriesKind, Timeline};
 
 use ccn_harness::Json;

@@ -11,6 +11,63 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// The sidecar schema version this crate writes. Bump on any breaking
+/// change to the sidecar payload shape; [`read_sidecar`] rejects files
+/// written by a different (unknown) version instead of misreading them.
+pub const SIDECAR_SCHEMA_VERSION: u64 = 1;
+
+/// Why a sidecar could not be read back.
+#[derive(Debug)]
+pub enum SidecarError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// The file is not well-formed JSON.
+    Parse(String),
+    /// The payload has no `schema_version` field (pre-versioning file or
+    /// foreign content).
+    MissingSchemaVersion,
+    /// The payload declares a schema version this reader does not know.
+    UnknownSchemaVersion(u64),
+}
+
+impl std::fmt::Display for SidecarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SidecarError::Io(e) => write!(f, "sidecar read failed: {e}"),
+            SidecarError::Parse(e) => write!(f, "sidecar is not valid JSON: {e}"),
+            SidecarError::MissingSchemaVersion => {
+                write!(f, "sidecar has no schema_version field")
+            }
+            SidecarError::UnknownSchemaVersion(v) => write!(
+                f,
+                "sidecar schema_version {v} is not supported (reader knows \
+                 {SIDECAR_SCHEMA_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SidecarError {}
+
+/// Reads the metrics sidecar for run `id` under `dir`, verifying its
+/// schema version.
+///
+/// # Errors
+///
+/// Returns [`SidecarError`] on I/O failure, malformed JSON, a missing
+/// `schema_version` field, or a version other than
+/// [`SIDECAR_SCHEMA_VERSION`].
+pub fn read_sidecar(dir: &Path, id: &str) -> Result<Json, SidecarError> {
+    let text = fs::read_to_string(sidecar_path(dir, id)).map_err(SidecarError::Io)?;
+    let payload =
+        ccn_harness::json::parse(&text).map_err(|e| SidecarError::Parse(e.to_string()))?;
+    match payload.get("schema_version").and_then(Json::as_u64) {
+        None => Err(SidecarError::MissingSchemaVersion),
+        Some(SIDECAR_SCHEMA_VERSION) => Ok(payload),
+        Some(other) => Err(SidecarError::UnknownSchemaVersion(other)),
+    }
+}
+
 /// The sidecar file path for run `id` under `dir`.
 ///
 /// Job ids contain `/` separators (`"tiny/4x2/OceanBase/HWC"`); every
@@ -64,6 +121,48 @@ mod tests {
         let path = write_sidecar(&dir, "a/b", &payload).unwrap();
         let text = fs::read_to_string(&path).unwrap();
         assert_eq!(ccn_harness::json::parse(&text).unwrap(), payload);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn versioned_sidecar_round_trips() {
+        let dir = std::env::temp_dir().join(format!("ccn-obs-sidecar-v-{}", std::process::id()));
+        let payload = Json::obj([
+            ("schema_version", Json::UInt(SIDECAR_SCHEMA_VERSION)),
+            ("count", Json::UInt(3)),
+        ]);
+        write_sidecar(&dir, "a/b", &payload).unwrap();
+        assert_eq!(read_sidecar(&dir, "a/b").unwrap(), payload);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_unknown_and_missing_versions() {
+        let dir = std::env::temp_dir().join(format!("ccn-obs-sidecar-r-{}", std::process::id()));
+        write_sidecar(
+            &dir,
+            "future",
+            &Json::obj([("schema_version", Json::UInt(999))]),
+        )
+        .unwrap();
+        match read_sidecar(&dir, "future") {
+            Err(SidecarError::UnknownSchemaVersion(999)) => {}
+            other => panic!("expected UnknownSchemaVersion, got {other:?}"),
+        }
+        write_sidecar(&dir, "legacy", &Json::obj([("count", Json::UInt(1))])).unwrap();
+        match read_sidecar(&dir, "legacy") {
+            Err(SidecarError::MissingSchemaVersion) => {}
+            other => panic!("expected MissingSchemaVersion, got {other:?}"),
+        }
+        match read_sidecar(&dir, "absent") {
+            Err(SidecarError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+        fs::write(sidecar_path(&dir, "garbled"), "not json").unwrap();
+        match read_sidecar(&dir, "garbled") {
+            Err(SidecarError::Parse(_)) => {}
+            other => panic!("expected Parse, got {other:?}"),
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -296,6 +296,76 @@ impl HandlerKind {
             ReqInvDone => "invalidation-done notice at requester",
         }
     }
+
+    /// The transaction phase this handler belongs to (flight-recorder
+    /// span tag): where in a transaction's life the handler runs.
+    pub fn phase(self) -> TxnPhase {
+        use HandlerKind::*;
+        match self {
+            BusReadRemote | BusReadExclRemote | BusUpgradeRemote => TxnPhase::RequestIssue,
+            BusReadLocalDirtyRemote
+            | BusReadExclLocalDirtyRemote
+            | BusReadExclLocalShared
+            | HomeReadClean
+            | HomeReadDirtyRemote
+            | HomeReadExclUncached
+            | HomeReadExclShared
+            | HomeReadExclDirtyRemote
+            | HomeUpgradeShared => TxnPhase::HomeService,
+            HomeWritebackEviction | BusWritebackRemote | HomeReplacementHint => TxnPhase::Eviction,
+            OwnerReadFwdHomeRequester
+            | OwnerReadFwdRemoteRequester
+            | OwnerReadExclFwdHomeRequester
+            | OwnerReadExclFwdRemoteRequester
+            | OwnerFwdMissReply => TxnPhase::OwnerForward,
+            InvReqAtSharer => TxnPhase::Invalidation,
+            HomeDataRespOwnerRead
+            | HomeSharingWriteback
+            | HomeDataRespOwnerReadExcl
+            | HomeOwnershipAck
+            | HomeInvAckMore
+            | HomeInvAckLastLocal
+            | HomeInvAckLastRemote
+            | HomeFwdMiss => TxnPhase::HomeCollect,
+            ReqDataResp | ReqDataExclResp | ReqUpgradeAck | ReqInvDone => TxnPhase::Completion,
+        }
+    }
+}
+
+/// Which phase of a coherence transaction a handler executes in. The
+/// flight recorder stamps every handler span with its phase, and the
+/// phase-priority directory work on the roadmap schedules by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TxnPhase {
+    /// Requester-side bus handlers: the miss leaves the node.
+    RequestIssue,
+    /// Home-side service of the original request (bus or network).
+    HomeService,
+    /// Owner-side handling of a forwarded request.
+    OwnerForward,
+    /// Sharer-side invalidation handling.
+    Invalidation,
+    /// Home-side collection of responses/acks on the way back.
+    HomeCollect,
+    /// Requester-side completion (data/ack arrives, fill).
+    Completion,
+    /// Eviction/write-back traffic not tied to a live transaction.
+    Eviction,
+}
+
+impl TxnPhase {
+    /// Stable lowercase label (trace args, docs).
+    pub fn label(self) -> &'static str {
+        match self {
+            TxnPhase::RequestIssue => "request-issue",
+            TxnPhase::HomeService => "home-service",
+            TxnPhase::OwnerForward => "owner-forward",
+            TxnPhase::Invalidation => "invalidation",
+            TxnPhase::HomeCollect => "home-collect",
+            TxnPhase::Completion => "completion",
+            TxnPhase::Eviction => "eviction",
+        }
+    }
 }
 
 /// Inline capacity of a [`StepBuf`], sized for the largest expansion the
@@ -857,6 +927,36 @@ mod tests {
         for (i, &kind) in HandlerKind::all().iter().enumerate() {
             assert_eq!(kind.index(), i, "{kind:?} out of order");
         }
+    }
+
+    #[test]
+    fn every_handler_has_a_phase_consistent_with_its_side() {
+        for &kind in HandlerKind::all() {
+            let phase = kind.phase();
+            assert!(!phase.label().is_empty());
+            // Phases that only home-side handlers can be in, and vice
+            // versa; eviction traffic exists on both sides.
+            match phase {
+                TxnPhase::HomeService | TxnPhase::HomeCollect => {
+                    assert!(kind.is_home_side(), "{kind:?}");
+                }
+                TxnPhase::RequestIssue
+                | TxnPhase::OwnerForward
+                | TxnPhase::Invalidation
+                | TxnPhase::Completion => {
+                    assert!(!kind.is_home_side(), "{kind:?}");
+                }
+                TxnPhase::Eviction => {}
+            }
+        }
+        // Labels are unique (they key blame tables and trace args).
+        let mut labels: Vec<&str> = HandlerKind::all()
+            .iter()
+            .map(|k| k.phase().label())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 7, "all seven phases are reachable");
     }
 
     #[test]

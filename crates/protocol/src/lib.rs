@@ -37,7 +37,7 @@ pub mod subop;
 pub use directory::{
     DirAction, DirOutcome, DirRequest, DirRequestKind, DirState, Directory, Recall, SharerBitmap,
 };
-pub use handlers::{HandlerKind, HandlerSpec, Step};
+pub use handlers::{HandlerKind, HandlerSpec, Step, TxnPhase};
 pub use msg::{Msg, MsgClass, MsgKind};
 pub use sharers::{DirFormat, SharerSet, DIR_FORMATS, MAX_NODES};
 pub use subop::{EngineKind, OccupancyTable, SubOp};

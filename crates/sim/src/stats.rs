@@ -141,7 +141,9 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 /// }
 /// assert_eq!(h.count(), 4);
 /// assert_eq!(h.max(), Some(100));
-/// assert!(h.quantile(0.5) >= 1.0 && h.quantile(0.5) <= 4.0);
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!((1.0..=4.0).contains(&p50));
+/// assert_eq!(ccn_sim::stats::Histogram::new().quantile(0.5), None);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
@@ -261,12 +263,18 @@ impl Histogram {
 
     /// The quantile `q` (in `[0, 1]`) estimated by linear interpolation
     /// within the containing log2 bucket, clamped to the observed
-    /// `[min, max]`. Returns 0.0 when empty. Deterministic: depends only
-    /// on bucket counts and the exact min/max, both of which merge
-    /// losslessly.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// `[min, max]`. Returns `None` when the histogram is empty — an
+    /// empty distribution has no quantiles, and a silent `0.0` reads as
+    /// a real (excellent) latency. Deterministic: depends only on bucket
+    /// counts and the exact min/max, both of which merge losslessly.
+    ///
+    /// The interpolation range of the containing bucket is intersected
+    /// with `[min, max]` before interpolating, so a distribution whose
+    /// samples all land in one bucket stays pinned inside the observed
+    /// range instead of sweeping the bucket's full power-of-two span.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         // The 1-based rank of the sample we want.
@@ -278,14 +286,17 @@ impl Histogram {
             }
             if seen + c >= rank {
                 let (lo, hi) = bucket_range(i);
-                // Position of the ranked sample inside this bucket.
+                // Interpolate within the part of the bucket that was
+                // actually observed.
+                let lo = lo.max(self.min) as f64;
+                let hi = hi.min(self.max) as f64;
                 let frac = (rank - seen) as f64 / c as f64;
-                let est = lo as f64 + frac * (hi - lo) as f64;
-                return est.clamp(self.min as f64, self.max as f64);
+                let est = lo + frac * (hi - lo).max(0.0);
+                return Some(est.clamp(self.min as f64, self.max as f64));
             }
             seen += c;
         }
-        self.max as f64
+        Some(self.max as f64)
     }
 
     /// Merges another histogram into this one. Deterministic: bucket
@@ -312,9 +323,9 @@ impl fmt::Display for Histogram {
             "n={} mean={:.1} p50={:.0} p90={:.0} p99={:.0} max={}",
             self.count,
             self.mean(),
-            self.quantile(0.50),
-            self.quantile(0.90),
-            self.quantile(0.99),
+            self.quantile(0.50).unwrap_or(0.0),
+            self.quantile(0.90).unwrap_or(0.0),
+            self.quantile(0.99).unwrap_or(0.0),
             self.max
         )
     }
@@ -391,8 +402,55 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
-        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn histogram_one_bucket_quantiles_stay_in_observed_range() {
+        // All samples in bucket 7 ([64, 128)); the observed range is
+        // [70, 100], and every quantile must stay inside it — not sweep
+        // the bucket's full power-of-two span.
+        let mut h = Histogram::new();
+        for v in [70u64, 80, 90, 100] {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!(
+                (70.0..=100.0).contains(&est),
+                "q={q}: {est} escaped the observed range"
+            );
+        }
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        // A single-sample histogram pins every quantile to the sample.
+        let mut one = Histogram::new();
+        one.record(77);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(one.quantile(q), Some(77.0));
+        }
+    }
+
+    #[test]
+    fn histogram_merge_of_empty_is_identity() {
+        let mut h = Histogram::new();
+        for v in [3u64, 9, 200] {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        // And merging into an empty histogram copies the other side.
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+        // Empty-into-empty stays empty (quantiles have no value).
+        let mut e2 = Histogram::new();
+        e2.merge(&Histogram::new());
+        assert_eq!(e2.count(), 0);
+        assert_eq!(e2.quantile(0.99), None);
     }
 
     #[test]
@@ -437,19 +495,19 @@ mod tests {
         for v in 1..=1000u64 {
             h.record(v);
         }
-        let p50 = h.quantile(0.50);
-        let p90 = h.quantile(0.90);
-        let p99 = h.quantile(0.99);
+        let p50 = h.quantile(0.50).unwrap();
+        let p90 = h.quantile(0.90).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
         assert!(p50 <= p90 && p90 <= p99);
         assert!(p99 <= h.max().unwrap() as f64);
-        assert!(h.quantile(0.0) >= h.min().unwrap() as f64);
-        assert_eq!(h.quantile(1.0), 1000.0);
+        assert!(h.quantile(0.0).unwrap() >= h.min().unwrap() as f64);
+        assert_eq!(h.quantile(1.0), Some(1000.0));
         // A single-valued distribution pins every quantile to that value.
         let mut one = Histogram::new();
         one.record(77);
         one.record(77);
-        assert_eq!(one.quantile(0.5), 77.0);
-        assert_eq!(one.quantile(0.99), 77.0);
+        assert_eq!(one.quantile(0.5), Some(77.0));
+        assert_eq!(one.quantile(0.99), Some(77.0));
     }
 
     #[test]
@@ -472,6 +530,7 @@ mod tests {
         assert_eq!(ab, all);
         assert_eq!(ba, all);
         assert_eq!(ab.quantile(0.9), all.quantile(0.9));
+        assert!(ab.quantile(0.9).is_some());
     }
 
     #[test]

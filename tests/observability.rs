@@ -11,7 +11,8 @@ use ccn_workloads::suite::SuiteApp;
 use ccnuma::experiments::{config_for, ConfigMods, Options};
 use ccnuma::{Architecture, Machine};
 
-/// One instrumented reference run: trace ring + sampler on.
+/// One instrumented reference run: trace ring + sampler + flight
+/// recorder on.
 fn observed_run() -> Machine {
     let opts = Options::quick();
     let app = SuiteApp::OceanBase;
@@ -20,6 +21,7 @@ fn observed_run() -> Machine {
     let mut machine = Machine::new(cfg, instance.as_ref()).expect("valid config");
     machine.enable_trace(1 << 20);
     machine.enable_sampler(1000);
+    machine.enable_flight_recorder(1 << 20);
     machine.run();
     machine
 }
@@ -102,6 +104,7 @@ fn exported_trace_is_wellformed_with_monotone_timestamps_per_track() {
     assert!(!events.is_empty());
 
     let mut spans = 0usize;
+    let mut flow_anchors = 0usize;
     let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
     for ev in &events {
         let ph = ev
@@ -115,6 +118,19 @@ fn exported_trace_is_wellformed_with_monotone_timestamps_per_track() {
         match ph {
             "M" => {
                 assert!(ev.get("name").is_some() && ev.get("args").is_some());
+            }
+            // Transaction flow arrows: start, step, finish anchors bound
+            // to the handler spans they link.
+            "s" | "t" | "f" => {
+                flow_anchors += 1;
+                assert_eq!(ev.get("cat").and_then(Json::as_str), Some("txn"));
+                assert!(ev.get("id").and_then(Json::as_u64).is_some());
+                assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+                if ph == "f" {
+                    // Binding point "enclosing slice" so the arrow ends
+                    // at the span rather than the next one.
+                    assert_eq!(ev.get("bp").and_then(Json::as_str), Some("e"));
+                }
             }
             "X" => {
                 spans += 1;
@@ -139,6 +155,19 @@ fn exported_trace_is_wellformed_with_monotone_timestamps_per_track() {
         }
     }
     assert_eq!(spans, machine.trace().len(), "every ring event exported");
+    // Every retained multi-hop transaction contributes one anchor per
+    // hop; single-hop transactions have nothing to link.
+    let expected_anchors: usize = machine
+        .flight()
+        .expect("recorder on")
+        .completed()
+        .map(|r| if r.hops.len() < 2 { 0 } else { r.hops.len() })
+        .sum();
+    assert_eq!(flow_anchors, expected_anchors, "every hop chain exported");
+    assert!(
+        flow_anchors > 0,
+        "reference run has cross-node transactions"
+    );
     // Spans carry the engine attribution: every tid maps to a declared
     // thread_name metadata record.
     let named: std::collections::BTreeSet<(u64, u64)> = events
@@ -157,6 +186,133 @@ fn exported_trace_is_wellformed_with_monotone_timestamps_per_track() {
     for track in last_ts.keys() {
         assert!(named.contains(track), "span track {track:?} is unnamed");
     }
+}
+
+#[test]
+fn flight_decomposition_sums_exactly_and_reconciles_with_histograms() {
+    let opts = Options::quick();
+    let app = SuiteApp::OceanBase;
+    let cfg = config_for(app, Architecture::TwoPpc, opts, ConfigMods::default());
+    let instance = app.instantiate(opts.scale);
+    let mut machine = Machine::new(cfg.clone(), instance.as_ref()).expect("valid config");
+    machine.enable_flight_recorder(1 << 20);
+    let report = machine.run();
+    let recorder = machine.flight().expect("recorder on");
+
+    // The tentpole contract: every explained transaction's component
+    // cycles sum EXACTLY to its recorded miss latency — no residue, no
+    // double counting.
+    let mut checked = 0u64;
+    for rec in recorder.completed() {
+        assert_eq!(
+            rec.components_sum(),
+            rec.latency(),
+            "{} decomposition does not telescope to its latency",
+            rec.id
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "reference run completed transactions");
+
+    // The recorder agrees with the independently recorded miss-latency
+    // histogram: same population, same total cycles.
+    let blame = recorder.blame();
+    assert_eq!(blame.transactions, report.miss_latency_hist.count());
+    assert_eq!(
+        u128::from(blame.total_cycles),
+        report.miss_latency_hist.sum()
+    );
+    assert_eq!(
+        blame.component_cycles.iter().sum::<u64>(),
+        blame.total_cycles
+    );
+    assert!(report.blame.is_some(), "instrumented report carries blame");
+
+    // Strictly observational: the instrumented run's timing and
+    // statistics are identical to a bare run's.
+    let mut bare = Machine::new(cfg, instance.as_ref()).expect("valid config");
+    let bare_report = bare.run();
+    assert_eq!(report.exec_cycles, bare_report.exec_cycles);
+    assert_eq!(report.miss_latency_hist, bare_report.miss_latency_hist);
+    assert_eq!(report.cc_arrivals, bare_report.cc_arrivals);
+    assert!(bare_report.blame.is_none(), "bare report has no blame");
+}
+
+#[test]
+fn flight_recorder_is_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let opts = Options::quick();
+        let app = SuiteApp::OceanBase;
+        let cfg = config_for(app, Architecture::Hwc, opts, ConfigMods::default());
+        let instance = app.instantiate(opts.scale);
+        let mut machine = Machine::new(cfg, instance.as_ref()).expect("valid config");
+        machine.enable_trace(1 << 20);
+        machine.enable_flight_recorder(1 << 20);
+        let report = machine.run_parallel(threads);
+        (machine, report)
+    };
+    let (seq, seq_report) = run(1);
+    let (par, par_report) = run(2);
+    // The whole recorder surface is byte-identical: the Chrome export
+    // (spans + flows), the blame summary, and the report's blame field.
+    assert_eq!(
+        seq.chrome_trace().render_pretty(),
+        par.chrome_trace().render_pretty(),
+        "trace/flow exports diverged between thread counts"
+    );
+    assert_eq!(
+        seq.flight().unwrap().blame().to_json().render_pretty(),
+        par.flight().unwrap().blame().to_json().render_pretty(),
+        "blame summaries diverged between thread counts"
+    );
+    assert_eq!(
+        seq_report.blame.as_ref().map(|b| b.to_json().to_string()),
+        par_report.blame.as_ref().map(|b| b.to_json().to_string()),
+    );
+    // Per-record equality, not just aggregate: ids, hops, components.
+    let a: Vec<_> = seq.flight().unwrap().completed().collect();
+    let b: Vec<_> = par.flight().unwrap().completed().collect();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.components, y.components);
+        assert_eq!(x.hops.len(), y.hops.len());
+    }
+}
+
+#[test]
+fn sparse_format_trace_is_identical_across_thread_counts() {
+    // A sparse directory small enough to force recalls: the recall-driven
+    // invalidation spans must export byte-identically on the parallel
+    // core.
+    let run = |threads: usize| {
+        let opts = Options::quick()
+            .with_dir_format(ccn_protocol::DirFormat::parse("sparse:8").expect("valid format"));
+        let app = SuiteApp::OceanBase;
+        let cfg = config_for(app, Architecture::Hwc, opts, ConfigMods::default());
+        let instance = app.instantiate(opts.scale);
+        let mut machine = Machine::new(cfg, instance.as_ref()).expect("valid config");
+        machine.enable_trace(1 << 20);
+        machine.enable_flight_recorder(1 << 20);
+        machine.run_parallel(threads);
+        machine
+    };
+    let seq = run(1);
+    let par = run(2);
+    let a = seq.chrome_trace().render_pretty();
+    assert_eq!(
+        a,
+        par.chrome_trace().render_pretty(),
+        "sparse-format exports diverged between thread counts"
+    );
+    // The sparse run actually exercised the recall path: its pressure
+    // shows up as invalidation-request spans at the sharers.
+    assert!(
+        seq.trace()
+            .iter()
+            .any(|ev| ev.handler.contains("invalidation request")),
+        "sparse:8 run produced no invalidation spans"
+    );
 }
 
 #[test]
@@ -181,19 +337,31 @@ fn sweep_sidecars_are_identical_across_worker_counts() {
             .collect()
     };
     let d1 = base.join("serial");
-    Runner::sequential(opts).with_metrics_dir(&d1).run(&keys);
+    Runner::sequential(opts)
+        .with_metrics_dir(&d1)
+        .with_blame(1 << 16)
+        .run(&keys);
     let d2 = base.join("parallel");
     Runner::parallel(opts, 4)
         .with_progress(false)
         .with_metrics_dir(&d2)
+        .with_blame(1 << 16)
         .run(&keys);
     assert_eq!(read_all(&d1), read_all(&d2));
-    // Sidecar payloads carry recoverable histograms.
-    for (_, text) in read_all(&d1) {
-        let json = ccn_harness::json::parse(&text).unwrap();
+    // Sidecar payloads carry recoverable histograms, declare the schema
+    // version the reader demands, and (with blame on) an exact
+    // per-component decomposition of the run's miss cycles.
+    for k in &keys {
+        let json = ccn_obs::read_sidecar(&d1, &k.id(opts)).expect("versioned sidecar reads back");
         let h = ccn_obs::histogram_from_json(json.get("miss_latency").unwrap())
             .expect("well-formed histogram");
         assert!(h.count() > 0, "reference run misses were recorded");
+        let blame = json.get("blame").expect("blame summary present");
+        assert_eq!(
+            blame.get("transactions").and_then(Json::as_u64),
+            Some(h.count()),
+            "blame population matches the miss histogram"
+        );
     }
     std::fs::remove_dir_all(&base).unwrap();
 }
